@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python examples/reproduce_paper.py
+
+examples:
+	python examples/quickstart.py
+	python examples/deploy_cpp_selector.py
+	python examples/network_inference.py
+	python examples/new_hardware.py
+	python examples/search_strategies.py
+	python examples/sparse_generalization.py
+	python examples/convolution_layers.py
+
+clean:
+	rm -rf benchmarks/.cache examples/.cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

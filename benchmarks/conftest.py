@@ -1,0 +1,26 @@
+"""Benchmark fixtures.
+
+The full dataset is generated once and cached on disk under
+``benchmarks/.cache`` so repeated benchmark runs skip the ~15 s sweep.
+Delete the cache to force regeneration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import PerformanceDataset, generate_dataset
+
+CACHE = Path(__file__).parent / ".cache" / "dataset.npz"
+
+
+@pytest.fixture(scope="session")
+def full_dataset() -> PerformanceDataset:
+    return generate_dataset(cache_path=CACHE)
+
+
+@pytest.fixture(scope="session")
+def split(full_dataset):
+    return full_dataset.split(test_size=0.2, random_state=0)

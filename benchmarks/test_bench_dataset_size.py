@@ -1,0 +1,24 @@
+"""Extension bench: the 'larger datasets' conjecture, tested.
+
+The paper conjectures its classifiers "fail to generalize which would be
+mitigated with larger datasets".  The sweep augments the real training
+shapes with synthetic ones from the same envelope and retrains the
+pipeline at each size against a fixed real test split.
+"""
+
+from repro.experiments.dataset_size import run_dataset_size
+
+
+def test_bench_dataset_size(benchmark):
+    result = benchmark.pedantic(run_dataset_size, rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    sizes = sorted(result.scores)
+    # More data must not make the selector *worse* (beyond noise)...
+    assert result.scores[sizes[-1]][0] >= result.scores[sizes[0]][0] - 0.02
+    # ...but on this dataset the gap to the ceiling persists: part of
+    # the residual is alignment-level structure invisible to the size
+    # features, so data volume alone cannot close it.  (A nuance to the
+    # paper's conjecture — see EXPERIMENTS.md.)
+    final_score, final_ceiling = result.scores[sizes[-1]]
+    assert final_ceiling - final_score > 0.01

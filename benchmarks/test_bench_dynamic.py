@@ -1,0 +1,86 @@
+"""Dynamic trial-run selection vs the trained model selector.
+
+The introduction's argument, quantified: on a *research* workload whose
+shapes keep changing, benchmark-on-first-use pays a trial sweep per new
+shape, while the trained decision tree answers instantly; on a *stable
+deployment* workload the dynamic policy amortises and wins on choice
+quality.  The bench measures accumulated simulated device time (kernel
+executions + trial sweeps) for both policies on both workload styles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchmarkRunner
+from repro.core.deploy import tune
+from repro.core.selection.dynamic import DynamicTrialSelector
+from repro.perfmodel import GemmPerfModel
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def setup(split):
+    train, test = split
+    deployed = tune(train, n_configs=8, random_state=0)
+    runner = BenchmarkRunner(Device.r9_nano())
+    model = GemmPerfModel(Device.r9_nano())
+    return deployed, runner, model, test
+
+
+def _workload_research(test, repeats=1):
+    """Ever-changing topologies: every shape distinct."""
+    return list(test.shapes) * repeats
+
+
+def _workload_deployment(test, repeats=500):
+    """A fixed model served repeatedly: few shapes, many executions."""
+    return list(test.shapes[:: max(1, len(test.shapes) // 6)][:6]) * repeats
+
+
+def _accumulate(selector_fn, shapes, model, trial_cost_fn=None):
+    total = 0.0
+    for shape in shapes:
+        config = selector_fn(shape)
+        total += model.time_seconds(shape, config)
+    if trial_cost_fn is not None:
+        total += trial_cost_fn()
+    return total
+
+
+@pytest.mark.parametrize("scenario", ["research", "deployment"])
+def test_bench_dynamic_vs_model_selector(benchmark, setup, scenario):
+    deployed, runner, model, test = setup
+    shapes = (
+        _workload_research(test)
+        if scenario == "research"
+        else _workload_deployment(test)
+    )
+
+    dynamic = DynamicTrialSelector(runner, deployed.selector.pruned)
+
+    def run():
+        dynamic.reset()
+        model_total = _accumulate(deployed.select, shapes, model)
+        dynamic_total = _accumulate(
+            dynamic.select,
+            shapes,
+            model,
+            trial_cost_fn=lambda: dynamic.stats.trial_seconds,
+        )
+        return model_total, dynamic_total
+
+    model_total, dynamic_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n{scenario}: model-selector {model_total * 1e3:8.2f} ms device time, "
+        f"dynamic {dynamic_total * 1e3:8.2f} ms "
+        f"(trial overhead {dynamic.stats.trial_seconds * 1e3:.2f} ms, "
+        f"hit rate {dynamic.stats.hit_rate * 100:.0f}%)"
+    )
+    if scenario == "research":
+        # Changing shapes: trial overhead makes the dynamic policy lose.
+        assert model_total < dynamic_total
+    else:
+        # Stable serving: trials amortise; dynamic must be competitive
+        # (and is allowed to win thanks to perfect per-shape choices).
+        assert dynamic_total < model_total * 1.2

@@ -1,0 +1,25 @@
+"""Figure 1 regeneration: per-configuration performance distribution.
+
+Run with ``pytest benchmarks/test_bench_fig1.py --benchmark-only -s`` to
+see the rendered figure alongside the timing.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig1
+
+
+def test_bench_fig1(benchmark, full_dataset):
+    result = benchmark(run_fig1, full_dataset)
+    print("\n" + result.render())
+
+    # Shape assertions mirroring the paper's description of Figure 1.
+    assert np.all(np.diff(result.mean_sorted) >= -1e-12)
+    # "Those at the far left never achieving above 30% of the optimal":
+    # a nontrivial left tail of bad-everywhere configurations exists.
+    assert result.n_never_above_30pct + int(
+        np.sum(result.max_sorted < 0.5)
+    ) >= 20
+    # "Some configurations in the middle ... achieve close to optimal
+    # performance on certain sizes."
+    assert result.n_niche_specialists >= 3

@@ -1,0 +1,16 @@
+"""Figure 3 regeneration: PCA explained-variance curve."""
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(benchmark, full_dataset):
+    result = benchmark(run_fig3, full_dataset)
+    print("\n" + result.render())
+
+    counts = result.components_for_threshold
+    # Paper: 4 components for 80%, 8 for 90%, 15 for 95%.
+    assert 2 <= counts[0.80] <= 7
+    assert counts[0.80] <= counts[0.90] <= 12
+    assert counts[0.90] <= counts[0.95] <= 20
+    low, high = result.suggested_budgets
+    assert low < high

@@ -1,0 +1,81 @@
+"""Selection-latency benchmarks (Section IV's deployment constraint).
+
+"There is little to be gained by choosing a complex process to achieve
+slightly better performance if this leads to significantly more time
+being spent in that selection process."  These benchmarks time one
+selection decision for each Table I classifier, and check the decision
+cost against the modelled kernel runtime it gates.
+"""
+
+import pytest
+
+from repro.core.pruning import DecisionTreePruner
+from repro.core.selection import default_selectors
+from repro.perfmodel import GemmPerfModel
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+QUERY = GemmShape(m=12544, k=576, n=128)
+
+
+@pytest.fixture(scope="module")
+def selectors(split):
+    train, _ = split
+    pruned = DecisionTreePruner().select(train, 8)
+    fitted = []
+    for selector in default_selectors(pruned, random_state=0):
+        selector.fit(train)
+        fitted.append(selector)
+    return fitted
+
+
+@pytest.mark.parametrize(
+    "index,name",
+    list(
+        enumerate(
+            (
+                "DecisionTree",
+                "RandomForest",
+                "1NearestNeighbor",
+                "3NearestNeighbors",
+                "LinearSVM",
+                "RadialSVM",
+            )
+        )
+    ),
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_bench_selection_latency(benchmark, selectors, index, name):
+    selector = selectors[index]
+    assert selector.name == name
+    config = benchmark(selector.select, QUERY)
+    assert config in selector.pruned.configs
+
+
+def test_bench_exported_python_selector(benchmark, split):
+    """The deployed nested-if form must be far cheaper than any estimator."""
+    from repro.core.deploy import tune
+
+    train, _ = split
+    deployed = tune(train, n_configs=8, random_state=0)
+    namespace = {}
+    exec(deployed.export_python(), namespace)  # noqa: S102
+    select = namespace["select_kernel"]
+    features = tuple(QUERY.features())
+    result = benchmark(lambda: select(*features))
+    assert isinstance(result, str)
+
+
+def test_bench_selection_cost_vs_kernel_time(benchmark, split):
+    """The decision must cost a small fraction of the kernel it gates."""
+    from repro.core.deploy import tune
+
+    train, _ = split
+    deployed = tune(train, n_configs=8, random_state=0)
+    benchmark(deployed.select, QUERY)
+
+    model = GemmPerfModel(Device.r9_nano())
+    kernel_time = model.time_seconds(QUERY, deployed.select(QUERY))
+    # Python-object overhead included, the decision is still well under
+    # one kernel invocation for a realistic convolution GEMM.
+    assert benchmark.stats.stats.median < kernel_time

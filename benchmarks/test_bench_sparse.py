@@ -1,0 +1,22 @@
+"""Extension bench: sparse-data generalization (the paper's future work).
+
+Full-scale run of the experiment behind EXPERIMENTS.md's sparse section.
+"""
+
+from repro.experiments.sparse import run_sparse_generalization
+
+
+def test_bench_sparse_generalization(benchmark):
+    result = benchmark.pedantic(
+        run_sparse_generalization, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # Density-aware training must not lose to density-blind training on
+    # held-out sparse shapes, and dense-trained selection must still be
+    # usable (the techniques *partially* generalize).
+    assert result.generalization_gap >= -0.02
+    assert result.score_dense_trained > 0.5
+    # Selection quality degrades as density falls (harder regime).
+    scores = result.per_density_scores
+    assert scores[0.1] <= scores[0.5] + 0.05

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the substrates the pipeline is built on."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.matmul import matmul
+from repro.kernels.params import KernelConfig, config_space
+from repro.ml.hdbscan import HDBSCAN
+from repro.ml.kmeans import KMeans
+from repro.ml.pca import PCA
+from repro.ml.tree.regressor import DecisionTreeRegressor
+from repro.perfmodel import GemmPerfModel
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.workloads.gemm import GemmShape
+
+CFG = KernelConfig(acc=4, rows=4, cols=4, wg_rows=16, wg_cols=16)
+
+
+def test_bench_perfmodel_single_eval(benchmark):
+    model = GemmPerfModel(Device.r9_nano())
+    shape = GemmShape(m=3136, k=576, n=128)
+    t = benchmark(model.time_seconds, shape, CFG)
+    assert t > 0
+
+
+def test_bench_perfmodel_row_eval(benchmark):
+    """One dataset row: all 640 configs for one shape."""
+    model = GemmPerfModel(Device.r9_nano())
+    shape = GemmShape(m=3136, k=576, n=128)
+    configs = config_space()
+
+    def row():
+        return [model.time_seconds(shape, c) for c in configs]
+
+    times = benchmark(row)
+    assert len(times) == 640
+
+
+def test_bench_functional_matmul(benchmark):
+    queue = Queue(Device.r9_nano())
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 256)).astype(np.float32)
+    c, _ = benchmark(matmul, queue, a, b, CFG)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-3, atol=1e-4)
+
+
+def test_bench_pca_fit(benchmark, full_dataset):
+    data = full_dataset.normalized()
+    pca = benchmark(lambda: PCA().fit(data))
+    assert pca.explained_variance_ratio_[0] > 0
+
+
+def test_bench_kmeans_fit(benchmark, full_dataset):
+    data = full_dataset.normalized()
+    km = benchmark(
+        lambda: KMeans(n_clusters=8, n_init=3, random_state=0).fit(data)
+    )
+    assert km.cluster_centers_.shape[0] == 8
+
+
+def test_bench_hdbscan_fit(benchmark, full_dataset):
+    data = full_dataset.normalized()
+    h = benchmark(lambda: HDBSCAN(min_cluster_size=8).fit(data))
+    assert h.labels_.shape[0] == data.shape[0]
+
+
+def test_bench_multioutput_tree_fit(benchmark, full_dataset):
+    data = full_dataset.normalized()
+    features = full_dataset.features()
+    tree = benchmark(
+        lambda: DecisionTreeRegressor(max_leaf_nodes=8).fit(features, data)
+    )
+    assert tree.n_leaves_ <= 8
+
+
+def test_bench_dataset_generation_small(benchmark):
+    """Benchmark sweep throughput: 20 shapes x 640 configs."""
+    from repro.bench.runner import BenchmarkRunner
+    from repro.workloads.extract import extract_dataset_shapes
+
+    shapes, _ = extract_dataset_shapes()
+    runner = BenchmarkRunner(Device.r9_nano())
+    result = benchmark.pedantic(
+        runner.run, args=(shapes[::9],), rounds=1, iterations=1
+    )
+    assert result.gflops.shape[1] == 640

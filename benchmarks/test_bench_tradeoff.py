@@ -1,0 +1,19 @@
+"""Ablation bench: library size vs achievable performance."""
+
+from repro.experiments.tradeoff import run_tradeoff
+
+
+def test_bench_tradeoff(benchmark, full_dataset):
+    result = benchmark.pedantic(
+        run_tradeoff, args=(full_dataset,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # The pruned libraries must be far smaller than the full bundle...
+    largest = result.points[-1]
+    assert largest.binary_bytes < result.full_library_bytes / 3
+    # ...with diminishing performance returns setting in within the
+    # paper's investigated budget range.
+    assert result.knee_budget() <= 32
+    # Performance at the largest budget beats the smallest meaningfully.
+    assert result.points[-1].achievable > result.points[0].achievable

@@ -1,0 +1,77 @@
+"""Tuner comparison: quality reached per benchmark evaluation.
+
+The paper's Section II points to basin hopping and evolutionary search
+for spaces where brute force "is not feasible".  This bench races every
+strategy on a representative convolution GEMM under a fixed evaluation
+budget (100 of 640 points) and reports how close each gets to the
+exhaustive optimum.
+"""
+
+import pytest
+
+from repro.bench.runner import BenchmarkRunner
+from repro.sycl.device import Device
+from repro.tuning import (
+    BasinHoppingTuner,
+    ConfigSpace,
+    EvolutionaryTuner,
+    HillClimbingTuner,
+    Objective,
+    RandomSearchTuner,
+    SimulatedAnnealingTuner,
+)
+from repro.workloads.gemm import GemmShape
+
+SHAPE = GemmShape(m=12544, k=576, n=128)
+BUDGET = 100
+
+TUNERS = [
+    RandomSearchTuner(random_state=0),
+    HillClimbingTuner(random_state=0),
+    SimulatedAnnealingTuner(random_state=0),
+    BasinHoppingTuner(random_state=0),
+    EvolutionaryTuner(random_state=0),
+]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return BenchmarkRunner(Device.r9_nano())
+
+
+@pytest.fixture(scope="module")
+def optimum(runner):
+    obj = Objective(runner, SHAPE)
+    for config in ConfigSpace().all_configs():
+        obj(config)
+    return obj.best()[1]
+
+
+@pytest.mark.parametrize("tuner", TUNERS, ids=lambda t: t.name)
+def test_bench_tuner(benchmark, tuner, runner, optimum):
+    def run():
+        return tuner.tune(
+            Objective(runner, SHAPE, max_evaluations=BUDGET), ConfigSpace()
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    gap = result.best_seconds / optimum - 1.0
+    print(
+        f"\n{tuner.name:>14s}: {result.best_seconds * 1e6:7.1f} us "
+        f"({gap * 100:+5.1f}% vs exhaustive) in {result.evaluations} evals"
+    )
+    # Every strategy must land within 25% of the optimum on 100/640 evals.
+    assert result.best_seconds <= optimum * 1.25
+
+
+def test_bench_exhaustive_reference(benchmark, runner):
+    """The cost smarter search avoids: all 640 evaluations."""
+
+    def exhaustive():
+        obj = Objective(runner, SHAPE)
+        for config in ConfigSpace().all_configs():
+            obj(config)
+        return obj
+
+    obj = benchmark.pedantic(exhaustive, rounds=1, iterations=1)
+    assert obj.evaluations == 640

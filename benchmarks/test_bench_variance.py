@@ -1,0 +1,27 @@
+"""Reproducibility bench: split-seed variance of the headline results."""
+
+from repro.experiments.variance import run_variance
+
+
+def test_bench_variance(benchmark, full_dataset):
+    result = benchmark.pedantic(
+        run_variance, args=(full_dataset,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # The robust conclusions must hold in the mean across 8 splits:
+    # clustering's best method beats naive top-n at budget 4...
+    naive_mean = result.pruning["top-n"][4][0]
+    best_clustering = max(
+        stats[4][0] for name, stats in result.pruning.items() if name != "top-n"
+    )
+    assert best_clustering > naive_mean
+    # ...and the RadialSVM sits below the decision tree on average.
+    assert (
+        result.selection["RadialSVM"][0]
+        < result.selection["DecisionTree"][0]
+    )
+    # Per-budget std should be a few points at most (34-shape test sets).
+    for per_budget in result.pruning.values():
+        for _, std in per_budget.values():
+            assert std < 0.06

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Retargeting the pipeline to new hardware with zero code changes.
+
+The paper's pitch: "by combining auto-tuning and machine learning these
+kernel selection processes can be deployed with little developer effort
+to achieve high performance on new hardware."  This example runs the
+identical pipeline against three simulated devices — the paper's R9
+Nano, a desktop GPU and an embedded accelerator — and compares which
+kernels each library ends up bundling and choosing.
+
+Run:  python examples/new_hardware.py
+"""
+
+import numpy as np
+
+import repro
+from repro.bench.runner import BenchmarkRunner, RunnerConfig
+from repro.core.dataset import PerformanceDataset
+from repro.core.selection.evaluate import evaluate_selector
+from repro.kernels.params import config_space
+from repro.perfmodel import GemmPerfModel
+from repro.workloads.extract import extract_dataset_shapes
+
+PROBE_SHAPES = (
+    repro.GemmShape(m=12544, k=576, n=128),   # big im2col convolution
+    repro.GemmShape(m=1, k=25088, n=4096),    # batch-1 fully connected
+    repro.GemmShape(m=196, k=256, n=512, batch=16),  # Winograd batch
+)
+
+
+def tune_for(device: repro.Device):
+    shapes, _ = extract_dataset_shapes()
+    model = GemmPerfModel(device)
+    configs = [c for c in config_space() if model.supported(c)]
+    runner = BenchmarkRunner(
+        device, configs=configs, runner_config=RunnerConfig(timed_iterations=3)
+    )
+    dataset = PerformanceDataset.from_benchmark(runner.run(shapes))
+    train, test = dataset.split(test_size=0.2, random_state=0)
+    deployed = repro.tune(train, n_configs=8, random_state=0)
+    evaluation = evaluate_selector(deployed.selector, test)
+    return dataset, deployed, evaluation, len(configs)
+
+
+def main() -> None:
+    devices = [
+        repro.Device.r9_nano(),
+        repro.Device.desktop(),
+        repro.Device.embedded(),
+    ]
+    deployments = {}
+    for device in devices:
+        print(f"Tuning for {device.name} ...")
+        dataset, deployed, evaluation, n_supported = tune_for(device)
+        deployments[device.name] = deployed
+        print(
+            f"  supported configs: {n_supported}/640 | "
+            f"held-out score {evaluation.score * 100:.1f}% "
+            f"(ceiling {evaluation.ceiling * 100:.1f}%)"
+        )
+        bundled = ", ".join(c.short_name() for c in deployed.library.configs)
+        print(f"  bundled kernels: {bundled}")
+
+    print("\nPer-shape selections across devices")
+    print("-----------------------------------")
+    header = f"{'shape':>22s}" + "".join(
+        f"{name.split('(')[0].strip():>36s}" for name in deployments
+    )
+    print(header)
+    for shape in PROBE_SHAPES:
+        row = f"{str(shape):>22s}"
+        for deployed in deployments.values():
+            row += f"{deployed.select(shape).short_name():>36s}"
+        print(row)
+
+    print(
+        "\nNote how the embedded accelerator (tiny register file, 1/30th "
+        "of the bandwidth) bundles smaller tiles than the discrete GPUs — "
+        "no device-specific code was written to get there."
+    )
+
+
+if __name__ == "__main__":
+    main()

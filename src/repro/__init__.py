@@ -1,0 +1,52 @@
+"""repro: automated kernel selection for SYCL machine-learning libraries.
+
+A full reproduction of *"Towards automated kernel selection in machine
+learning systems: A SYCL case study"* (John Lawson, 2020,
+arXiv:2003.06795), including every substrate the paper depends on:
+
+* :mod:`repro.sycl` — a SYCL-style runtime (queues, buffers, nd_range,
+  profiling events) executing kernels functionally;
+* :mod:`repro.perfmodel` — an analytical GPU performance model standing
+  in for the paper's AMD R9 Nano benchmark platform;
+* :mod:`repro.kernels` — the tiled GEMM kernel family and its
+  640-configuration space;
+* :mod:`repro.workloads` — VGG16 / ResNet-50 / MobileNetV2 and the
+  conv-to-GEMM lowering that produces the dataset's shapes;
+* :mod:`repro.ml` — from-scratch PCA, k-means, HDBSCAN, decision trees,
+  random forests, kNN and SVMs (scikit-learn substitute);
+* :mod:`repro.bench` — the benchmark harness regenerating the dataset;
+* :mod:`repro.core` — the paper's contribution: pruning kernel
+  configurations and selecting among them at runtime;
+* :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quickstart::
+
+    import repro
+
+    dataset = repro.generate_dataset()
+    train, test = dataset.split(test_size=0.2, random_state=0)
+    deployed = repro.tune(train, n_configs=8)
+    config = deployed.select(repro.GemmShape(m=12544, k=576, n=128))
+"""
+
+from repro.core.dataset import PerformanceDataset, generate_dataset
+from repro.core.deploy import DeployedSelector, tune
+from repro.kernels.params import KernelConfig, config_space
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.workloads.gemm import GemmShape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeployedSelector",
+    "Device",
+    "GemmShape",
+    "KernelConfig",
+    "PerformanceDataset",
+    "Queue",
+    "config_space",
+    "generate_dataset",
+    "tune",
+    "__version__",
+]

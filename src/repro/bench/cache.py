@@ -1,0 +1,82 @@
+"""Dataset persistence: save/load benchmark results as ``.npz``.
+
+The paper publishes its dataset alongside the code; this module plays
+that role so the (seconds-scale) regeneration can be skipped by examples
+and benchmarks that only consume the data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.bench.runner import BenchmarkResult, RunnerConfig
+from repro.kernels.params import KernelConfig
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["load_dataset", "save_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(result: BenchmarkResult, path: Union[str, Path]) -> Path:
+    """Serialise a benchmark result; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "device_name": result.device_name,
+        "runner": {
+            "warmup_iterations": result.runner.warmup_iterations,
+            "timed_iterations": result.runner.timed_iterations,
+            "seed": result.runner.seed,
+        },
+    }
+    np.savez_compressed(
+        path,
+        meta=json.dumps(meta),
+        shapes=np.array([s.as_tuple() for s in result.shapes], dtype=np.int64),
+        configs=np.array(
+            [
+                (c.acc, c.rows, c.cols, c.wg_rows, c.wg_cols)
+                for c in result.configs
+            ],
+            dtype=np.int64,
+        ),
+        gflops=result.gflops,
+        seconds=result.seconds,
+    )
+    # np.savez appends .npz when missing; normalise the return value.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset(path: Union[str, Path]) -> BenchmarkResult:
+    """Load a benchmark result written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format {meta.get('format_version')!r}"
+            )
+        shapes = tuple(
+            GemmShape(m=int(m), k=int(k), n=int(n), batch=int(b))
+            for m, k, n, b in data["shapes"]
+        )
+        configs = tuple(
+            KernelConfig(
+                acc=int(a), rows=int(r), cols=int(c), wg_rows=int(wr), wg_cols=int(wc)
+            )
+            for a, r, c, wr, wc in data["configs"]
+        )
+        runner = RunnerConfig(**meta["runner"])
+        return BenchmarkResult(
+            device_name=meta["device_name"],
+            shapes=shapes,
+            configs=configs,
+            gflops=np.array(data["gflops"]),
+            seconds=np.array(data["seconds"]),
+            runner=runner,
+        )

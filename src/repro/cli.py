@@ -1,0 +1,205 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands
+-----------
+* ``dataset``     — regenerate and save the performance dataset.
+* ``shapes``      — list the GEMM shapes extracted from the networks.
+* ``experiments`` — run figure/table reproductions and print them.
+* ``tune``        — run the full pipeline and export the selector source.
+* ``devices``     — list the simulated device presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        type=Path,
+        default=None,
+        help="path of a saved dataset (.npz); generated fresh when absent",
+    )
+    parser.add_argument(
+        "--device",
+        default="r9-nano",
+        help="device preset (see `repro devices`)",
+    )
+
+
+def _load_or_generate(args):
+    from repro.core.dataset import PerformanceDataset, generate_dataset
+    from repro.sycl.device import Device
+
+    if args.dataset is not None and Path(args.dataset).exists():
+        return PerformanceDataset.load(args.dataset)
+    return generate_dataset(
+        device=Device.from_preset(args.device),
+        cache_path=args.dataset,
+    )
+
+
+def _cmd_dataset(args) -> int:
+    dataset = _load_or_generate(args)
+    print(dataset)
+    if args.out is not None:
+        path = dataset.save(args.out)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_shapes(args) -> int:
+    from repro.workloads.extract import extract_network_shapes
+
+    shape_set = extract_network_shapes(args.network)
+    print(f"{shape_set.network}: {len(shape_set)} unique GEMM shapes")
+    for shape in shape_set.shapes:
+        provenance = shape_set.provenance(shape)
+        layers = ", ".join(
+            f"{lg.layer}/{lg.transform}@b{lg.image_batch}" for lg in provenance[:3]
+        )
+        more = "" if len(provenance) <= 3 else f" (+{len(provenance) - 3} more)"
+        print(f"  {str(shape):24s} <- {layers}{more}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import (
+        run_all,
+        run_fig1,
+        run_fig2,
+        run_fig3,
+        run_fig4,
+        run_table1,
+    )
+
+    if args.which == "sparse":
+        from repro.experiments.sparse import run_sparse_generalization
+
+        print(run_sparse_generalization().render())
+        return 0
+    dataset = _load_or_generate(args)
+    from repro.experiments.tradeoff import run_tradeoff
+    from repro.experiments.variance import run_variance
+
+    runners = {
+        "1": run_fig1,
+        "2": run_fig2,
+        "3": run_fig3,
+        "4": run_fig4,
+        "table1": run_table1,
+        "tradeoff": run_tradeoff,
+        "variance": run_variance,
+    }
+    if args.which == "all":
+        print(run_all(dataset).render())
+    else:
+        print(runners[args.which](dataset).render())
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.deploy import tune
+
+    dataset = _load_or_generate(args)
+    train, test = dataset.split(test_size=0.2, random_state=args.seed)
+    deployed = tune(
+        train,
+        n_configs=args.budget,
+        classifier=args.classifier,
+        random_state=args.seed,
+    )
+    print(deployed)
+    from repro.core.selection.evaluate import evaluate_selector
+
+    evaluation = evaluate_selector(deployed.selector, test)
+    print(
+        f"test score: {evaluation.score * 100:.2f}% of optimal "
+        f"(ceiling {evaluation.ceiling * 100:.2f}%)"
+    )
+    if args.export == "py":
+        print(deployed.export_python())
+    elif args.export == "cpp":
+        print(deployed.export_cpp())
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from repro.sycl.device import Device
+
+    for key in Device.available_presets():
+        spec = Device.from_preset(key).spec
+        print(
+            f"{key:22s} {spec.name:44s} "
+            f"{spec.peak_gflops:8.0f} GF  {spec.dram_bandwidth_gbps:6.1f} GB/s"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Towards automated kernel selection in machine "
+            "learning systems: A SYCL case study' (Lawson, 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dataset", help="generate/save the performance dataset")
+    _add_dataset_args(p)
+    p.add_argument("--out", type=Path, default=None, help="save location (.npz)")
+    p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("shapes", help="list extracted GEMM shapes")
+    p.add_argument(
+        "--network",
+        default="vgg16",
+        choices=("vgg16", "resnet50", "mobilenet_v2"),
+    )
+    p.set_defaults(func=_cmd_shapes)
+
+    p = sub.add_parser("experiments", help="reproduce figures and tables")
+    _add_dataset_args(p)
+    p.add_argument(
+        "--which",
+        default="all",
+        choices=(
+            "1", "2", "3", "4", "table1", "tradeoff", "variance", "sparse",
+            "all",
+        ),
+        help="which figure/table (or extension experiment) to run",
+    )
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("tune", help="run the pipeline, export the selector")
+    _add_dataset_args(p)
+    p.add_argument("--budget", type=int, default=8)
+    p.add_argument("--classifier", default="DecisionTree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--export", choices=("none", "py", "cpp"), default="none")
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("devices", help="list simulated device presets")
+    p.set_defaults(func=_cmd_devices)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's contribution: dataset, pruning, runtime selection, deployment.
+
+Pipeline (mirroring the paper's sections):
+
+1. :mod:`repro.core.dataset` — build the (shapes x configs) performance
+   table and normalize per shape (Section II).
+2. :mod:`repro.core.pca_analysis` — choose the target number of kernels
+   from the PCA variance curve (Section II.B, Fig 3).
+3. :mod:`repro.core.pruning` — five techniques selecting <= N
+   configurations (Section III, Fig 4).
+4. :mod:`repro.core.selection` — runtime classifiers choosing among the
+   pruned kernels (Section IV, Table I).
+5. :mod:`repro.core.deploy` — the deployable artefact: a kernel library
+   plus a selector, exportable as nested-if source code.
+"""
+
+from repro.core.dataset import PerformanceDataset, generate_dataset
+from repro.core.pca_analysis import PCAAnalysis, analyze_dataset
+from repro.core.pruning import (
+    DecisionTreePruner,
+    HDBSCANPruner,
+    KMeansPruner,
+    PCAKMeansPruner,
+    PrunedSet,
+    Pruner,
+    TopNPruner,
+    achievable_performance,
+    default_pruners,
+    sweep_pruners,
+)
+from repro.core.selection import (
+    Selector,
+    SelectorEvaluation,
+    default_selectors,
+    evaluate_selector,
+    selection_labels,
+    sweep_selectors,
+)
+from repro.core.deploy import DeployedSelector, tune
+
+__all__ = [
+    "DecisionTreePruner",
+    "DeployedSelector",
+    "HDBSCANPruner",
+    "KMeansPruner",
+    "PCAAnalysis",
+    "PCAKMeansPruner",
+    "PerformanceDataset",
+    "PrunedSet",
+    "Pruner",
+    "Selector",
+    "SelectorEvaluation",
+    "TopNPruner",
+    "achievable_performance",
+    "analyze_dataset",
+    "default_pruners",
+    "default_selectors",
+    "evaluate_selector",
+    "generate_dataset",
+    "selection_labels",
+    "sweep_pruners",
+    "sweep_selectors",
+    "tune",
+]

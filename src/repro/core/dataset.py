@@ -1,0 +1,196 @@
+"""The performance dataset: shapes x configurations achieved GFLOP/s.
+
+Wraps the raw benchmark table with the operations the paper's pipeline
+needs — per-shape normalization, feature extraction, best-config queries,
+train/test splitting — plus persistence and the one-call
+:func:`generate_dataset` regeneration entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.bench.cache import load_dataset as _load_raw
+from repro.bench.cache import save_dataset as _save_raw
+from repro.bench.runner import BenchmarkResult, BenchmarkRunner, RunnerConfig
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.params import PerfModelParams
+from repro.sycl.device import Device
+from repro.utils.rng import rng_from
+from repro.workloads.extract import extract_dataset_shapes
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["PerformanceDataset", "generate_dataset"]
+
+
+@dataclass(frozen=True)
+class PerformanceDataset:
+    """Immutable view of a benchmark sweep.
+
+    Attributes
+    ----------
+    shapes / configs:
+        Row and column identities of the table.
+    gflops:
+        (n_shapes, n_configs) achieved GFLOP/s.
+    device_name:
+        Provenance label.
+    """
+
+    shapes: Tuple[GemmShape, ...]
+    configs: Tuple[KernelConfig, ...]
+    gflops: np.ndarray
+    device_name: str = "unknown"
+
+    def __post_init__(self) -> None:
+        expected = (len(self.shapes), len(self.configs))
+        if self.gflops.shape != expected:
+            raise ValueError(
+                f"gflops shape {self.gflops.shape} does not match {expected}"
+            )
+        if np.any(self.gflops <= 0) or not np.all(np.isfinite(self.gflops)):
+            raise ValueError("gflops must be positive and finite")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_benchmark(cls, result: BenchmarkResult) -> "PerformanceDataset":
+        return cls(
+            shapes=result.shapes,
+            configs=result.configs,
+            gflops=result.gflops,
+            device_name=result.device_name,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PerformanceDataset":
+        return cls.from_benchmark(_load_raw(path))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        result = BenchmarkResult(
+            device_name=self.device_name,
+            shapes=self.shapes,
+            configs=self.configs,
+            gflops=self.gflops,
+            seconds=np.array(
+                [[s.flops for s in self.shapes]]
+            ).T
+            / self.gflops
+            / 1e9,
+        )
+        return _save_raw(result, path)
+
+    # -- core views --------------------------------------------------------
+
+    @property
+    def n_shapes(self) -> int:
+        return len(self.shapes)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    def normalized(self) -> np.ndarray:
+        """Per-shape normalized performance: each row divided by its max.
+
+        This is the paper's representation: "for each set of matrix sizes
+        ... a vector of 640 normalized performance scores".
+        """
+        return self.gflops / self.gflops.max(axis=1, keepdims=True)
+
+    def features(self) -> np.ndarray:
+        """(n_shapes, 4) matrix-size feature matrix for the selectors."""
+        return np.vstack([s.features() for s in self.shapes])
+
+    def best_config_indices(self) -> np.ndarray:
+        """Index of the optimal configuration for every shape."""
+        return np.argmax(self.gflops, axis=1)
+
+    def win_counts(self) -> np.ndarray:
+        """How often each configuration is optimal (Fig 2's data)."""
+        return np.bincount(self.best_config_indices(), minlength=self.n_configs)
+
+    def best_gflops(self) -> np.ndarray:
+        return self.gflops.max(axis=1)
+
+    def config_index(self, config: KernelConfig) -> int:
+        try:
+            return self.configs.index(config)
+        except ValueError:
+            raise KeyError(f"{config} is not a column of this dataset") from None
+
+    # -- restructuring -----------------------------------------------------
+
+    def subset(self, indices: Sequence[int]) -> "PerformanceDataset":
+        """Dataset restricted to the given shape rows."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) == 0:
+            raise ValueError("subset must keep at least one shape")
+        return PerformanceDataset(
+            shapes=tuple(self.shapes[i] for i in indices),
+            configs=self.configs,
+            gflops=self.gflops[indices],
+            device_name=self.device_name,
+        )
+
+    def split(
+        self, *, test_size: float = 0.2, random_state=0
+    ) -> Tuple["PerformanceDataset", "PerformanceDataset"]:
+        """Random train/test split of the shapes (paper: 136/34 of 170)."""
+        if not 0.0 < test_size < 1.0:
+            raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+        n = self.n_shapes
+        n_test = max(1, int(round(n * test_size)))
+        if n_test >= n:
+            raise ValueError("test split would consume the whole dataset")
+        order = np.arange(n)
+        rng_from(random_state).shuffle(order)
+        return self.subset(order[n_test:]), self.subset(order[:n_test])
+
+    def __repr__(self) -> str:
+        return (
+            f"PerformanceDataset({self.n_shapes} shapes x "
+            f"{self.n_configs} configs, device={self.device_name!r})"
+        )
+
+
+def generate_dataset(
+    *,
+    device: Optional[Device] = None,
+    runner_config: Optional[RunnerConfig] = None,
+    model_params: Optional[PerfModelParams] = None,
+    networks: Sequence[str] = ("vgg16", "resnet50", "mobilenet_v2"),
+    cache_path: Optional[Union[str, Path]] = None,
+    max_workers: Optional[int] = 1,
+) -> PerformanceDataset:
+    """Regenerate the paper's dataset end to end.
+
+    Extracts GEMM shapes from the three networks, benchmarks all 640
+    configurations per shape on the simulated device and returns the
+    table.  With ``cache_path`` set, a previously saved dataset matching
+    on disk is reused, and fresh results are saved there.
+    """
+    if cache_path is not None:
+        cache_path = Path(cache_path)
+        effective = (
+            cache_path if cache_path.suffix == ".npz"
+            else cache_path.with_suffix(cache_path.suffix + ".npz")
+        )
+        if effective.exists():
+            return PerformanceDataset.load(effective)
+
+    device = device or Device.r9_nano()
+    shapes, _ = extract_dataset_shapes(networks=networks)
+    runner = BenchmarkRunner(
+        device,
+        runner_config=runner_config,
+        model_params=model_params,
+    )
+    result = runner.run(shapes, max_workers=max_workers)
+    if cache_path is not None:
+        _save_raw(result, cache_path)
+    return PerformanceDataset.from_benchmark(result)

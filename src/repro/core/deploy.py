@@ -1,0 +1,144 @@
+"""Deployment: the tuned library artefact.
+
+:func:`tune` runs the whole pipeline — prune the configuration space on a
+training dataset, fit a runtime selector — and returns a
+:class:`DeployedSelector`: a kernel library bundling only the chosen
+configurations plus the decision process choosing among them, exactly the
+artefact the paper proposes shipping.  For decision-tree selectors the
+nested-``if`` implementation can be exported as Python or C++ source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.selection.classifiers import make_selector
+from repro.core.selection.selector import Selector
+from repro.kernels.matmul import TiledMatmulKernel, matmul
+from repro.kernels.params import KernelConfig
+from repro.kernels.registry import KernelLibrary
+from repro.ml.tree.export import export_cpp, export_python
+from repro.sycl.queue import Queue
+from repro.workloads.gemm import GemmShape
+from repro.workloads.sparse import SparseGemmShape
+
+__all__ = ["DeployedSelector", "tune"]
+
+
+class DeployedSelector:
+    """A kernel library plus its runtime selection process."""
+
+    def __init__(self, library: KernelLibrary, selector: Selector):
+        if tuple(library.configs) != tuple(selector.pruned.configs):
+            raise ValueError(
+                "library and selector must bundle the same configurations"
+            )
+        self.library = library
+        self.selector = selector
+
+    def select(self, shape: GemmShape) -> KernelConfig:
+        """The configuration the library will launch for ``shape``."""
+        return self.selector.select(shape)
+
+    def kernel_for(self, shape: GemmShape) -> TiledMatmulKernel:
+        """A launchable kernel instance for ``shape``."""
+        return self.library.kernel(self.select(shape))
+
+    def matmul(self, queue: Queue, a: np.ndarray, b: np.ndarray):
+        """Run a GEMM end to end through the selection process.
+
+        Returns ``(C, event, config)`` — result, profiling event, and the
+        configuration that was chosen.
+        """
+        shape = GemmShape(m=a.shape[0], k=a.shape[1], n=b.shape[1])
+        config = self.select(shape)
+        result, event = matmul(queue, a, b, config)
+        return result, event, config
+
+    # -- code generation -----------------------------------------------------
+
+    def _tree(self):
+        from repro.ml.tree.structure import Tree
+
+        estimator = self.selector.estimator
+        tree = getattr(estimator, "tree_", None)
+        # Note: KNeighborsClassifier also has a ``tree_`` (its KD-tree);
+        # only a CART structure is exportable as nested ifs.
+        if not isinstance(tree, Tree) or (
+            getattr(self.selector, "_constant", None) is not None
+        ):
+            raise TypeError(
+                "source export requires a fitted decision-tree selector"
+            )
+        return tree
+
+    def _feature_names(self) -> Tuple[str, ...]:
+        """Argument names for the generated dispatch function.
+
+        Matches the feature width the selector was trained on: dense
+        selectors see (m, k, n, batch), sparsity-aware ones add density.
+        """
+        width = getattr(self.selector.estimator, "n_features_in_", None)
+        if width == SparseGemmShape.N_FEATURES:
+            return SparseGemmShape.FEATURE_NAMES
+        return GemmShape.FEATURE_NAMES
+
+    def _config_tokens(self) -> Tuple[str, ...]:
+        # Leaf classes are positions into the pruned set; map through the
+        # selector's training classes to configuration names.
+        classes = self.selector.estimator.classes_
+        return tuple(
+            self.selector.pruned.configs[int(c)].short_name() for c in classes
+        )
+
+    def export_python(self, *, function_name: str = "select_kernel") -> str:
+        """The selection process as a standalone Python function."""
+        return export_python(
+            self._tree(),
+            function_name=function_name,
+            feature_names=list(self._feature_names()),
+            class_names=self._config_tokens(),
+        )
+
+    def export_cpp(self, *, function_name: str = "select_kernel") -> str:
+        """The selection process as nested C++ ifs (library dispatch)."""
+        tokens = tuple(f'"{t}"' for t in self._config_tokens())
+        return export_cpp(
+            self._tree(),
+            function_name=function_name,
+            feature_names=list(self._feature_names()),
+            class_names=tokens,
+            return_type="const char*",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DeployedSelector({self.library!r}, "
+            f"selector={self.selector.name!r})"
+        )
+
+
+def tune(
+    train: PerformanceDataset,
+    *,
+    n_configs: int = 8,
+    pruner: Optional[Pruner] = None,
+    classifier: str = "DecisionTree",
+    random_state: int = 0,
+) -> DeployedSelector:
+    """One-call pipeline: prune, fit a selector, build the library.
+
+    Defaults follow the paper's conclusions: decision-tree pruning and a
+    decision-tree runtime selector at a budget of 8 configurations.
+    """
+    pruner = pruner or DecisionTreePruner()
+    pruned = pruner.select(train, n_configs)
+    selector = make_selector(classifier, pruned, random_state=random_state)
+    selector.fit(train)
+    library = KernelLibrary(pruned.configs)
+    return DeployedSelector(library, selector)

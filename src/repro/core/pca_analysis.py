@@ -1,0 +1,64 @@
+"""Section II.B: choosing the target number of kernels via PCA.
+
+"By comparing the number of components required to account for a given
+threshold of the total variance we can estimate how many different
+clusters would be required" — Figure 3's analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.ml.pca import PCA
+
+__all__ = ["PCAAnalysis", "analyze_dataset"]
+
+#: Variance thresholds the paper reads off Figure 3.
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (0.80, 0.90, 0.95)
+
+
+@dataclass(frozen=True)
+class PCAAnalysis:
+    """Explained-variance structure of a performance dataset."""
+
+    explained_variance_ratio: np.ndarray
+    components_for_threshold: Dict[float, int]
+
+    @property
+    def cumulative_ratio(self) -> np.ndarray:
+        return np.cumsum(self.explained_variance_ratio)
+
+    def suggested_budget_range(self) -> Tuple[int, int]:
+        """The config-budget interval the variance structure suggests.
+
+        The paper takes the components for the lowest and highest
+        thresholds (80% -> 4, 95% -> 15) and investigates budgets between
+        them.
+        """
+        values = sorted(self.components_for_threshold.values())
+        return values[0], values[-1]
+
+
+def analyze_dataset(
+    dataset: PerformanceDataset,
+    *,
+    thresholds: Tuple[float, ...] = DEFAULT_THRESHOLDS,
+    n_components: int | None = None,
+) -> PCAAnalysis:
+    """PCA over the normalized performance vectors (shapes as samples)."""
+    if not thresholds:
+        raise ValueError("at least one variance threshold is required")
+    data = dataset.normalized()
+    max_components = min(data.shape)
+    pca = PCA(n_components=n_components or max_components).fit(data)
+    components = {
+        float(t): pca.components_for_variance(t) for t in sorted(thresholds)
+    }
+    return PCAAnalysis(
+        explained_variance_ratio=pca.explained_variance_ratio_,
+        components_for_threshold=components,
+    )

@@ -1,0 +1,43 @@
+"""Section III: configuration pruning techniques.
+
+Five methods select a bounded set of kernel configurations to bundle:
+
+* :class:`TopNPruner` — the naive baseline: most-frequent winners;
+* :class:`KMeansPruner` — k-means over the normalized performance
+  vectors, best config of each centroid;
+* :class:`PCAKMeansPruner` — k-means in PCA-reduced space, centroids
+  mapped back with the inverse transform;
+* :class:`HDBSCANPruner` — density clustering, best config of each
+  cluster medoid;
+* :class:`DecisionTreePruner` — multi-output regression tree with a leaf
+  budget; each leaf's mean vector is a representative.
+
+All implement the :class:`Pruner` protocol and are scored by
+:func:`achievable_performance` (geometric-mean best-in-set performance),
+reproducing Figure 4 via :func:`sweep_pruners`.
+"""
+
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.core.pruning.topn import TopNPruner
+from repro.core.pruning.kmeans import KMeansPruner
+from repro.core.pruning.pca_kmeans import PCAKMeansPruner
+from repro.core.pruning.hdbscan import HDBSCANPruner
+from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.pruning.evaluate import (
+    achievable_performance,
+    default_pruners,
+    sweep_pruners,
+)
+
+__all__ = [
+    "DecisionTreePruner",
+    "HDBSCANPruner",
+    "KMeansPruner",
+    "PCAKMeansPruner",
+    "PrunedSet",
+    "Pruner",
+    "TopNPruner",
+    "achievable_performance",
+    "default_pruners",
+    "sweep_pruners",
+]

@@ -1,0 +1,82 @@
+"""Pruner protocol and the result type shared by all techniques."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.kernels.params import KernelConfig
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PrunedSet", "Pruner"]
+
+
+@dataclass(frozen=True)
+class PrunedSet:
+    """The configurations a pruning technique chose to bundle.
+
+    ``indices`` are columns of the dataset the set was selected from;
+    ``configs`` the corresponding configurations.  The set size is at most
+    the requested budget (techniques whose representatives share a best
+    config return fewer).
+    """
+
+    indices: Tuple[int, ...]
+    configs: Tuple[KernelConfig, ...]
+    method: str
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.configs):
+            raise ValueError("indices and configs must have equal length")
+        if len(self.indices) == 0:
+            raise ValueError("a pruned set cannot be empty")
+        if len(set(self.indices)) != len(self.indices):
+            raise ValueError("pruned set contains duplicate configurations")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _dedupe_keep_order(indices) -> List[int]:
+    seen = set()
+    out = []
+    for i in indices:
+        i = int(i)
+        if i not in seen:
+            seen.add(i)
+            out.append(i)
+    return out
+
+
+class Pruner(abc.ABC):
+    """A technique selecting at most ``n_configs`` configurations."""
+
+    #: Display name used in figures/tables.
+    name: str = "pruner"
+
+    @abc.abstractmethod
+    def select(
+        self, dataset: PerformanceDataset, n_configs: int
+    ) -> PrunedSet:
+        """Choose <= ``n_configs`` configurations from the training data."""
+
+    def _make_set(
+        self, dataset: PerformanceDataset, indices: Sequence[int], n_configs: int
+    ) -> PrunedSet:
+        """Finalize: dedupe, clip to the budget, attach configs."""
+        check_positive_int(n_configs, "n_configs")
+        unique = _dedupe_keep_order(indices)[:n_configs]
+        if not unique:
+            raise ValueError(f"{self.name} produced no configurations")
+        return PrunedSet(
+            indices=tuple(unique),
+            configs=tuple(dataset.configs[i] for i in unique),
+            method=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

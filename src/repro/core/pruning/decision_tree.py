@@ -1,0 +1,47 @@
+"""Decision-tree pruning.
+
+"Finally we used a decision tree to do regression on the dataset that
+maps a set of matrix sizes to a vector of the expected normalized
+performance for each configuration.  Limiting the number of leaf nodes in
+the decision tree ensures the tree only produces a restricted number of
+such vectors which are used as the cluster representatives."
+
+Unlike the clustering pruners this one learns the *mapping from features
+to behaviour*, which is why it transfers best to unseen shapes (Fig 4) —
+its representatives are conditioned on the features a runtime selector
+will actually see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.ml.tree.regressor import DecisionTreeRegressor
+
+__all__ = ["DecisionTreePruner"]
+
+
+class DecisionTreePruner(Pruner):
+    name = "decision tree"
+
+    def __init__(self, *, min_samples_leaf: int = 2):
+        self.min_samples_leaf = min_samples_leaf
+
+    def select(self, dataset: PerformanceDataset, n_configs: int) -> PrunedSet:
+        data = dataset.normalized()
+        features = dataset.features()
+        if n_configs < 2:
+            # A leaf budget below 2 cannot split; degenerate to the global
+            # mean representative.
+            best = [int(np.argmax(data.mean(axis=0)))]
+            return self._make_set(dataset, best, n_configs)
+        tree = DecisionTreeRegressor(
+            max_leaf_nodes=n_configs,
+            min_samples_leaf=self.min_samples_leaf,
+        ).fit(features, data)
+        representatives = tree.leaf_representatives()
+        best = np.argmax(representatives, axis=1)
+        self.last_tree_ = tree  # kept for deployment/export experiments
+        return self._make_set(dataset, best, n_configs)

@@ -1,0 +1,73 @@
+"""Scoring pruned sets and the Figure 4 sweep.
+
+"The performance of the clustering technique was measured by taking the
+geometric mean of the optimal result achievable given that selection for
+each set of matrix sizes in the test set."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.pruning.hdbscan import HDBSCANPruner
+from repro.core.pruning.kmeans import KMeansPruner
+from repro.core.pruning.pca_kmeans import PCAKMeansPruner
+from repro.core.pruning.topn import TopNPruner
+from repro.utils.maths import geometric_mean
+
+__all__ = ["achievable_performance", "default_pruners", "sweep_pruners"]
+
+
+def achievable_performance(
+    pruned: PrunedSet, dataset: PerformanceDataset
+) -> float:
+    """Best-in-set normalized performance, geometric mean over shapes.
+
+    1.0 means the set contains the optimal configuration for every shape
+    in ``dataset``; the paper reports this as a percentage.
+    """
+    normalized = dataset.normalized()
+    cols = np.asarray(pruned.indices, dtype=np.int64)
+    per_shape_best = normalized[:, cols].max(axis=1)
+    return float(geometric_mean(per_shape_best))
+
+
+def default_pruners(*, random_state: int = 0) -> List[Pruner]:
+    """The paper's five techniques, in its presentation order."""
+    return [
+        TopNPruner(),
+        KMeansPruner(random_state=random_state),
+        PCAKMeansPruner(random_state=random_state),
+        HDBSCANPruner(),
+        DecisionTreePruner(),
+    ]
+
+
+def sweep_pruners(
+    train: PerformanceDataset,
+    test: PerformanceDataset,
+    *,
+    budgets: Sequence[int] = tuple(range(4, 16)),
+    pruners: Sequence[Pruner] | None = None,
+) -> Dict[str, Dict[int, float]]:
+    """Figure 4's data: achievable test performance per method and budget.
+
+    Returns ``{method name: {budget: score}}`` with scores in (0, 1].
+    """
+    if pruners is None:
+        pruners = default_pruners()
+    if not budgets:
+        raise ValueError("at least one budget is required")
+    results: Dict[str, Dict[int, float]] = {}
+    for pruner in pruners:
+        scores: Dict[int, float] = {}
+        for budget in budgets:
+            pruned = pruner.select(train, budget)
+            scores[int(budget)] = achievable_performance(pruned, test)
+        results[pruner.name] = scores
+    return results

@@ -1,0 +1,63 @@
+"""HDBSCAN pruning.
+
+HDBSCAN does not take a cluster count, so the pruner searches
+``min_cluster_size`` for the clustering that yields the most clusters not
+exceeding the budget.  Cluster medoids (in mutual reachability) are the
+representatives; noise points are ignored.  If density structure yields
+fewer clusters than the budget, the remaining slots are filled with the
+top winners not already selected — the bound is an upper bound, but an
+undersized library wastes budget the other techniques use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.core.pruning.topn import TopNPruner
+from repro.ml.hdbscan import HDBSCAN
+
+__all__ = ["HDBSCANPruner"]
+
+
+class HDBSCANPruner(Pruner):
+    name = "hdbscan"
+
+    def __init__(self, *, min_samples: Optional[int] = None, max_mcs: int = 32):
+        self.min_samples = min_samples
+        self.max_mcs = max_mcs
+
+    def select(self, dataset: PerformanceDataset, n_configs: int) -> PrunedSet:
+        data = dataset.normalized()
+        n = data.shape[0]
+
+        best_fit = None  # (n_clusters, -mcs, estimator)
+        upper = min(self.max_mcs, max(2, n // 2))
+        for mcs in range(2, upper + 1):
+            try:
+                est = HDBSCAN(
+                    min_cluster_size=mcs, min_samples=self.min_samples
+                ).fit(data)
+            except ValueError:
+                continue
+            if est.n_clusters_ == 0:
+                continue
+            if est.n_clusters_ <= n_configs:
+                key = (est.n_clusters_, -mcs)
+                if best_fit is None or key > best_fit[0]:
+                    best_fit = (key, est)
+
+        indices: list = []
+        if best_fit is not None:
+            est = best_fit[1]
+            medoid_rows = est.cluster_medoids()
+            indices = [int(np.argmax(data[row])) for row in medoid_rows]
+
+        if len(set(indices)) < n_configs:
+            # Fill remaining budget with the naive ranking.
+            filler = TopNPruner().select(dataset, n_configs)
+            indices.extend(filler.indices)
+        return self._make_set(dataset, indices, n_configs)

@@ -1,0 +1,35 @@
+"""k-means pruning over normalized performance vectors.
+
+Each shape contributes a 640-dimensional performance vector; k-means
+groups shapes with similar performance *behaviour*, the cluster centroids
+act as representatives, and the best configuration of each representative
+is bundled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.ml.kmeans import KMeans
+
+__all__ = ["KMeansPruner"]
+
+
+class KMeansPruner(Pruner):
+    name = "k-means"
+
+    def __init__(self, *, n_init: int = 10, random_state: int = 0):
+        self.n_init = n_init
+        self.random_state = random_state
+
+    def select(self, dataset: PerformanceDataset, n_configs: int) -> PrunedSet:
+        data = dataset.normalized()
+        k = min(n_configs, data.shape[0])
+        km = KMeans(
+            n_clusters=k, n_init=self.n_init, random_state=self.random_state
+        ).fit(data)
+        representatives = km.cluster_centers_
+        best = np.argmax(representatives, axis=1)
+        return self._make_set(dataset, best, n_configs)

@@ -1,0 +1,53 @@
+"""PCA + k-means pruning.
+
+"PCA can be used to reduce the dimensionality of the data and so provide
+a better coordinate system for k-means clustering, which struggles with
+high dimensional data.  The centroids identified by k-means in this new
+coordinate system can be mapped back to the original coordinate space to
+give representatives of the clusters."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.ml.kmeans import KMeans
+from repro.ml.pca import PCA
+
+__all__ = ["PCAKMeansPruner"]
+
+
+class PCAKMeansPruner(Pruner):
+    name = "pca+k-means"
+
+    def __init__(
+        self,
+        *,
+        variance_threshold: float = 0.95,
+        n_init: int = 10,
+        random_state: int = 0,
+    ):
+        if not 0.0 < variance_threshold <= 1.0:
+            raise ValueError(
+                f"variance_threshold must be in (0, 1], got {variance_threshold}"
+            )
+        self.variance_threshold = variance_threshold
+        self.n_init = n_init
+        self.random_state = random_state
+
+    def select(self, dataset: PerformanceDataset, n_configs: int) -> PrunedSet:
+        data = dataset.normalized()
+        pca = PCA().fit(data)
+        dims = pca.components_for_variance(self.variance_threshold)
+        pca = PCA(n_components=dims).fit(data)
+        reduced = pca.transform(data)
+
+        k = min(n_configs, data.shape[0])
+        km = KMeans(
+            n_clusters=k, n_init=self.n_init, random_state=self.random_state
+        ).fit(reduced)
+        representatives = pca.inverse_transform(km.cluster_centers_)
+        best = np.argmax(representatives, axis=1)
+        return self._make_set(dataset, best, n_configs)

@@ -1,0 +1,28 @@
+"""The naive baseline: keep the N most frequently optimal configurations.
+
+"The simplest pruning method is choosing the top N configurations that
+obtained optimal results."  Ties on win count are broken by mean
+normalized performance, so the selection is deterministic and the
+baseline is as strong as the naive method can honestly be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+
+__all__ = ["TopNPruner"]
+
+
+class TopNPruner(Pruner):
+    name = "top-n"
+
+    def select(self, dataset: PerformanceDataset, n_configs: int) -> PrunedSet:
+        wins = dataset.win_counts().astype(np.float64)
+        mean_perf = dataset.normalized().mean(axis=0)
+        # Sort by wins, then mean performance; argsort is ascending, so
+        # negate.  lexsort's last key is primary.
+        order = np.lexsort((-mean_perf, -wins))
+        return self._make_set(dataset, order[:n_configs], n_configs)

@@ -1,0 +1,33 @@
+"""Section IV: runtime selection among the pruned kernels.
+
+Given a pruned configuration set, a *selector* is a classifier mapping a
+GEMM shape's features to one of the bundled configurations.  This package
+provides the six classifiers of Table I behind one protocol, the scoring
+that reproduces the table, and selection-latency measurement (the paper's
+deployment constraint: selection must cost far less than it saves).
+"""
+
+from repro.core.selection.selector import Selector, selection_labels
+from repro.core.selection.classifiers import default_selectors, make_selector
+from repro.core.selection.evaluate import (
+    SelectorEvaluation,
+    evaluate_selector,
+    sweep_selectors,
+)
+from repro.core.selection.baselines import OracleSelector, StaticBestSelector
+from repro.core.selection.dynamic import DynamicTrialSelector
+from repro.core.selection.latency import measure_selection_latency
+
+__all__ = [
+    "DynamicTrialSelector",
+    "OracleSelector",
+    "Selector",
+    "StaticBestSelector",
+    "SelectorEvaluation",
+    "default_selectors",
+    "evaluate_selector",
+    "make_selector",
+    "measure_selection_latency",
+    "selection_labels",
+    "sweep_selectors",
+]

@@ -1,0 +1,105 @@
+"""Reference selection policies bounding the classifiers of Table I.
+
+* :class:`StaticBestSelector` — no runtime selection at all: always the
+  configuration with the best training-set geometric mean.  The paper's
+  implicit lower bar ("deploying ... a more general selection of kernels
+  is required"); also what a collapsed classifier (Table I's RadialSVM)
+  effectively becomes.
+* :class:`OracleSelector` — always the best *bundled* configuration for
+  the query shape, looked up from a dataset.  Scores exactly the pruned
+  set's achievable ceiling, which is how Table I's caption values arise.
+
+Both satisfy the same interface as :class:`~repro.core.selection.selector.Selector`
+(``fit(dataset)`` / ``predict_indices`` / ``select``), so they slot into
+:func:`~repro.core.selection.evaluate.evaluate_selector` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet
+from repro.kernels.params import KernelConfig
+from repro.utils.maths import geometric_mean
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["OracleSelector", "StaticBestSelector"]
+
+
+class StaticBestSelector:
+    """Always ship-and-run one configuration: the training geomean winner."""
+
+    def __init__(self, pruned: PrunedSet):
+        self.name = "StaticBest"
+        self.pruned = pruned
+        self._position: Optional[int] = None
+
+    def fit(self, dataset: PerformanceDataset) -> "StaticBestSelector":
+        cols = np.asarray(self.pruned.indices, dtype=np.int64)
+        in_set = dataset.normalized()[:, cols]
+        scores = geometric_mean(in_set, axis=0)
+        self._position = int(np.argmax(scores))
+        return self
+
+    def predict_indices(self, features: np.ndarray) -> np.ndarray:
+        if self._position is None:
+            raise RuntimeError("StaticBestSelector is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.full(len(features), self._position, dtype=np.int64)
+
+    def select(self, shape: GemmShape) -> KernelConfig:
+        return self.pruned.configs[
+            int(self.predict_indices(shape.features()[None, :])[0])
+        ]
+
+    def __repr__(self) -> str:
+        state = "unfitted" if self._position is None else "fitted"
+        return f"StaticBestSelector({len(self.pruned)} configs, {state})"
+
+
+class OracleSelector:
+    """Perfect in-set selection, looked up from measured data.
+
+    Queries for shapes absent from the lookup dataset raise — an oracle
+    cannot guess — which also guards experiments against accidentally
+    evaluating it on unmeasured shapes.
+    """
+
+    def __init__(self, pruned: PrunedSet, lookup: PerformanceDataset):
+        self.name = "Oracle"
+        self.pruned = pruned
+        cols = np.asarray(pruned.indices, dtype=np.int64)
+        best = np.argmax(lookup.gflops[:, cols], axis=1)
+        self._table: Dict[Tuple[int, ...], int] = {
+            shape.as_tuple(): int(position)
+            for shape, position in zip(lookup.shapes, best)
+        }
+        self._lookup_features = {
+            tuple(shape.features()): shape.as_tuple() for shape in lookup.shapes
+        }
+
+    def fit(self, dataset: PerformanceDataset) -> "OracleSelector":
+        """No-op: the oracle was built from its lookup dataset."""
+        return self
+
+    def select(self, shape: GemmShape) -> KernelConfig:
+        key = shape.as_tuple()
+        if key not in self._table:
+            raise KeyError(f"oracle has no measurement for shape {shape}")
+        return self.pruned.configs[self._table[key]]
+
+    def predict_indices(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        out = np.empty(len(features), dtype=np.int64)
+        for i, row in enumerate(features):
+            key = self._lookup_features.get(tuple(row))
+            if key is None:
+                raise KeyError(f"oracle has no measurement for features {row}")
+            out[i] = self._table[key]
+        return out
+
+    def __repr__(self) -> str:
+        return f"OracleSelector({len(self.pruned)} configs, {len(self._table)} shapes)"

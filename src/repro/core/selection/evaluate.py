@@ -1,0 +1,79 @@
+"""Scoring selectors against the absolute optimum (Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet, Pruner
+from repro.core.pruning.evaluate import achievable_performance
+from repro.core.selection.classifiers import default_selectors
+from repro.core.selection.selector import Selector
+from repro.utils.maths import geometric_mean
+
+__all__ = ["SelectorEvaluation", "evaluate_selector", "sweep_selectors"]
+
+
+@dataclass(frozen=True)
+class SelectorEvaluation:
+    """One Table I cell with its context."""
+
+    classifier: str
+    n_configs: int
+    #: Geometric-mean achieved performance vs the *absolute* optimum.
+    score: float
+    #: Upper bound given the pruned set (the table's caption values).
+    ceiling: float
+    #: Fraction of test shapes where the selector picked the best
+    #: *in-set* configuration (classification accuracy).
+    accuracy: float
+
+
+def evaluate_selector(
+    selector: Selector, test: PerformanceDataset
+) -> SelectorEvaluation:
+    """Score a fitted selector on held-out shapes.
+
+    The score divides the performance of the *chosen* configuration by
+    the optimum over all 640, so it is bounded by the pruned set's
+    achievable ceiling — exactly how Table I is laid out.
+    """
+    normalized = test.normalized()
+    cols = np.asarray(selector.pruned.indices, dtype=np.int64)
+    predictions = selector.predict_indices(test.features())
+    achieved = normalized[np.arange(test.n_shapes), cols[predictions]]
+    best_in_set = np.argmax(test.gflops[:, cols], axis=1)
+    return SelectorEvaluation(
+        classifier=selector.name,
+        n_configs=len(selector.pruned),
+        score=float(geometric_mean(achieved)),
+        ceiling=achievable_performance(selector.pruned, test),
+        accuracy=float(np.mean(predictions == best_in_set)),
+    )
+
+
+def sweep_selectors(
+    train: PerformanceDataset,
+    test: PerformanceDataset,
+    pruner: Pruner,
+    *,
+    budgets: Sequence[int] = (5, 6, 8, 15),
+    random_state: int = 0,
+) -> Dict[int, List[SelectorEvaluation]]:
+    """Table I: every classifier at every configuration budget.
+
+    The paper prunes with the decision tree (its best technique) and
+    trains each classifier on the training split's best-in-set labels.
+    """
+    results: Dict[int, List[SelectorEvaluation]] = {}
+    for budget in budgets:
+        pruned = pruner.select(train, int(budget))
+        evaluations = []
+        for selector in default_selectors(pruned, random_state=random_state):
+            selector.fit(train)
+            evaluations.append(evaluate_selector(selector, test))
+        results[int(budget)] = evaluations
+    return results

@@ -1,0 +1,57 @@
+"""Selection-latency measurement.
+
+"There is little to be gained by choosing a complex process to achieve
+slightly better performance if this leads to significantly more time
+being spent in that selection process."  This module measures the
+wall-clock cost of one selection decision for any fitted selector, which
+the latency benchmarks compare against modelled kernel runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection.selector import Selector
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["SelectionLatency", "measure_selection_latency"]
+
+
+@dataclass(frozen=True)
+class SelectionLatency:
+    """Per-decision latency statistics (seconds)."""
+
+    classifier: str
+    mean: float
+    median: float
+    p95: float
+    repeats: int
+
+
+def measure_selection_latency(
+    selector: Selector,
+    shape: GemmShape,
+    *,
+    repeats: int = 200,
+    warmup: int = 20,
+) -> SelectionLatency:
+    """Time ``selector.select(shape)`` over many repeats."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        selector.select(shape)
+    samples = np.empty(repeats)
+    for i in range(repeats):
+        start = time.perf_counter()
+        selector.select(shape)
+        samples[i] = time.perf_counter() - start
+    return SelectionLatency(
+        classifier=selector.name,
+        mean=float(samples.mean()),
+        median=float(np.median(samples)),
+        p95=float(np.percentile(samples, 95)),
+        repeats=repeats,
+    )

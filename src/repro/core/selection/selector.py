@@ -1,0 +1,74 @@
+"""The selector abstraction and training-label construction."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.base import PrunedSet
+from repro.kernels.params import KernelConfig
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["Selector", "selection_labels"]
+
+
+def selection_labels(
+    dataset: PerformanceDataset, pruned: PrunedSet
+) -> np.ndarray:
+    """Training labels: the best *in-set* configuration for each shape.
+
+    Labels are positions within the pruned set (0..len(pruned)-1), not
+    global config indices — the classifier only ever chooses among the
+    bundled kernels.
+    """
+    cols = np.asarray(pruned.indices, dtype=np.int64)
+    return np.argmax(dataset.gflops[:, cols], axis=1)
+
+
+class Selector:
+    """A fitted classifier choosing one bundled kernel per shape.
+
+    Wraps any estimator with ``fit(X, y)`` / ``predict(X)`` (the
+    :mod:`repro.ml` classifiers) together with the pruned set it selects
+    from.
+    """
+
+    def __init__(self, name: str, estimator, pruned: PrunedSet):
+        self.name = name
+        self.estimator = estimator
+        self.pruned = pruned
+        self._fitted = False
+
+    def fit(self, dataset: PerformanceDataset) -> "Selector":
+        """Train on a dataset's features against best-in-set labels."""
+        X = dataset.features()
+        y = selection_labels(dataset, self.pruned)
+        if len(np.unique(y)) < 2:
+            # Degenerate training set: one in-set config dominates
+            # everywhere.  Remember the constant instead of fitting.
+            self._constant: Optional[int] = int(y[0])
+        else:
+            self._constant = None
+            self.estimator.fit(X, y)
+        self._fitted = True
+        return self
+
+    def predict_indices(self, features: np.ndarray) -> np.ndarray:
+        """Positions within the pruned set, one per feature row."""
+        if not self._fitted:
+            raise RuntimeError(f"selector {self.name!r} is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if self._constant is not None:
+            return np.full(len(features), self._constant, dtype=np.int64)
+        return np.asarray(self.estimator.predict(features), dtype=np.int64)
+
+    def select(self, shape: GemmShape) -> KernelConfig:
+        """The configuration to launch for one GEMM shape."""
+        pos = int(self.predict_indices(shape.features()[None, :])[0])
+        return self.pruned.configs[pos]
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"Selector({self.name!r}, {len(self.pruned)} configs, {state})"

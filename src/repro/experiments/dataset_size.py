@@ -1,0 +1,139 @@
+"""Extension experiment: does a larger dataset fix the generalisation gap?
+
+The paper attributes Table I's classifier shortfall to dataset size:
+"the models ... fail to generalize which would be mitigated with larger
+datasets".  This experiment tests that claim:
+
+* the real network shapes are split 80/20 as usual; the test split never
+  grows;
+* training sets of increasing size are built from the real training
+  shapes plus synthetic shapes sampled from the same envelope
+  (:mod:`repro.workloads.synthetic`);
+* at each size, the standard pipeline (decision-tree pruning at budget 8,
+  decision-tree selector) is retrained and scored on the fixed real test
+  shapes.
+
+If the paper's diagnosis is right, the score climbs toward the ceiling
+as training data grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.runner import BenchmarkRunner, RunnerConfig
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.selection.classifiers import make_selector
+from repro.core.selection.evaluate import evaluate_selector
+from repro.experiments.report import ascii_table
+from repro.sycl.device import Device
+from repro.workloads.extract import extract_dataset_shapes
+from repro.workloads.synthetic import random_gemm_shapes, shape_envelope
+
+__all__ = ["DatasetSizeResult", "run_dataset_size"]
+
+DEFAULT_SIZES: Tuple[int, ...] = (40, 80, 130, 260, 520)
+
+
+@dataclass(frozen=True)
+class DatasetSizeResult:
+    """Selector quality as a function of training-set size."""
+
+    budget: int
+    #: {training shapes: (selector score, ceiling)} on the fixed test set.
+    scores: Dict[int, Tuple[float, float]]
+    n_test_shapes: int
+
+    @property
+    def smallest(self) -> Tuple[float, float]:
+        return self.scores[min(self.scores)]
+
+    @property
+    def largest(self) -> Tuple[float, float]:
+        return self.scores[max(self.scores)]
+
+    @property
+    def improvement(self) -> float:
+        """Score gain from the smallest to the largest training set."""
+        return self.largest[0] - self.smallest[0]
+
+    def render(self) -> str:
+        rows = [
+            [size, f"{score * 100:.1f}", f"{ceiling * 100:.1f}",
+             f"{(ceiling - score) * 100:.1f}"]
+            for size, (score, ceiling) in sorted(self.scores.items())
+        ]
+        table = ascii_table(
+            ["train shapes", "selector %", "ceiling %", "gap"],
+            rows,
+            title=(
+                f"Dataset-size experiment (budget {self.budget}, "
+                f"{self.n_test_shapes} fixed real test shapes)"
+            ),
+        )
+        return (
+            f"{table}\n"
+            f"improvement small -> large: {self.improvement * 100:+.1f} points"
+        )
+
+
+def run_dataset_size(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    budget: int = 8,
+    split_seed: int = 0,
+    random_state: int = 0,
+    device: Optional[Device] = None,
+) -> DatasetSizeResult:
+    """Run the sweep (see module docstring)."""
+    if not sizes or any(s < budget for s in sizes):
+        raise ValueError(f"sizes must all be >= budget, got {sizes!r}")
+    device = device or Device.r9_nano()
+
+    real_shapes, _ = extract_dataset_shapes()
+    runner = BenchmarkRunner(
+        device, runner_config=RunnerConfig(timed_iterations=3)
+    )
+    real = PerformanceDataset.from_benchmark(runner.run(real_shapes))
+    train_real, test = real.split(test_size=0.2, random_state=split_seed)
+
+    max_size = max(sizes)
+    n_synth = max(0, max_size - train_real.n_shapes)
+    if n_synth > 0:
+        synth_shapes = random_gemm_shapes(
+            n_synth,
+            random_state=random_state,
+            envelope=shape_envelope(real_shapes),
+        )
+        # Never collide with real shapes (test leakage).
+        real_keys = {s.as_tuple() for s in real_shapes}
+        synth_shapes = [s for s in synth_shapes if s.as_tuple() not in real_keys]
+        synth = PerformanceDataset.from_benchmark(runner.run(synth_shapes))
+        pool = PerformanceDataset(
+            shapes=train_real.shapes + synth.shapes,
+            configs=train_real.configs,
+            gflops=np.vstack([train_real.gflops, synth.gflops]),
+            device_name=train_real.device_name,
+        )
+    else:
+        pool = train_real
+
+    pruner = DecisionTreePruner()
+    scores: Dict[int, Tuple[float, float]] = {}
+    for size in sizes:
+        size = int(min(size, pool.n_shapes))
+        train = pool.subset(np.arange(size))
+        pruned = pruner.select(train, budget)
+        selector = make_selector(
+            "DecisionTree", pruned, random_state=random_state
+        ).fit(train)
+        evaluation = evaluate_selector(selector, test)
+        scores[size] = (evaluation.score, evaluation.ceiling)
+
+    return DatasetSizeResult(
+        budget=budget, scores=scores, n_test_shapes=test.n_shapes
+    )

@@ -1,0 +1,109 @@
+"""Plain-text rendering helpers for figures and tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_bars", "ascii_series", "ascii_table"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """A monospace table with per-column width fitting."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rendered)) if rendered else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt([str(h) for h in headers]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """A horizontal bar chart."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vmax = values.max() if len(values) else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / vmax)))
+        lines.append(f"{label.rjust(label_w)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: dict,
+    *,
+    height: int = 16,
+    width: Optional[int] = None,
+    title: str = "",
+    y_fmt: str = "{:5.1f}",
+) -> str:
+    """Several y-series over shared x values as a character plot.
+
+    Each series gets a distinct marker; later series overwrite earlier
+    ones on collisions (a legend maps markers to names).
+    """
+    markers = "*o+x#@%&"
+    x = list(x)
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but x has {len(x)}"
+            )
+    if width is None:
+        width = max(2 * len(x), 40)
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(i: int) -> int:
+        return int(round(i * (width - 1) / max(1, len(x) - 1)))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return height - 1 - int(round(frac * (height - 1)))
+
+    legend = []
+    for (name, ys), marker in zip(series.items(), markers):
+        legend.append(f"{marker} = {name}")
+        for i, y in enumerate(ys):
+            grid[row(float(y))][col(i)] = marker
+
+    lines: List[str] = [title] if title else []
+    for r in range(height):
+        y_val = y_max - r * (y_max - y_min) / (height - 1)
+        axis = y_fmt.format(y_val)
+        lines.append(f"{axis} |{''.join(grid[r])}")
+    x_labels = "  ".join(str(v) for v in x)
+    lines.append(" " * (len(y_fmt.format(0.0)) + 2) + x_labels)
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Run every experiment and assemble the full reproduction report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.dataset import PerformanceDataset, generate_dataset
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = ["AllResults", "run_all"]
+
+
+@dataclass(frozen=True)
+class AllResults:
+    """Every experiment's result plus the dataset they share."""
+
+    dataset: PerformanceDataset
+    fig1: Fig1Result
+    fig2: Fig2Result
+    fig3: Fig3Result
+    fig4: Fig4Result
+    table1: Table1Result
+
+    def render(self) -> str:
+        sections = [
+            f"Reproduction report - dataset: {self.dataset!r}",
+            self.fig1.render(),
+            self.fig2.render(),
+            self.fig3.render(),
+            self.fig4.render(),
+            self.table1.render(),
+        ]
+        rule = "\n\n" + "=" * 72 + "\n\n"
+        return rule.join(sections)
+
+
+def run_all(
+    dataset: Optional[PerformanceDataset] = None,
+    *,
+    cache_path: Optional[Union[str, Path]] = None,
+    split_seed: int = 0,
+) -> AllResults:
+    """Regenerate every figure and table from one shared dataset."""
+    if dataset is None:
+        dataset = generate_dataset(cache_path=cache_path)
+    return AllResults(
+        dataset=dataset,
+        fig1=run_fig1(dataset),
+        fig2=run_fig2(dataset),
+        fig3=run_fig3(dataset),
+        fig4=run_fig4(dataset, split_seed=split_seed),
+        table1=run_table1(dataset, split_seed=split_seed),
+    )

@@ -1,0 +1,105 @@
+"""Library size vs performance: the trade-off motivating the paper.
+
+"Supporting many different kernel instantiations in these libraries adds
+complexity and a cost in terms of library size and build times" — the
+whole reason to prune.  This experiment sweeps the configuration budget
+and reports, side by side, the achievable performance *and* the modelled
+binary size of the resulting kernel library, exposing the knee where
+extra kernels stop paying for their bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.dataset import PerformanceDataset, generate_dataset
+from repro.core.pruning.base import Pruner
+from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.pruning.evaluate import achievable_performance
+from repro.experiments.report import ascii_table
+from repro.kernels.params import config_space
+from repro.kernels.registry import KernelLibrary
+
+__all__ = ["TradeoffResult", "run_tradeoff"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    budget: int
+    achievable: float
+    binary_bytes: int
+    compiled_templates: int
+
+
+@dataclass(frozen=True)
+class TradeoffResult:
+    """Per-budget (performance, size) points plus the full-space anchor."""
+
+    points: Tuple[TradeoffPoint, ...]
+    full_library_bytes: int
+
+    def knee_budget(self, *, min_gain_per_point: float = 0.002) -> int:
+        """First budget where the next point's gain drops below the
+        threshold (performance points per extra configuration)."""
+        for a, b in zip(self.points, self.points[1:]):
+            per_config = (b.achievable - a.achievable) / max(
+                1, b.budget - a.budget
+            )
+            if per_config < min_gain_per_point:
+                return a.budget
+        return self.points[-1].budget
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.budget,
+                f"{p.achievable * 100:.1f}",
+                f"{p.binary_bytes / 1024:.0f}",
+                p.compiled_templates,
+                f"{p.binary_bytes / self.full_library_bytes * 100:.1f}",
+            ]
+            for p in self.points
+        ]
+        table = ascii_table(
+            ["budget", "achievable %", "KiB", "templates", "% of full lib"],
+            rows,
+            title=(
+                "Library size vs performance "
+                f"(full 640-config library: {self.full_library_bytes / 1024:.0f} KiB)"
+            ),
+        )
+        return f"{table}\nknee (diminishing returns): budget {self.knee_budget()}"
+
+
+def run_tradeoff(
+    dataset: Optional[PerformanceDataset] = None,
+    *,
+    budgets: Sequence[int] = (2, 4, 6, 8, 12, 16, 24, 32),
+    pruner: Optional[Pruner] = None,
+    test_size: float = 0.2,
+    split_seed: int = 0,
+) -> TradeoffResult:
+    """Sweep budgets, score on held-out shapes, account library bytes."""
+    if not budgets:
+        raise ValueError("at least one budget is required")
+    dataset = dataset if dataset is not None else generate_dataset()
+    pruner = pruner or DecisionTreePruner()
+    train, test = dataset.split(test_size=test_size, random_state=split_seed)
+
+    points = []
+    for budget in sorted(int(b) for b in budgets):
+        pruned = pruner.select(train, budget)
+        library = KernelLibrary(pruned.configs)
+        points.append(
+            TradeoffPoint(
+                budget=budget,
+                achievable=achievable_performance(pruned, test),
+                binary_bytes=library.binary_bytes,
+                compiled_templates=library.num_compiled,
+            )
+        )
+    full = KernelLibrary(config_space())
+    return TradeoffResult(
+        points=tuple(points), full_library_bytes=full.binary_bytes
+    )

@@ -1,0 +1,50 @@
+"""SYCL-DNN-style GEMM kernels and their configuration space.
+
+The paper's case-study kernel computes one output tile per work-item,
+accumulating ``acc`` values of the inner dimension per step.  Its three
+compile-time parameters (``acc``, ``rows``, ``cols``, each in {1, 2, 4, 8})
+give 64 distinct kernels; crossed with ten runtime work-group shapes this
+yields the 640 configurations the paper selects among.
+
+* :mod:`repro.kernels.params` — :class:`KernelConfig` and the full space.
+* :mod:`repro.kernels.matmul` — the tile-faithful functional kernel.
+* :mod:`repro.kernels.naive` — reference kernel for validation.
+* :mod:`repro.kernels.registry` — a "compiled library" holding a pruned
+  set of kernel instantiations, with library-size accounting.
+"""
+
+from repro.kernels.params import (
+    KernelConfig,
+    TILE_SIZES,
+    WORK_GROUP_SHAPES,
+    config_space,
+    config_from_index,
+    config_index,
+)
+from repro.kernels.conv import (
+    conv2d_direct,
+    conv2d_im2col,
+    conv2d_winograd,
+    im2col,
+)
+from repro.kernels.matmul import TiledMatmulKernel, matmul
+from repro.kernels.naive import NaiveMatmulKernel
+from repro.kernels.registry import CompiledKernel, KernelLibrary
+
+__all__ = [
+    "CompiledKernel",
+    "KernelConfig",
+    "KernelLibrary",
+    "NaiveMatmulKernel",
+    "TILE_SIZES",
+    "TiledMatmulKernel",
+    "WORK_GROUP_SHAPES",
+    "conv2d_direct",
+    "conv2d_im2col",
+    "conv2d_winograd",
+    "im2col",
+    "config_from_index",
+    "config_index",
+    "config_space",
+    "matmul",
+]

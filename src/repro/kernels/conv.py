@@ -1,0 +1,234 @@
+"""Convolution executed through GEMM, as SYCL-DNN does.
+
+The paper's dataset exists because "convolutional layers in neural
+network models can be computed using a matrix multiply through
+transformations such as the im2col and Winograd".  This module implements
+both transformations *functionally* on the SYCL runtime, so the GEMM
+shapes the workload extraction predicts are exactly the GEMMs these
+routines launch:
+
+* :func:`conv2d_im2col` — gather input patches into a
+  ``(H_out * W_out, KH * KW * C)`` matrix and run one GEMM against the
+  reshaped filters;
+* :func:`conv2d_winograd` — the F(2x2, 3x3) fast algorithm: transform
+  4x4 input tiles and 3x3 filters into 16 element-wise positions, run 16
+  independent ``(tiles x C) @ (C x F)`` GEMMs (a batched GEMM), and
+  transform back;
+* :func:`conv2d_direct` — the numerical oracle.
+
+Tensors are HWC for activations and ``(KH, KW, C, F)`` for weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.matmul import TiledMatmulKernel, matmul
+from repro.kernels.params import KernelConfig
+from repro.sycl.queue import Queue
+from repro.utils.maths import ceil_div
+from repro.workloads.gemm import GemmShape
+
+__all__ = [
+    "conv2d_direct",
+    "conv2d_im2col",
+    "conv2d_winograd",
+    "im2col",
+]
+
+
+def _check_conv_args(
+    x: np.ndarray, w: np.ndarray, stride: int, padding: int
+) -> Tuple[int, int]:
+    if x.ndim != 3:
+        raise ValueError(f"input must be (H, W, C), got shape {x.shape}")
+    if w.ndim != 4:
+        raise ValueError(f"weights must be (KH, KW, C, F), got shape {w.shape}")
+    if x.shape[2] != w.shape[2]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[2]}, weights expect {w.shape[2]}"
+        )
+    if stride < 1 or padding < 0:
+        raise ValueError(f"invalid stride={stride} / padding={padding}")
+    h_out = (x.shape[0] + 2 * padding - w.shape[0]) // stride + 1
+    w_out = (x.shape[1] + 2 * padding - w.shape[1]) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError("convolution output collapsed to zero size")
+    return h_out, w_out
+
+
+def _pad(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(x, ((padding, padding), (padding, padding), (0, 0)))
+
+
+def conv2d_direct(
+    x: np.ndarray, w: np.ndarray, *, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Reference convolution (pure NumPy, no GEMM lowering)."""
+    h_out, w_out = _check_conv_args(x, w, stride, padding)
+    xp = _pad(np.asarray(x, dtype=np.float64), padding)
+    kh, kw, c, f = w.shape
+    out = np.zeros((h_out, w_out, f))
+    for i in range(kh):
+        for j in range(kw):
+            patch = xp[
+                i : i + stride * h_out : stride,
+                j : j + stride * w_out : stride,
+                :,
+            ]
+            out += patch @ np.asarray(w, dtype=np.float64)[i, j]
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], *, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Patch matrix: rows are output positions, columns (kh, kw, c)."""
+    kh, kw = kernel
+    if x.ndim != 3:
+        raise ValueError(f"input must be (H, W, C), got {x.shape}")
+    xp = _pad(x, padding)
+    h_out = (x.shape[0] + 2 * padding - kh) // stride + 1
+    w_out = (x.shape[1] + 2 * padding - kw) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError("im2col output collapsed to zero size")
+    c = x.shape[2]
+    cols = np.empty((h_out * w_out, kh * kw * c), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            patch = xp[
+                i : i + stride * h_out : stride,
+                j : j + stride * w_out : stride,
+                :,
+            ]
+            cols[:, (i * kw + j) * c : (i * kw + j + 1) * c] = patch.reshape(
+                h_out * w_out, c
+            )
+    return cols
+
+
+def conv2d_im2col(
+    queue: Queue,
+    x: np.ndarray,
+    w: np.ndarray,
+    config: KernelConfig,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+):
+    """Convolution as one GEMM on the device.
+
+    Returns ``(output, event)``; the launched GEMM has exactly the shape
+    :func:`repro.workloads.lowering.lower_conv_im2col` predicts.
+    """
+    h_out, w_out = _check_conv_args(x, w, stride, padding)
+    kh, kw, c, f = w.shape
+    a = im2col(
+        np.asarray(x, dtype=np.float32), (kh, kw), stride=stride, padding=padding
+    )
+    b = np.asarray(w, dtype=np.float32).reshape(kh * kw * c, f)
+    out, event = matmul(queue, a, b, config)
+    return out.reshape(h_out, w_out, f), event
+
+
+# -- Winograd F(2x2, 3x3) ---------------------------------------------------
+
+# Transform matrices (Lavin & Gray 2016).
+_BT = np.array(
+    [
+        [1.0, 0.0, -1.0, 0.0],
+        [0.0, 1.0, 1.0, 0.0],
+        [0.0, -1.0, 1.0, 0.0],
+        [0.0, 1.0, 0.0, -1.0],
+    ]
+)
+_G = np.array(
+    [
+        [1.0, 0.0, 0.0],
+        [0.5, 0.5, 0.5],
+        [0.5, -0.5, 0.5],
+        [0.0, 0.0, 1.0],
+    ]
+)
+_AT = np.array(
+    [
+        [1.0, 1.0, 1.0, 0.0],
+        [0.0, 1.0, -1.0, -1.0],
+    ]
+)
+
+
+def conv2d_winograd(
+    queue: Queue,
+    x: np.ndarray,
+    w: np.ndarray,
+    config: KernelConfig,
+    *,
+    padding: int = 0,
+):
+    """F(2x2, 3x3) Winograd convolution (stride 1 only).
+
+    Returns ``(output, events)`` where ``events`` holds the 16 transformed
+    GEMM launches — the batched GEMM the lowering pass models with
+    ``batch=16``.
+    """
+    if w.shape[0] != 3 or w.shape[1] != 3:
+        raise ValueError("Winograd F(2x2, 3x3) requires 3x3 filters")
+    h_out, w_out = _check_conv_args(x, w, 1, padding)
+    kh, kw, c, f = w.shape
+
+    tiles_h = ceil_div(h_out, 2)
+    tiles_w = ceil_div(w_out, 2)
+    n_tiles = tiles_h * tiles_w
+
+    # Pad so every 4x4 input tile (stride 2) is in range.
+    xp = _pad(np.asarray(x, dtype=np.float64), padding)
+    need_h = 2 * tiles_h + 2
+    need_w = 2 * tiles_w + 2
+    xp = np.pad(
+        xp,
+        ((0, max(0, need_h - xp.shape[0])), (0, max(0, need_w - xp.shape[1])), (0, 0)),
+    )
+
+    # Input transform: V[xi, nu, c, tile] = (B^T d B)[xi, nu] per tile.
+    d = np.empty((n_tiles, 4, 4, c))
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            tile = xp[2 * th : 2 * th + 4, 2 * tw : 2 * tw + 4, :]
+            d[th * tiles_w + tw] = tile
+    v = np.einsum("ij,tjkc,lk->tilc", _BT, d, _BT)  # (tiles, 4, 4, C)
+
+    # Filter transform: U[xi, nu, c, f] = (G g G^T)[xi, nu].
+    u = np.einsum("ij,jkcf,lk->ilcf", _G, np.asarray(w, dtype=np.float64), _G)
+
+    # 16 independent GEMMs: M[xi, nu] = V[xi, nu] (tiles x C) @ U (C x F).
+    m = np.empty((4, 4, n_tiles, f))
+    events = []
+    for xi in range(4):
+        for nu in range(4):
+            a = v[:, xi, nu, :].astype(np.float32)  # (tiles, C)
+            b = u[xi, nu].astype(np.float32)  # (C, F)
+            out, event = matmul(queue, a, b, config)
+            m[xi, nu] = out.astype(np.float64)
+            events.append(event)
+
+    # Output transform: Y = A^T m A per tile, scatter into the output.
+    y = np.einsum("ij,jktf,lk->tilf", _AT, m, _AT)  # (tiles, 2, 2, F)
+    out = np.zeros((2 * tiles_h, 2 * tiles_w, f))
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            out[2 * th : 2 * th + 2, 2 * tw : 2 * tw + 2, :] = y[
+                th * tiles_w + tw
+            ]
+    return out[:h_out, :w_out, :], events
+
+
+def winograd_gemm_shape(x: np.ndarray, w: np.ndarray, *, padding: int = 0) -> GemmShape:
+    """The batched GEMM shape :func:`conv2d_winograd` will launch."""
+    h_out, w_out = _check_conv_args(x, w, 1, padding)
+    tiles = ceil_div(h_out, 2) * ceil_div(w_out, 2)
+    return GemmShape(m=tiles, k=x.shape[2], n=w.shape[3], batch=16)

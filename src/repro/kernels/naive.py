@@ -1,0 +1,57 @@
+"""Reference GEMM kernel: one output element per work-item, no tiling.
+
+Serves two purposes: a numerical oracle for validating the tiled kernel,
+and the untuned baseline a library would ship if it did no kernel
+selection at all (used by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.params import KernelConfig
+from repro.sycl.buffer import Accessor
+from repro.sycl.device import Device
+from repro.sycl.kernel import Kernel, ResourceUsage
+from repro.sycl.ndrange import NDRange
+
+__all__ = ["NaiveMatmulKernel"]
+
+#: The naive schedule expressed in the configuration space: a 1x1 output
+#: tile, one accumulation per step, square 16x16 work-groups.
+NAIVE_CONFIG = KernelConfig(acc=1, rows=1, cols=1, wg_rows=16, wg_cols=16)
+
+
+class NaiveMatmulKernel(Kernel):
+    """``C[i, j] = sum_k A[i, k] * B[k, j]`` with no blocking."""
+
+    name = "naive_matmul"
+
+    def run(
+        self,
+        device: Device,
+        ndrange: NDRange,
+        accessors: Sequence[Accessor],
+    ) -> None:
+        if len(accessors) != 3:
+            raise ValueError("naive_matmul expects accessors (A, B, C)")
+        a, b, c = (acc.view() for acc in accessors)
+        c[...] = (a.astype(np.float64) @ b.astype(np.float64)).astype(c.dtype)
+
+    def estimate_seconds(
+        self,
+        device: Device,
+        ndrange: NDRange,
+        accessors: Sequence[Accessor],
+    ) -> float:
+        from repro.perfmodel.model import GemmPerfModel
+        from repro.workloads.gemm import GemmShape
+
+        a, b, _ = accessors
+        shape = GemmShape(m=a.shape[0], k=a.shape[1], n=b.shape[1])
+        return GemmPerfModel(device).time_seconds(shape, NAIVE_CONFIG)
+
+    def resource_usage(self, device: Device) -> ResourceUsage:
+        return ResourceUsage(vgprs_per_lane=NAIVE_CONFIG.registers_per_item)

@@ -1,0 +1,62 @@
+"""A self-contained ML library (scikit-learn substitute).
+
+The paper's pipeline uses scikit-learn for PCA, clustering, decision
+trees, forests, nearest neighbours and SVMs; that package is not available
+in this environment, so the algorithms are implemented here from their
+primary sources.  The API deliberately follows sklearn's conventions
+(``fit`` / ``predict`` / ``transform``, trailing-underscore fitted
+attributes, ``random_state``) so the core pipeline reads like the paper's
+code.
+
+Implemented estimators
+----------------------
+* :class:`~repro.ml.pca.PCA` — SVD-based, with explained-variance ratios
+  and inverse transform.
+* :class:`~repro.ml.kmeans.KMeans` — Lloyd's algorithm with k-means++
+  seeding and restarts.
+* :class:`~repro.ml.hdbscan.HDBSCAN` — density clustering via mutual
+  reachability, MST, condensed tree and stability extraction.
+* :class:`~repro.ml.tree.DecisionTreeClassifier` /
+  :class:`~repro.ml.tree.DecisionTreeRegressor` — CART with depth-first
+  and best-first (``max_leaf_nodes``) growth; multi-output regression.
+* :class:`~repro.ml.forest.RandomForestClassifier` — bagged trees with
+  feature subsampling.
+* :class:`~repro.ml.neighbors.KNeighborsClassifier` — exact kNN on a
+  KD-tree.
+* :class:`~repro.ml.svm.SVC` — SMO-trained support vector classifier with
+  linear and RBF kernels, one-vs-rest for multiclass.
+"""
+
+from repro.ml.base import BaseEstimator, NotFittedError, check_is_fitted, clone
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml import metrics
+from repro.ml.pca import PCA
+from repro.ml.kmeans import KMeans
+from repro.ml.neighbors import KDTree, KNeighborsClassifier
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.svm import SVC
+from repro.ml.hdbscan import HDBSCAN
+
+__all__ = [
+    "BaseEstimator",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "HDBSCAN",
+    "KDTree",
+    "KFold",
+    "KMeans",
+    "KNeighborsClassifier",
+    "MinMaxScaler",
+    "NotFittedError",
+    "PCA",
+    "RandomForestClassifier",
+    "SVC",
+    "StandardScaler",
+    "check_is_fitted",
+    "clone",
+    "cross_val_score",
+    "metrics",
+    "train_test_split",
+]

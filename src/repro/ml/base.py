@@ -1,0 +1,74 @@
+"""Estimator protocol: parameters, cloning, fitted-state checking."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, List
+
+__all__ = ["BaseEstimator", "NotFittedError", "check_is_fitted", "clone"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/transform is called before fit."""
+
+
+class BaseEstimator:
+    """Parameter introspection shared by every estimator.
+
+    Estimator constructors must only store their arguments (sklearn's
+    convention); all learned state lives in trailing-underscore
+    attributes, which makes :func:`clone` trivially correct.
+    """
+
+    @classmethod
+    def _param_names(cls) -> List[str]:
+        sig = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind != inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Update constructor parameters in place."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _fitted_attributes(self) -> List[str]:
+        return [
+            name
+            for name in vars(self)
+            if name.endswith("_") and not name.startswith("_")
+        ]
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def check_is_fitted(estimator: BaseEstimator, attribute: str = "") -> None:
+    """Raise :class:`NotFittedError` unless the estimator has been fit."""
+    if attribute:
+        fitted = hasattr(estimator, attribute)
+    else:
+        fitted = bool(estimator._fitted_attributes())
+    if not fitted:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before this call"
+        )
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """A fresh, unfitted estimator with identical parameters."""
+    return type(estimator)(**estimator.get_params())

@@ -1,0 +1,103 @@
+"""Random forest classifier: bagged Gini trees with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_is_fitted
+from repro.ml.tree.classifier import DecisionTreeClassifier
+from repro.utils.rng import rng_from
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(BaseEstimator):
+    """Bootstrap-aggregated decision trees (Breiman 2001).
+
+    Each tree is trained on a bootstrap resample with ``sqrt(n_features)``
+    features considered per split (the classification default).
+    Predictions average the trees' class probability vectors.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features: str | int | None = "sqrt",
+        bootstrap: bool = True,
+        random_state=None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        mf = self.max_features
+        if mf is None:
+            return None
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(mf, (int, np.integer)):
+            return int(min(mf, n_features))
+        raise ValueError(f"unsupported max_features {mf!r}")
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = check_array(X, name="X")
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        check_positive_int(self.n_estimators, "n_estimators")
+        rng = rng_from(self.random_state)
+        self.classes_ = np.unique(y)
+        n = len(X)
+        max_features = self._resolve_max_features(X.shape[1])
+
+        self.estimators_: List[DecisionTreeClassifier] = []
+        self._estimator_classes: List[np.ndarray] = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+            self._estimator_classes.append(tree.classes_)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "estimators_")
+        X = check_array(X, name="X")
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_.tolist())}
+        for tree, tree_classes in zip(self.estimators_, self._estimator_classes):
+            tree_proba = tree.predict_proba(X)
+            # A bootstrap sample may miss classes; align columns.
+            cols = [class_pos[c] for c in tree_classes.tolist()]
+            proba[:, cols] += tree_proba
+        proba /= len(self.estimators_)
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y), self.predict(X))

@@ -1,0 +1,23 @@
+"""HDBSCAN: hierarchical density-based clustering.
+
+Implements Campello, Moulavi & Sander (2013) with the excess-of-mass
+cluster extraction of the reference ``hdbscan`` library (McInnes & Healy
+2017):
+
+1. core distances (k-NN, ``k = min_samples``) and the mutual
+   reachability metric (:mod:`repro.ml.hdbscan.core`);
+2. minimum spanning tree of the mutual reachability graph
+   (:mod:`repro.ml.hdbscan.mst`);
+3. single-linkage hierarchy from the sorted MST edges
+   (:mod:`repro.ml.hdbscan.hierarchy`);
+4. condensation by ``min_cluster_size`` and stability-based cluster
+   selection (:mod:`repro.ml.hdbscan.condense`,
+   :mod:`repro.ml.hdbscan.extract`).
+
+Exposed as the :class:`HDBSCAN` estimator with ``labels_`` (noise = -1)
+and per-cluster medoids for the pruning stage.
+"""
+
+from repro.ml.hdbscan.estimator import HDBSCAN
+
+__all__ = ["HDBSCAN"]

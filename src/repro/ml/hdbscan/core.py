@@ -1,0 +1,40 @@
+"""Core distances and the mutual reachability metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import euclidean_distances
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["core_distances", "mutual_reachability"]
+
+
+def core_distances(distances: np.ndarray, min_samples: int) -> np.ndarray:
+    """Distance to each point's ``min_samples``-th nearest neighbour.
+
+    ``distances`` is the symmetric pairwise matrix.  The point itself
+    counts as its own 0-th neighbour, matching the reference library.
+    """
+    n = distances.shape[0]
+    min_samples = check_positive_int(min_samples, "min_samples")
+    if min_samples >= n:
+        raise ValueError(
+            f"min_samples={min_samples} must be < number of points {n}"
+        )
+    # Partial sort per row: kth smallest including self at position 0.
+    return np.partition(distances, min_samples, axis=1)[:, min_samples]
+
+
+def mutual_reachability(X, *, min_samples: int = 5) -> np.ndarray:
+    """Mutual reachability distance matrix.
+
+    ``d_mreach(a, b) = max(core(a), core(b), d(a, b))`` — the smoothing
+    that makes single linkage robust to chaining through sparse regions.
+    """
+    X = check_array(X, name="X")
+    d = euclidean_distances(X, X)
+    core = core_distances(d, min_samples)
+    mr = np.maximum(d, np.maximum(core[:, None], core[None, :]))
+    np.fill_diagonal(mr, 0.0)
+    return mr

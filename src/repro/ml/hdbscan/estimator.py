@@ -1,0 +1,79 @@
+"""The HDBSCAN estimator tying the pipeline stages together."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_is_fitted
+from repro.ml.hdbscan.condense import condense_tree
+from repro.ml.hdbscan.core import mutual_reachability
+from repro.ml.hdbscan.extract import extract_clusters
+from repro.ml.hdbscan.hierarchy import single_linkage
+from repro.ml.hdbscan.mst import minimum_spanning_tree
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["HDBSCAN"]
+
+
+class HDBSCAN(BaseEstimator):
+    """Density-based clustering with noise (labels of -1).
+
+    Parameters
+    ----------
+    min_cluster_size:
+        Smallest grouping considered a cluster.
+    min_samples:
+        Neighbourhood size for core distances; defaults to
+        ``min_cluster_size``.
+
+    Attributes
+    ----------
+    labels_ : (n_samples,) cluster labels, -1 for noise.
+    n_clusters_ : number of clusters found.
+    condensed_tree_ : the condensed hierarchy (for inspection).
+    """
+
+    def __init__(self, *, min_cluster_size: int = 5, min_samples: int | None = None):
+        self.min_cluster_size = min_cluster_size
+        self.min_samples = min_samples
+
+    def fit(self, X) -> "HDBSCAN":
+        X = check_array(X, name="X")
+        mcs = check_positive_int(self.min_cluster_size, "min_cluster_size", minimum=2)
+        ms = self.min_samples if self.min_samples is not None else mcs
+        ms = check_positive_int(ms, "min_samples")
+        n = X.shape[0]
+        if n < max(mcs, ms + 1):
+            raise ValueError(
+                f"need at least max(min_cluster_size, min_samples + 1) = "
+                f"{max(mcs, ms + 1)} samples, got {n}"
+            )
+        self._X = X
+        mreach = mutual_reachability(X, min_samples=ms)
+        mst = minimum_spanning_tree(mreach)
+        linkage = single_linkage(mst)
+        self.condensed_tree_ = condense_tree(linkage, mcs)
+        self.labels_, self._selected = extract_clusters(self.condensed_tree_)
+        self.n_clusters_ = len(self._selected)
+        self._mreach = mreach
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).labels_
+
+    def cluster_medoids(self) -> np.ndarray:
+        """One representative point per cluster: the member minimising the
+        summed mutual reachability distance to its cluster (the medoid).
+
+        Returns the medoids' row indices into the fitted data, one per
+        cluster in label order.  Raises if no clusters were found.
+        """
+        check_is_fitted(self, "labels_")
+        if self.n_clusters_ == 0:
+            raise ValueError("no clusters were found; cannot take medoids")
+        medoids = np.empty(self.n_clusters_, dtype=np.int64)
+        for label in range(self.n_clusters_):
+            members = np.nonzero(self.labels_ == label)[0]
+            within = self._mreach[np.ix_(members, members)].sum(axis=1)
+            medoids[label] = members[int(np.argmin(within))]
+        return medoids

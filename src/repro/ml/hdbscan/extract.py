@@ -1,0 +1,136 @@
+"""Stability computation and excess-of-mass cluster selection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ml.hdbscan.condense import CondensedTree
+
+__all__ = ["cluster_births", "cluster_stabilities", "extract_clusters"]
+
+
+def cluster_births(tree: CondensedTree) -> Dict[int, float]:
+    """Lambda at which each condensed cluster appears (root: 0)."""
+    birth: Dict[int, float] = {int(tree.n_points): 0.0}
+    for c, lam, size in zip(tree.child, tree.lambda_val, tree.child_size):
+        if size > 1:
+            birth[int(c)] = float(lam)
+    return birth
+
+
+def cluster_stabilities(tree: CondensedTree) -> Dict[int, float]:
+    """Stability of each condensed cluster.
+
+    ``sum over members (lambda_leave - lambda_birth)``, where a member's
+    leave level is the lambda at which it (or the sub-cluster containing
+    it) detaches, and birth is the lambda at which the cluster itself
+    appeared.
+    """
+    birth = cluster_births(tree)
+
+    stability: Dict[int, float] = {cid: 0.0 for cid in birth}
+    for p, lam, size in zip(tree.parent, tree.lambda_val, tree.child_size):
+        lam_birth = birth[int(p)]
+        lam_leave = float(lam) if np.isfinite(lam) else lam_birth
+        stability[int(p)] += (lam_leave - lam_birth) * int(size)
+    return stability
+
+
+def extract_clusters(
+    tree: CondensedTree,
+) -> Tuple[np.ndarray, List[int]]:
+    """Excess-of-mass selection (Campello et al. 2013, def. 4.4).
+
+    Processing clusters leaves-upward, a cluster is kept if its own
+    stability exceeds the summed stability of its selected descendants;
+    otherwise the descendants win and their total propagates up.  The
+    root is never selected (it would be the trivial single cluster).
+
+    Returns ``(labels, selected)``: per-point labels with -1 noise, and
+    the selected condensed-cluster ids in label order.
+    """
+    stability = cluster_stabilities(tree)
+    root = int(tree.n_points)
+
+    children: Dict[int, List[int]] = {cid: [] for cid in stability}
+    for p, c, size in zip(tree.parent, tree.child, tree.child_size):
+        if size > 1:
+            children[int(p)].append(int(c))
+
+    # Leaves-first order: sort by birth lambda descending is not reliable;
+    # do an explicit post-order traversal.
+    post: List[int] = []
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            post.append(node)
+        else:
+            stack.append((node, True))
+            for ch in children[node]:
+                stack.append((ch, False))
+
+    is_selected: Dict[int, bool] = {}
+    subtree_stability: Dict[int, float] = {}
+    for node in post:
+        child_total = sum(subtree_stability[ch] for ch in children[node])
+        own = stability[node]
+        if node == root:
+            is_selected[node] = False
+            subtree_stability[node] = child_total
+        elif not children[node] or own >= child_total:
+            is_selected[node] = True
+            subtree_stability[node] = own
+            # Deselect all descendants.
+            desc = list(children[node])
+            while desc:
+                d = desc.pop()
+                is_selected[d] = False
+                desc.extend(children[d])
+        else:
+            is_selected[node] = False
+            subtree_stability[node] = child_total
+
+    selected = sorted(cid for cid, sel in is_selected.items() if sel)
+    label_of = {cid: i for i, cid in enumerate(selected)}
+
+    # Assign points: each point detaches from some cluster; walk up from
+    # that cluster until a selected ancestor is found.
+    parent_of: Dict[int, int] = {}
+    for p, c, size in zip(tree.parent, tree.child, tree.child_size):
+        if size > 1:
+            parent_of[int(c)] = int(p)
+
+    births = cluster_births(tree)
+    labels = np.full(tree.n_points, -1, dtype=np.int64)
+    point_mask = tree.child_size == 1
+    for p, c, lam in zip(
+        tree.parent[point_mask], tree.child[point_mask],
+        tree.lambda_val[point_mask],
+    ):
+        cluster = int(p)
+        while cluster != root and cluster not in label_of:
+            cluster = parent_of[cluster]
+        # A point is a member only if it stays attached strictly beyond
+        # the cluster's birth level; a point detaching at (or before) the
+        # birth lambda never belonged to the density peak (reference
+        # implementation's strict comparison) and is noise.
+        if cluster in label_of and lam > births[cluster] + 1e-12:
+            labels[int(c)] = label_of[cluster]
+
+    # The strict birth comparison can empty a selected cluster entirely
+    # (every point detaching exactly at the birth level); drop such
+    # clusters and compact the label range.
+    populated = [
+        cid for cid in selected if np.any(labels == label_of[cid])
+    ]
+    if len(populated) != len(selected):
+        remap = {label_of[cid]: new for new, cid in enumerate(populated)}
+        new_labels = np.full_like(labels, -1)
+        for old, new in remap.items():
+            new_labels[labels == old] = new
+        labels = new_labels
+        selected = populated
+    return labels, selected

@@ -1,0 +1,58 @@
+"""Single-linkage hierarchy from sorted MST edges (union-find)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["single_linkage"]
+
+
+class _UnionFind:
+    """Union-find tracking the linkage id and size of each component."""
+
+    def __init__(self, n: int):
+        # Components 0..n-1 are points; merges create ids n, n+1, ...
+        self._parent = np.arange(2 * n - 1, dtype=np.int64)
+        self._size = np.concatenate(
+            [np.ones(n, dtype=np.int64), np.zeros(n - 1, dtype=np.int64)]
+        )
+        self._next = n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def merge(self, a: int, b: int) -> int:
+        new = self._next
+        self._next += 1
+        self._parent[a] = new
+        self._parent[b] = new
+        self._size[new] = self._size[a] + self._size[b]
+        return new
+
+    def size(self, x: int) -> int:
+        return int(self._size[x])
+
+
+def single_linkage(mst_edges: np.ndarray) -> np.ndarray:
+    """SciPy-style linkage matrix from weight-sorted MST edges.
+
+    Row ``i`` is ``(child_a, child_b, distance, size)`` creating cluster
+    ``n + i``; children are point ids (< n) or earlier cluster ids.
+    """
+    mst_edges = np.asarray(mst_edges, dtype=np.float64)
+    n = mst_edges.shape[0] + 1
+    linkage = np.empty((n - 1, 4))
+    uf = _UnionFind(n)
+    for i, (u, v, w) in enumerate(mst_edges):
+        a = uf.find(int(u))
+        b = uf.find(int(v))
+        if a == b:
+            raise ValueError("MST edge list contains a cycle")
+        linkage[i] = (a, b, w, uf.size(a) + uf.size(b))
+        uf.merge(a, b)
+    return linkage

@@ -1,0 +1,143 @@
+"""k-means clustering: Lloyd's algorithm with k-means++ seeding.
+
+Fully vectorised: distance evaluation is one GEMM per iteration
+(:func:`repro.ml.metrics.pairwise_sq_distances`), and empty clusters are
+re-seeded from the points furthest from their centroids, so the requested
+cluster count is always delivered — the pruning stage depends on getting
+exactly ``n_clusters`` representatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_is_fitted
+from repro.ml.metrics import pairwise_sq_distances
+from repro.utils.rng import rng_from
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["KMeans", "kmeans_plusplus"]
+
+
+def kmeans_plusplus(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007).
+
+    Each subsequent centre is drawn with probability proportional to the
+    squared distance to the nearest already-chosen centre.
+    """
+    n = X.shape[0]
+    centers = np.empty((n_clusters, X.shape[1]), dtype=X.dtype)
+    first = int(rng.integers(n))
+    centers[0] = X[first]
+    closest_sq = pairwise_sq_distances(X, centers[:1]).ravel()
+    for i in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All remaining points coincide with chosen centres; fall back
+            # to uniform sampling of distinct indices.
+            centers[i] = X[int(rng.integers(n))]
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+            centers[i] = X[idx]
+        new_sq = pairwise_sq_distances(X, centers[i : i + 1]).ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centers
+
+
+class KMeans(BaseEstimator):
+    """Standard k-means with restarts.
+
+    Attributes
+    ----------
+    cluster_centers_ : (n_clusters, n_features)
+    labels_ : (n_samples,)
+    inertia_ : float
+        Within-cluster sum of squared distances of the best restart.
+    n_iter_ : int
+        Iterations used by the best restart.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        random_state=None,
+    ):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, X) -> "KMeans":
+        X = check_array(X, name="X")
+        k = check_positive_int(self.n_clusters, "n_clusters")
+        if k > X.shape[0]:
+            raise ValueError(
+                f"n_clusters={k} exceeds the number of samples {X.shape[0]}"
+            )
+        check_positive_int(self.n_init, "n_init")
+        check_positive_int(self.max_iter, "max_iter")
+        rng = rng_from(self.random_state)
+
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, iters = self._lloyd(X, k, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, iters)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _lloyd(self, X: np.ndarray, k: int, rng: np.random.Generator):
+        centers = kmeans_plusplus(X, k, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        inertia = np.inf
+        for iteration in range(1, self.max_iter + 1):
+            sq = pairwise_sq_distances(X, centers)
+            labels = np.argmin(sq, axis=1)
+            new_inertia = float(sq[np.arange(len(X)), labels].sum())
+
+            new_centers = np.empty_like(centers)
+            counts = np.bincount(labels, minlength=k)
+            for j in range(k):
+                if counts[j] > 0:
+                    new_centers[j] = X[labels == j].mean(axis=0)
+            empty = np.nonzero(counts == 0)[0]
+            if len(empty) > 0:
+                # Re-seed empty clusters at the currently worst-fit points.
+                worst = np.argsort(sq[np.arange(len(X)), labels])[::-1]
+                for slot, j in enumerate(empty):
+                    new_centers[j] = X[worst[slot]]
+
+            shift = float(np.sum((new_centers - centers) ** 2))
+            centers = new_centers
+            if abs(inertia - new_inertia) <= self.tol * max(1.0, abs(inertia)) or (
+                shift <= self.tol
+            ):
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+        # Final assignment against the final centers.
+        sq = pairwise_sq_distances(X, centers)
+        labels = np.argmin(sq, axis=1)
+        inertia = float(sq[np.arange(len(X)), labels].sum())
+        return centers, labels, inertia, iteration
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; fit used {self.n_features_in_}"
+            )
+        return np.argmin(pairwise_sq_distances(X, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).labels_

@@ -1,0 +1,106 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.ml.base import clone
+from repro.ml.metrics import accuracy_score
+from repro.utils.rng import rng_from
+
+__all__ = ["KFold", "cross_val_score", "train_test_split"]
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.2,
+    random_state=None,
+    shuffle: bool = True,
+):
+    """Split arrays into train/test partitions along axis 0.
+
+    Mirrors sklearn: returns ``train, test`` pairs for each input array in
+    order.  ``test_size`` is a fraction in (0, 1) or an absolute count.
+    The paper's split is 136 train / 34 test out of 170 (test_size 0.2).
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    n = len(arrays[0])
+    for arr in arrays:
+        if len(arr) != n:
+            raise ValueError("all arrays must have the same length")
+    if isinstance(test_size, float):
+        if not 0.0 < test_size < 1.0:
+            raise ValueError(f"test_size fraction must be in (0, 1), got {test_size}")
+        n_test = max(1, int(round(n * test_size)))
+    else:
+        n_test = int(test_size)
+        if not 0 < n_test < n:
+            raise ValueError(f"test_size count must be in (0, {n}), got {n_test}")
+    indices = np.arange(n)
+    if shuffle:
+        rng_from(random_state).shuffle(indices)
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+
+    out = []
+    for arr in arrays:
+        if isinstance(arr, np.ndarray):
+            out.extend([arr[train_idx], arr[test_idx]])
+        else:
+            seq = list(arr)
+            out.extend(
+                [[seq[i] for i in train_idx], [seq[i] for i in test_idx]]
+            )
+    return tuple(out)
+
+
+class KFold:
+    """Deterministic k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            rng_from(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_idx = indices[start : start + size]
+            train_idx = np.concatenate([indices[:start], indices[start + size :]])
+            yield train_idx, test_idx
+            start += size
+
+
+def cross_val_score(
+    estimator,
+    X,
+    y,
+    *,
+    cv: int = 5,
+    random_state=None,
+) -> np.ndarray:
+    """Accuracy of a classifier across shuffled k folds."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores: List[float] = []
+    folds = KFold(n_splits=cv, shuffle=True, random_state=random_state)
+    for train_idx, test_idx in folds.split(X):
+        est = clone(estimator)
+        est.fit(X[train_idx], y[train_idx])
+        scores.append(accuracy_score(y[test_idx], est.predict(X[test_idx])))
+    return np.array(scores)

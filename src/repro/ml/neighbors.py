@@ -1,0 +1,178 @@
+"""Exact k-nearest-neighbour classification on a KD-tree.
+
+The KD-tree is stored in flat arrays (no per-node Python objects beyond a
+small record), split on the widest dimension at the median, with standard
+branch-and-bound traversal.  For the dataset sizes of this paper a brute
+force GEMM would also do; the tree exists because the deployed selector
+cares about *query latency*, which the latency benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_is_fitted
+from repro.ml.metrics import pairwise_sq_distances
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["KDTree", "KNeighborsClassifier"]
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _Node:
+    #: Splitting dimension, or -1 for leaves.
+    dim: int
+    #: Split threshold (points <= go left).
+    threshold: float
+    left: int
+    right: int
+    #: Slice of the permutation array covered by this node.
+    start: int
+    end: int
+
+
+class KDTree:
+    """Median-split KD-tree supporting k-NN queries."""
+
+    def __init__(self, data: np.ndarray, *, leaf_size: int = _LEAF_SIZE):
+        data = check_array(data, name="data")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self._data = data
+        self._leaf_size = leaf_size
+        self._perm = np.arange(data.shape[0])
+        self._nodes: List[_Node] = []
+        self._build(0, data.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        return self._data.shape[0]
+
+    def _build(self, start: int, end: int) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append(_Node(-1, 0.0, -1, -1, start, end))
+        if end - start <= self._leaf_size:
+            return node_id
+        subset = self._data[self._perm[start:end]]
+        spreads = subset.max(axis=0) - subset.min(axis=0)
+        dim = int(np.argmax(spreads))
+        if spreads[dim] == 0.0:
+            return node_id  # all points identical: keep as leaf
+        order = np.argsort(subset[:, dim], kind="stable")
+        self._perm[start:end] = self._perm[start:end][order]
+        mid = (start + end) // 2
+        threshold = float(self._data[self._perm[mid - 1], dim])
+        node = self._nodes[node_id]
+        node.dim = dim
+        node.threshold = threshold
+        node.left = self._build(start, mid)
+        node.right = self._build(mid, end)
+        return node_id
+
+    def query(self, points, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices) of the ``k`` nearest neighbours."""
+        points = check_array(points, name="points")
+        k = check_positive_int(k, "k")
+        if k > self.n_samples:
+            raise ValueError(
+                f"k={k} exceeds the number of indexed points {self.n_samples}"
+            )
+        n_queries = points.shape[0]
+        dists = np.empty((n_queries, k))
+        idx = np.empty((n_queries, k), dtype=np.int64)
+        for qi in range(n_queries):
+            heap_d, heap_i = self._query_one(points[qi], k)
+            order = np.argsort(heap_d, kind="stable")
+            dists[qi] = np.sqrt(heap_d[order])
+            idx[qi] = heap_i[order]
+        return dists, idx
+
+    def _query_one(self, point: np.ndarray, k: int):
+        # Best-k kept in simple arrays; k is tiny (1 or 3 in the paper).
+        best_d = np.full(k, np.inf)
+        best_i = np.full(k, -1, dtype=np.int64)
+
+        def consider(start: int, end: int) -> None:
+            nonlocal best_d, best_i
+            cand = self._perm[start:end]
+            diff = self._data[cand] - point
+            sq = np.einsum("ij,ij->i", diff, diff)
+            for d, i in zip(sq, cand):
+                if d < best_d[-1]:
+                    pos = int(np.searchsorted(best_d, d))
+                    best_d = np.insert(best_d, pos, d)[:k]
+                    best_i = np.insert(best_i, pos, i)[:k]
+
+        def visit(node_id: int) -> None:
+            node = self._nodes[node_id]
+            if node.dim == -1:
+                consider(node.start, node.end)
+                return
+            delta = point[node.dim] - node.threshold
+            near, far = (
+                (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            )
+            visit(near)
+            if delta * delta < best_d[-1]:
+                visit(far)
+
+        visit(0)
+        return best_d, best_i
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """Majority vote over the ``n_neighbors`` nearest training samples.
+
+    Ties are broken toward the smaller class label (deterministic), and
+    neighbours are found exactly (KD-tree for low-dimensional data, brute
+    force otherwise).
+    """
+
+    def __init__(self, n_neighbors: int = 5, *, algorithm: str = "auto"):
+        self.n_neighbors = n_neighbors
+        self.algorithm = algorithm
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X = check_array(X, name="X")
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        check_positive_int(self.n_neighbors, "n_neighbors")
+        if self.n_neighbors > len(X):
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds training size {len(X)}"
+            )
+        if self.algorithm not in ("auto", "kd_tree", "brute"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        self.classes_, self._y_encoded = np.unique(y, return_inverse=True)
+        self._X = X
+        use_tree = self.algorithm == "kd_tree" or (
+            self.algorithm == "auto" and X.shape[1] <= 16
+        )
+        self.tree_ = KDTree(X) if use_tree else None
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def kneighbors(self, X) -> Tuple[np.ndarray, np.ndarray]:
+        check_is_fitted(self, "classes_")
+        X = check_array(X, name="X")
+        if self.tree_ is not None:
+            return self.tree_.query(X, k=self.n_neighbors)
+        sq = pairwise_sq_distances(X, self._X)
+        idx = np.argsort(sq, axis=1, kind="stable")[:, : self.n_neighbors]
+        d = np.sqrt(np.take_along_axis(sq, idx, axis=1))
+        return d, idx
+
+    def predict(self, X) -> np.ndarray:
+        _, idx = self.kneighbors(X)
+        votes = self._y_encoded[idx]
+        n_classes = len(self.classes_)
+        counts = np.apply_along_axis(
+            lambda row: np.bincount(row, minlength=n_classes), 1, votes
+        )
+        return self.classes_[np.argmax(counts, axis=1)]

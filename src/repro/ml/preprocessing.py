@@ -1,0 +1,90 @@
+"""Feature scaling transformers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_is_fitted
+from repro.utils.validation import check_array
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features are left centred but unscaled (scale 1), matching
+    sklearn's behaviour and avoiding division by zero.
+    """
+
+    def __init__(self, *, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X, name="X")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X, name="X")
+        self._check_width(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X, name="X")
+        self._check_width(X)
+        return X * self.scale_ + self.mean_
+
+    def _check_width(self, X: np.ndarray) -> None:
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; scaler was fit on "
+                f"{self.n_features_in_}"
+            )
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features into ``[feature_min, feature_max]`` (default [0, 1])."""
+
+    def __init__(self, *, feature_range: tuple = (0.0, 1.0)):
+        self.feature_range = feature_range
+
+    def fit(self, X) -> "MinMaxScaler":
+        lo, hi = self.feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must be increasing, got {self.feature_range}")
+        X = check_array(X, name="X")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self.scale_ = (hi - lo) / span
+        self.min_ = lo - self.data_min_ * self.scale_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; scaler was fit on "
+                f"{self.n_features_in_}"
+            )
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,29 @@
+"""CART decision trees: classifier and multi-output regressor.
+
+Growth strategies:
+
+* depth-first (default) — standard recursive CART;
+* best-first with ``max_leaf_nodes`` — splits are expanded in order of
+  impurity improvement, so capping the leaf count keeps the *most
+  informative* splits.  This is the mechanism behind the paper's decision
+  tree pruner: "limiting the number of leaf nodes in the decision tree
+  ensures the tree only produces a restricted number of vectors".
+
+The fitted tree is a flat array structure (:class:`~repro.ml.tree.structure.Tree`)
+that predicts without recursion and can be exported as nested ``if``
+statements (:mod:`repro.ml.tree.export`) — the paper's deployment target.
+"""
+
+from repro.ml.tree.structure import Tree
+from repro.ml.tree.classifier import DecisionTreeClassifier
+from repro.ml.tree.regressor import DecisionTreeRegressor
+from repro.ml.tree.export import export_cpp, export_python, export_text
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Tree",
+    "export_cpp",
+    "export_python",
+    "export_text",
+]

@@ -1,0 +1,97 @@
+"""Best-split search across features."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.tree.criteria import _CumulativeCriterion
+
+__all__ = ["Split", "find_best_split"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """A candidate split of one node."""
+
+    feature: int
+    threshold: float
+    #: Impurity-cost improvement: parent cost minus children cost
+    #: (both in "n * impurity" units), always > 0 for a returned split.
+    improvement: float
+    #: Boolean mask over the node's samples: True goes left.
+    left_mask: np.ndarray
+
+
+def find_best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    criterion: _CumulativeCriterion,
+    *,
+    min_samples_leaf: int = 1,
+    features: Optional[Sequence[int]] = None,
+) -> Optional[Split]:
+    """Exhaustive best split of a node over the given features.
+
+    ``X``/``y`` are the node's samples.  Splits are placed halfway between
+    distinct consecutive sorted values; positions violating
+    ``min_samples_leaf`` are excluded.  Returns ``None`` for pure or
+    unsplittable nodes.  Zero-improvement splits of impure nodes are
+    allowed (CART semantics: XOR-like targets need a neutral first split
+    before any impurity decrease is possible).
+    """
+    n = X.shape[0]
+    if n < 2 * min_samples_leaf or n < 2:
+        return None
+    parent_impurity = criterion.node_impurity(y)
+    if parent_impurity <= 1e-12:
+        return None
+    parent_cost = n * parent_impurity
+    feature_ids = range(X.shape[1]) if features is None else features
+
+    best: Optional[Split] = None
+    best_cost = np.inf
+    for f in feature_ids:
+        col = X[:, f]
+        order = np.argsort(col, kind="stable")
+        col_sorted = col[order]
+        # Valid split positions: between distinct values, honouring leaf
+        # minima.  Position i puts samples [0, i) left.
+        distinct = col_sorted[1:] != col_sorted[:-1]
+        positions = np.nonzero(distinct)[0] + 1
+        if min_samples_leaf > 1:
+            positions = positions[
+                (positions >= min_samples_leaf)
+                & (positions <= n - min_samples_leaf)
+            ]
+        if len(positions) == 0:
+            continue
+        costs = criterion.split_costs(y[order])
+        pos_costs = costs[positions - 1]
+        local_best = int(np.argmin(pos_costs))
+        cost = float(pos_costs[local_best])
+        if cost < best_cost - 1e-15:
+            pos = int(positions[local_best])
+            threshold = 0.5 * (col_sorted[pos - 1] + col_sorted[pos])
+            # Guard against midpoint rounding onto the right value.
+            if threshold >= col_sorted[pos]:
+                threshold = col_sorted[pos - 1]
+            best_cost = cost
+            best = Split(
+                feature=int(f),
+                threshold=float(threshold),
+                improvement=float(parent_cost - cost),
+                left_mask=col <= threshold,
+            )
+    if best is None or best.improvement < -1e-9:
+        return None
+    if best.improvement < 0.0:  # clamp float cancellation noise
+        best = Split(
+            feature=best.feature,
+            threshold=best.threshold,
+            improvement=0.0,
+            left_mask=best.left_mask,
+        )
+    return best

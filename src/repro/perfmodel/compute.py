@@ -1,0 +1,96 @@
+"""Compute-pipeline efficiency of one kernel configuration.
+
+Three effects degrade the FMA issue rate below peak:
+
+1. **Loop overhead** — every inner-loop iteration spends instructions on
+   loads, address arithmetic and the branch.  Larger tiles amortise this
+   over more FMAs (the classic register-blocking win).
+2. **Instruction-level parallelism** — an FMA chain onto a single
+   accumulator stalls for the FMA latency.  The kernel has
+   ``rows * cols`` independent accumulators providing independent chains.
+3. **Latency hiding** — whatever stalls remain can be covered by switching
+   to other resident wavefronts; effectiveness saturates with the number
+   of waves *actually* resident per SIMD, which depends on the launch size
+   (an underfilled launch leaves each SIMD a single wave even when the
+   occupancy limit would allow more).
+
+(1) and (2) depend only on the configuration and are cached per config;
+(3) is evaluated by the whole-kernel model once the launch geometry is
+known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.params import PerfModelParams
+
+__all__ = ["ComputeEfficiency", "compute_efficiency", "latency_hiding"]
+
+
+@dataclass(frozen=True)
+class ComputeEfficiency:
+    """Static (launch-independent) efficiency components, each in (0, 1]."""
+
+    instruction_mix: float
+    ilp: float
+
+    @property
+    def static_total(self) -> float:
+        return self.instruction_mix * self.ilp
+
+
+def compute_efficiency(
+    config: KernelConfig,
+    params: PerfModelParams,
+) -> ComputeEfficiency:
+    """Fraction of peak FMA rate the instruction stream can sustain."""
+    rows, cols, acc = config.rows, config.cols, config.acc
+
+    # 1. Instruction mix: FMAs vs everything else per inner-loop iteration.
+    #    Per iteration a work-item performs rows*cols*acc FMAs, issues
+    #    vector loads for its A and B slivers (vec: values moved per load
+    #    instruction, bounded by the contiguous run available) and pays a
+    #    fixed loop overhead.
+    vec_a = min(4, acc)
+    vec_b = min(4, cols)
+    fma_instr = rows * cols * acc
+    load_instr = params.instructions_per_load * (
+        (rows * acc) / vec_a + (acc * cols) / vec_b
+    )
+    other = params.loop_overhead_instructions
+    instruction_mix = fma_instr / (fma_instr + load_instr + other)
+
+    # 2. ILP: independent accumulator chains inside one work-item.  A
+    #    partially filled pipeline still progresses; soften the cliff.
+    independent = rows * cols
+    ilp = min(1.0, independent / params.fma_latency_cycles) ** 0.75
+
+    return ComputeEfficiency(instruction_mix=instruction_mix, ilp=ilp)
+
+
+def latency_hiding(
+    resident_waves: float,
+    ilp: float,
+    params: PerfModelParams,
+    *,
+    max_waves: int,
+) -> float:
+    """Stall coverage from multithreading, given actual residency.
+
+    ``resident_waves`` is the (possibly fractional, >= 1 for any non-empty
+    launch) number of waves sharing one SIMD.  ILP inside a wave reduces
+    the stall budget the waves must cover.  Normalised so a fully occupied
+    device approaches 1.
+    """
+    if resident_waves < 1.0:
+        raise ValueError(
+            f"resident_waves must be >= 1 for a non-empty launch, "
+            f"got {resident_waves}"
+        )
+    effective = resident_waves * (0.5 + 0.5 * ilp)
+    hiding = effective / (effective + params.latency_hiding_half_waves)
+    full = float(max_waves)
+    hiding /= full / (full + params.latency_hiding_half_waves)
+    return min(1.0, hiding)

@@ -1,0 +1,82 @@
+"""Reproducible measurement noise.
+
+Real benchmark numbers jitter run to run (DVFS, scheduling, memory
+placement).  The paper's dataset therefore contains a noise floor that the
+clustering and classification stages must tolerate; reproducing it matters
+for the "long tail of winners" structure (58 distinct best configurations).
+
+The noise is *counter-based*: one independent stream exists per
+(seed, shape, config) pair, and iteration ``i`` consumes the i-th draw of
+that stream.  Factors are pure functions of their coordinates, so dataset
+generation is deterministic, order-independent and safely parallelisable —
+no shared generator state (the HPC guide's determinism idiom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.params import KernelConfig, config_index
+from repro.utils.rng import stream
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["measurement_noise_factor", "noise_factors"]
+
+
+def _pair_stream(
+    seed: int, shape: GemmShape, config: KernelConfig
+) -> np.random.Generator:
+    # Key on the full identity tuple so shape subclasses with extra
+    # coordinates (e.g. sparse density) get independent streams.
+    return stream(
+        seed,
+        "measurement-noise",
+        *(int(v) for v in shape.as_tuple()),
+        config_index(config),
+    )
+
+
+def noise_factors(
+    seed: int,
+    shape: GemmShape,
+    config: KernelConfig,
+    iterations: int,
+    *,
+    sigma: float,
+    start_iteration: int = 0,
+) -> np.ndarray:
+    """Multiplicative lognormal factors for consecutive measurements.
+
+    Returns factors for iterations ``start_iteration`` ..
+    ``start_iteration + iterations - 1``.  Because iteration ``i`` is
+    always the i-th draw of the pair's stream, the factor for a given
+    iteration is independent of how many are requested at once.
+    """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    if start_iteration < 0:
+        raise ValueError(f"start_iteration must be >= 0, got {start_iteration}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return np.ones(iterations)
+    z = _pair_stream(seed, shape, config).standard_normal(
+        start_iteration + iterations
+    )
+    return np.exp(sigma * z[start_iteration:])
+
+
+def measurement_noise_factor(
+    seed: int,
+    shape: GemmShape,
+    config: KernelConfig,
+    iteration: int,
+    *,
+    sigma: float,
+) -> float:
+    """The noise factor for one specific timing measurement."""
+    return float(
+        noise_factors(
+            seed, shape, config, 1, sigma=sigma, start_iteration=iteration
+        )[0]
+    )

@@ -1,0 +1,121 @@
+"""Occupancy: resident wavefronts per SIMD for a kernel configuration.
+
+On GCN a SIMD keeps up to ``max_waves_per_simd`` wavefronts resident, but
+each resident wave needs its registers allocated for its whole lifetime, so
+a kernel using ``R`` vector registers per lane allows only
+``floor(vgprs_per_lane / R)`` waves.  Local memory is shared per CU; this
+kernel family does not use LDS, but the limit is modelled anyway so other
+kernels validate correctly.
+
+Low occupancy is the primary reason large-tile configurations lose on
+small matrices in the paper's dataset: an 8x8 output tile costs ~100
+registers, capping residency at 2 waves and leaving memory latency
+exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.params import KernelConfig
+from repro.sycl.device import DeviceSpec
+from repro.utils.maths import ceil_div
+
+__all__ = ["OccupancyResult", "occupancy_for"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency achieved by a configuration on a device."""
+
+    waves_per_simd: int
+    max_waves_per_simd: int
+    #: Which resource capped residency: "registers", "lds", "wave-slots"
+    #: or "group-size".
+    limited_by: str
+    waves_per_group: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the device's wave slots occupied (0, 1]."""
+        return self.waves_per_simd / self.max_waves_per_simd
+
+
+def occupancy_for(
+    config: KernelConfig,
+    device: DeviceSpec,
+    *,
+    lds_bytes_per_group: int = 0,
+) -> OccupancyResult:
+    """Compute achieved residency for ``config`` on ``device``.
+
+    Raises :class:`ValueError` for configurations that cannot run at all
+    (work-group larger than the device limit, or register demand exceeding
+    the per-lane register file).
+    """
+    wg_size = config.work_group_size
+    if wg_size > device.max_work_group_size:
+        raise ValueError(
+            f"work-group size {wg_size} exceeds device limit "
+            f"{device.max_work_group_size}"
+        )
+    regs = config.registers_per_item
+    if regs > device.vgprs_per_lane:
+        raise ValueError(
+            f"configuration {config} needs {regs} registers/lane; device "
+            f"register file holds {device.vgprs_per_lane}"
+        )
+
+    waves_per_group = ceil_div(wg_size, device.wavefront_size)
+
+    # Register limit: how many waves' register demand fits one SIMD's file.
+    reg_limited = device.vgprs_per_lane // regs
+
+    # LDS limit: groups per CU capped by local memory, expressed in waves.
+    # Kernels using no LDS are unconstrained (sentinel far above any real
+    # wave budget so the limiting-resource report stays meaningful).
+    if lds_bytes_per_group > 0:
+        groups_per_cu_lds = device.lds_bytes_per_cu // lds_bytes_per_group
+        lds_limited_cu_waves = groups_per_cu_lds * waves_per_group
+        lds_limited = max(0, lds_limited_cu_waves // device.simds_per_cu)
+    else:
+        lds_limited = 1 << 30
+
+    # A whole work-group must be resident on one CU: its waves occupy the
+    # CU's SIMDs, so residency cannot be finer than one group's waves
+    # spread over the SIMDs.
+    group_min_waves = ceil_div(waves_per_group, device.simds_per_cu)
+
+    candidates = {
+        "registers": reg_limited,
+        "lds": lds_limited,
+        "wave-slots": device.max_waves_per_simd,
+    }
+    limited_by = min(candidates, key=lambda k: candidates[k])
+    waves = candidates[limited_by]
+
+    if waves < group_min_waves:
+        # Residency fell below what a single work-group needs.  A group is
+        # still launchable when its registers fit the files and its LDS
+        # fits one CU (LDS is a per-CU resource, so the per-SIMD wave
+        # quotient above can floor to zero even though one group fits).
+        one_group_fits = (
+            reg_limited >= group_min_waves
+            and lds_bytes_per_group <= device.lds_bytes_per_cu
+        )
+        if one_group_fits:
+            waves = group_min_waves
+            limited_by = "group-size"
+        else:
+            raise ValueError(
+                f"configuration {config} cannot fit one work-group on a CU "
+                f"of device {device.name!r}"
+            )
+
+    waves = min(waves, device.max_waves_per_simd)
+    return OccupancyResult(
+        waves_per_simd=int(waves),
+        max_waves_per_simd=device.max_waves_per_simd,
+        limited_by=limited_by,
+        waves_per_group=waves_per_group,
+    )

@@ -1,0 +1,79 @@
+"""Tunable constants of the analytical performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerfModelParams"]
+
+
+@dataclass(frozen=True)
+class PerfModelParams:
+    """Model constants, with defaults tuned for GCN3-class GPUs.
+
+    These are deliberately exposed as data: the portability experiments
+    re-use the same model code with different constants, and the ablation
+    benchmarks sweep individual constants to show which structural effects
+    each one produces.
+    """
+
+    #: Cycles before an FMA result may feed a dependent FMA.
+    fma_latency_cycles: float = 8.0
+    #: Scalar/address/branch instructions charged per inner-loop iteration.
+    loop_overhead_instructions: float = 6.0
+    #: Instructions charged per vector memory operation issued.
+    instructions_per_load: float = 1.0
+    #: Wavefronts per SIMD at which latency hiding reaches 50% efficacy.
+    latency_hiding_half_waves: float = 2.5
+    #: Lognormal sigma of per-measurement noise (dimensionless).
+    noise_sigma: float = 0.035
+    #: Relative magnitude of deterministic alignment/bank-conflict effects.
+    #: Calibrated so the dataset reproduces the paper's structure (see
+    #: DESIGN.md section 5): a long tail of shape-specific winners and
+    #: pruning ceilings in the low-to-mid 90s.
+    alignment_penalty: float = 0.15
+    #: Weight of the coarse (feature-learnable) quirk component; the fine
+    #: (alignment-residue) component gets 1 - this weight.
+    quirk_coarse_weight: float = 0.5
+    #: Log2 bucket width of the coarse quirk: larger steps mean broader
+    #: shape families sharing the same idiosyncrasies.
+    quirk_coarse_log_step: float = 2.0
+    #: Penalty multiplier applied to DRAM channel-camping access patterns.
+    channel_camping_penalty: float = 0.25
+    #: Fraction of the L2 usable for GEMM operand reuse.
+    l2_usable_fraction: float = 0.75
+    #: Minimum achievable coalescing efficiency (fully scattered accesses).
+    min_coalescing_efficiency: float = 0.12
+    #: Seconds of fixed driver/runtime overhead added to every launch, on
+    #: top of the device's kernel_launch_overhead_us.
+    host_overhead_s: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        positives = (
+            "fma_latency_cycles",
+            "latency_hiding_half_waves",
+            "l2_usable_fraction",
+            "min_coalescing_efficiency",
+        )
+        for name in positives:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"PerfModelParams.{name} must be positive")
+        non_negatives = (
+            "loop_overhead_instructions",
+            "instructions_per_load",
+            "noise_sigma",
+            "alignment_penalty",
+            "channel_camping_penalty",
+            "host_overhead_s",
+        )
+        for name in non_negatives:
+            if getattr(self, name) < 0:
+                raise ValueError(f"PerfModelParams.{name} must be >= 0")
+        if self.l2_usable_fraction > 1.0:
+            raise ValueError("PerfModelParams.l2_usable_fraction must be <= 1")
+        if self.min_coalescing_efficiency > 1.0:
+            raise ValueError("PerfModelParams.min_coalescing_efficiency must be <= 1")
+        if not 0.0 <= self.quirk_coarse_weight <= 1.0:
+            raise ValueError("PerfModelParams.quirk_coarse_weight must be in [0, 1]")
+        if self.quirk_coarse_log_step <= 0:
+            raise ValueError("PerfModelParams.quirk_coarse_log_step must be positive")

@@ -1,0 +1,56 @@
+"""A SYCL-style runtime substrate executing kernels functionally in NumPy.
+
+The paper deploys kernels through SYCL (queues, buffers, accessors,
+``nd_range`` launches, profiling events).  Real SYCL needs an OpenCL/SPIR-V
+stack and a GPU; this package reproduces the *programming model* so that the
+rest of the library — kernel implementations, the benchmark harness, the
+deployed selector — is written against the same abstractions the paper's
+library (SYCL-DNN) uses.
+
+Kernels execute functionally on the host (NumPy), while their *timing* comes
+from an analytical device model (:mod:`repro.perfmodel`), injected through
+:class:`~repro.sycl.queue.Queue`'s simulated clock.  Events therefore report
+profiling durations that behave like measurements on the modelled device.
+
+Public API mirrors SYCL 1.2.1 naming where it makes sense::
+
+    dev = sycl.Device.r9_nano()
+    q = sycl.Queue(dev, enable_profiling=True)
+    a = sycl.Buffer.from_array(A)
+    ev = q.submit(kernel, sycl.NDRange((1024, 1024), (16, 16)), args=(a, b, c))
+    ev.wait()
+    ns = ev.profiling_duration_ns
+"""
+
+from repro.sycl.device import Device, DeviceSpec, DeviceType
+from repro.sycl.exceptions import (
+    AccessorError,
+    DeviceError,
+    InvalidNDRangeError,
+    SyclError,
+)
+from repro.sycl.ndrange import Id, NDRange, Range
+from repro.sycl.buffer import AccessMode, Accessor, Buffer
+from repro.sycl.event import Event, EventStatus
+from repro.sycl.kernel import Kernel
+from repro.sycl.queue import Queue
+
+__all__ = [
+    "AccessMode",
+    "Accessor",
+    "AccessorError",
+    "Buffer",
+    "Device",
+    "DeviceError",
+    "DeviceSpec",
+    "DeviceType",
+    "Event",
+    "EventStatus",
+    "Id",
+    "InvalidNDRangeError",
+    "Kernel",
+    "NDRange",
+    "Queue",
+    "Range",
+    "SyclError",
+]

@@ -1,0 +1,193 @@
+"""Buffers and accessors: the SYCL data-management model.
+
+A :class:`Buffer` owns a device-side copy of host data.  Kernels and the
+host touch the data exclusively through :class:`Accessor` objects, whose
+access mode is enforced at runtime: a ``READ`` accessor hands out a
+read-only NumPy view, a ``WRITE``/``READ_WRITE`` accessor a writable one,
+and the buffer records write generations so tests can assert on coherence
+behaviour.  ``Buffer.to_host()`` plays the role of a host accessor /
+destruction-time write-back.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sycl.exceptions import AccessorError
+
+__all__ = ["AccessMode", "Accessor", "Buffer"]
+
+
+class AccessMode(enum.Enum):
+    """Subset of ``sycl::access::mode`` used by this library."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+    @property
+    def can_read(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READ_WRITE)
+
+    @property
+    def can_write(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READ_WRITE)
+
+
+class Buffer:
+    """A typed, shaped device allocation initialised from host memory.
+
+    The device copy is private: mutating the source array after
+    construction does not change the buffer, matching SYCL's ownership
+    semantics during a buffer's lifetime.
+    """
+
+    def __init__(self, shape: Tuple[int, ...], dtype=np.float32, *, name: str = ""):
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"buffer shape must be positive, got {shape}")
+        self._data = np.zeros(shape, dtype=dtype)
+        self._name = name or f"buffer{shape}"
+        self._alive = True
+        self._write_generation = 0
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, *, name: str = "") -> "Buffer":
+        """Create a buffer holding a private copy of ``array``."""
+        array = np.asarray(array)
+        buf = cls(array.shape, dtype=array.dtype, name=name)
+        buf._data[...] = array
+        return buf
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    @property
+    def write_generation(self) -> int:
+        """Incremented every time a writable accessor is released."""
+        return self._write_generation
+
+    def get_access(self, mode: AccessMode) -> "Accessor":
+        """Request an accessor; the runtime passes these to kernels."""
+        self._check_alive()
+        return Accessor(self, mode)
+
+    def to_host(self) -> np.ndarray:
+        """Copy the device data back to a fresh host array."""
+        self._check_alive()
+        return self._data.copy()
+
+    def destroy(self) -> None:
+        """Release the device allocation; further access raises."""
+        self._alive = False
+        self._data = np.empty(0, dtype=self._data.dtype)
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise AccessorError(f"buffer {self._name!r} has been destroyed")
+
+    def __repr__(self) -> str:
+        state = "" if self._alive else ", destroyed"
+        return f"Buffer({self._name!r}, shape={self.shape}, dtype={self.dtype}{state})"
+
+
+class Accessor:
+    """A mode-checked window onto a buffer's device data."""
+
+    def __init__(self, buffer: Buffer, mode: AccessMode):
+        if not isinstance(mode, AccessMode):
+            raise TypeError(f"mode must be AccessMode, got {type(mode).__name__}")
+        buffer._check_alive()
+        self._buffer = buffer
+        self._mode = mode
+        self._released = False
+
+    @property
+    def mode(self) -> AccessMode:
+        return self._mode
+
+    @property
+    def buffer(self) -> Buffer:
+        return self._buffer
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._buffer.shape
+
+    def view(self) -> np.ndarray:
+        """The data view a kernel operates on.
+
+        Read-only accessors return a locked view so accidental writes fail
+        loudly rather than silently corrupting the "device" memory.
+        """
+        self._check_usable()
+        view = self._buffer._data.view()
+        if not self._mode.can_write:
+            view.flags.writeable = False
+        return view
+
+    def read(self) -> np.ndarray:
+        """Read the full contents (requires a readable mode)."""
+        self._check_usable()
+        if not self._mode.can_read:
+            raise AccessorError(
+                f"accessor on {self._buffer.name!r} is {self._mode.value}; "
+                "reading requires read or read_write access"
+            )
+        return self._buffer._data.copy()
+
+    def write(self, values: np.ndarray) -> None:
+        """Overwrite the full contents (requires a writable mode)."""
+        self._check_usable()
+        if not self._mode.can_write:
+            raise AccessorError(
+                f"accessor on {self._buffer.name!r} is {self._mode.value}; "
+                "writing requires write or read_write access"
+            )
+        values = np.asarray(values, dtype=self._buffer.dtype)
+        if values.shape != self._buffer.shape:
+            raise AccessorError(
+                f"shape mismatch writing {values.shape} into buffer "
+                f"{self._buffer.shape}"
+            )
+        self._buffer._data[...] = values
+
+    def release(self) -> None:
+        """End this accessor's lifetime (records a write generation)."""
+        if not self._released and self._mode.can_write:
+            self._buffer._write_generation += 1
+        self._released = True
+
+    def _check_usable(self) -> None:
+        if self._released:
+            raise AccessorError("accessor used after release")
+        self._buffer._check_alive()
+
+    def __enter__(self) -> "Accessor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"Accessor({self._buffer.name!r}, {self._mode.value})"

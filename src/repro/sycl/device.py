@@ -1,0 +1,261 @@
+"""Device descriptions for the simulated heterogeneous targets.
+
+A :class:`DeviceSpec` carries the microarchitectural parameters the
+performance model needs: compute-unit count, SIMD organisation, register
+file and local-memory budgets, clock, DRAM bandwidth and cache sizes.  The
+presets cover the paper's benchmark platform (AMD R9 Nano, a Fiji GCN3 GPU)
+plus two contrasting targets used by the portability experiments: a small
+embedded accelerator and an integrated desktop GPU.
+
+Datasheet sources for the R9 Nano preset: 64 CUs x 4 SIMD16 units, 64-wide
+wavefronts, 1.0 GHz boost, 8.19 TFLOP/s fp32 peak, 4 GiB HBM at 512 GB/s,
+64 KiB LDS per CU, 256 KiB vector register file per SIMD (256 VGPRs per
+lane), at most 10 wavefronts resident per SIMD and 256 work-items per
+work-group.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["Device", "DeviceSpec", "DeviceType"]
+
+
+class DeviceType(enum.Enum):
+    """Coarse device class, mirroring ``sycl::info::device_type``."""
+
+    GPU = "gpu"
+    ACCELERATOR = "accelerator"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Microarchitectural parameters consumed by the performance model.
+
+    All byte quantities are per the unit named in the field; rates are in
+    the units of the suffix.
+    """
+
+    name: str
+    device_type: DeviceType
+    compute_units: int
+    simds_per_cu: int
+    #: Physical fp32 lane width of one SIMD unit (GCN: 16; a 64-wide
+    #: wavefront issues over wavefront_size / physical_simd_width cycles).
+    physical_simd_width: int
+    wavefront_size: int
+    clock_ghz: float
+    fma_per_lane_per_cycle: int
+    dram_bandwidth_gbps: float
+    lds_bytes_per_cu: int
+    vgprs_per_lane: int
+    max_waves_per_simd: int
+    max_work_group_size: int
+    l2_bytes: int
+    l1_bytes_per_cu: int
+    cacheline_bytes: int
+    kernel_launch_overhead_us: float
+    #: Fraction of peak FLOP rate a perfectly tuned kernel can realistically
+    #: sustain on this device (instruction mix, scoreboard stalls, ...).
+    sustained_compute_efficiency: float = 0.85
+    #: Fraction of peak DRAM bandwidth achievable with fully coalesced
+    #: streaming accesses.
+    sustained_bandwidth_efficiency: float = 0.80
+
+    def __post_init__(self) -> None:
+        for fld in (
+            "compute_units",
+            "simds_per_cu",
+            "physical_simd_width",
+            "wavefront_size",
+            "fma_per_lane_per_cycle",
+            "lds_bytes_per_cu",
+            "vgprs_per_lane",
+            "max_waves_per_simd",
+            "max_work_group_size",
+            "l2_bytes",
+            "l1_bytes_per_cu",
+            "cacheline_bytes",
+        ):
+            if getattr(self, fld) <= 0:
+                raise ValueError(f"DeviceSpec.{fld} must be positive")
+        for fld in ("clock_ghz", "dram_bandwidth_gbps", "kernel_launch_overhead_us"):
+            if getattr(self, fld) < 0:
+                raise ValueError(f"DeviceSpec.{fld} must be non-negative")
+        for fld in ("sustained_compute_efficiency", "sustained_bandwidth_efficiency"):
+            v = getattr(self, fld)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"DeviceSpec.{fld} must be in (0, 1]")
+
+    @property
+    def lanes_per_cu(self) -> int:
+        """Physical fp32 lanes issuing per cycle in one compute unit."""
+        return self.simds_per_cu * self.physical_simd_width
+
+    @property
+    def wave_issue_cycles(self) -> int:
+        """Cycles one SIMD needs to issue a full wavefront (GCN: 64/16 = 4)."""
+        return max(1, self.wavefront_size // self.physical_simd_width)
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s (counting FMA as 2 flops)."""
+        lanes_per_cycle = self.compute_units * self.lanes_per_cu
+        return lanes_per_cycle * self.fma_per_lane_per_cycle * 2 * self.clock_ghz
+
+    @property
+    def max_threads_per_cu(self) -> int:
+        """Maximum resident work-items per compute unit."""
+        return self.simds_per_cu * self.max_waves_per_simd * self.wavefront_size
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy of the spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+class Device:
+    """A handle to a simulated device, carrying its spec and identity.
+
+    Mirrors ``sycl::device``: cheap to copy, comparable, and queryable.
+    """
+
+    _PRESETS: Dict[str, DeviceSpec] = {}
+
+    def __init__(self, spec: DeviceSpec):
+        self._spec = spec
+
+    @property
+    def spec(self) -> DeviceSpec:
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def device_type(self) -> DeviceType:
+        return self._spec.device_type
+
+    def is_gpu(self) -> bool:
+        return self._spec.device_type is DeviceType.GPU
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Device) and self._spec == other._spec
+
+    def __hash__(self) -> int:
+        return hash(self._spec)
+
+    def __repr__(self) -> str:
+        return f"Device({self._spec.name!r}, {self._spec.device_type.value})"
+
+    # -- presets ---------------------------------------------------------
+
+    @classmethod
+    def register_preset(cls, key: str, spec: DeviceSpec) -> None:
+        """Register a named device preset (used by perfmodel.calibration)."""
+        cls._PRESETS[key] = spec
+
+    @classmethod
+    def from_preset(cls, key: str) -> "Device":
+        try:
+            return cls(cls._PRESETS[key])
+        except KeyError:
+            raise ValueError(
+                f"unknown device preset {key!r}; known: {sorted(cls._PRESETS)}"
+            ) from None
+
+    @classmethod
+    def available_presets(cls) -> list:
+        return sorted(cls._PRESETS)
+
+    @classmethod
+    def r9_nano(cls) -> "Device":
+        """The paper's benchmark platform: AMD Radeon R9 Nano (Fiji)."""
+        return cls.from_preset("r9-nano")
+
+    @classmethod
+    def embedded(cls) -> "Device":
+        """A small embedded accelerator (Mali-class) for portability runs."""
+        return cls.from_preset("embedded-accelerator")
+
+    @classmethod
+    def desktop(cls) -> "Device":
+        """A mid-range desktop GPU preset."""
+        return cls.from_preset("desktop-gpu")
+
+
+def _register_builtin_presets() -> None:
+    Device.register_preset(
+        "r9-nano",
+        DeviceSpec(
+            name="AMD Radeon R9 Nano (Fiji, simulated)",
+            device_type=DeviceType.GPU,
+            compute_units=64,
+            simds_per_cu=4,
+            physical_simd_width=16,
+            wavefront_size=64,
+            clock_ghz=1.0,
+            fma_per_lane_per_cycle=1,
+            dram_bandwidth_gbps=512.0,
+            lds_bytes_per_cu=64 * 1024,
+            vgprs_per_lane=256,
+            max_waves_per_simd=10,
+            max_work_group_size=256,
+            l2_bytes=2 * 1024 * 1024,
+            l1_bytes_per_cu=16 * 1024,
+            cacheline_bytes=64,
+            kernel_launch_overhead_us=8.0,
+        ),
+    )
+    Device.register_preset(
+        "embedded-accelerator",
+        DeviceSpec(
+            name="Embedded accelerator (Mali-class, simulated)",
+            device_type=DeviceType.ACCELERATOR,
+            compute_units=8,
+            simds_per_cu=2,
+            physical_simd_width=8,
+            wavefront_size=16,
+            clock_ghz=0.7,
+            fma_per_lane_per_cycle=1,
+            dram_bandwidth_gbps=14.9,
+            lds_bytes_per_cu=32 * 1024,
+            vgprs_per_lane=128,
+            max_waves_per_simd=8,
+            max_work_group_size=256,
+            l2_bytes=512 * 1024,
+            l1_bytes_per_cu=16 * 1024,
+            cacheline_bytes=64,
+            kernel_launch_overhead_us=25.0,
+            sustained_compute_efficiency=0.75,
+            sustained_bandwidth_efficiency=0.70,
+        ),
+    )
+    Device.register_preset(
+        "desktop-gpu",
+        DeviceSpec(
+            name="Desktop GPU (mid-range, simulated)",
+            device_type=DeviceType.GPU,
+            compute_units=20,
+            simds_per_cu=4,
+            physical_simd_width=32,
+            wavefront_size=32,
+            clock_ghz=1.6,
+            fma_per_lane_per_cycle=1,
+            dram_bandwidth_gbps=256.0,
+            lds_bytes_per_cu=96 * 1024,
+            vgprs_per_lane=255,
+            max_waves_per_simd=12,
+            max_work_group_size=1024,
+            l2_bytes=4 * 1024 * 1024,
+            l1_bytes_per_cu=48 * 1024,
+            cacheline_bytes=128,
+            kernel_launch_overhead_us=5.0,
+        ),
+    )
+
+
+_register_builtin_presets()

@@ -1,0 +1,101 @@
+"""Events with simulated profiling information.
+
+Each kernel submission returns an :class:`Event`.  The queue stamps it with
+simulated start/end times on its device timeline (nanoseconds since queue
+creation), so ``profiling_duration_ns`` behaves like
+``sycl::info::event_profiling::command_end - command_start`` on a real
+device with profiling enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["Event", "EventStatus"]
+
+
+class EventStatus(enum.Enum):
+    """Mirrors ``sycl::info::event_command_status``."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+
+class Event:
+    """Handle for one submitted command."""
+
+    def __init__(self, *, name: str = "", profiling_enabled: bool = False):
+        self._name = name
+        self._profiling_enabled = profiling_enabled
+        self._status = EventStatus.SUBMITTED
+        self._submit_ns: Optional[int] = None
+        self._start_ns: Optional[int] = None
+        self._end_ns: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def status(self) -> EventStatus:
+        return self._status
+
+    def wait(self) -> "Event":
+        """Block until complete.
+
+        Execution in this runtime is eager, so the event is complete as
+        soon as ``submit`` returns; ``wait`` exists for API fidelity and
+        to let user code be written exactly as it would be against SYCL.
+        """
+        if self._status is not EventStatus.COMPLETE:
+            raise RuntimeError(
+                f"event {self._name!r} waited on before the queue completed it"
+            )
+        return self
+
+    # -- profiling ---------------------------------------------------------
+
+    @property
+    def profiling_submit_ns(self) -> int:
+        return self._profiling_value(self._submit_ns)
+
+    @property
+    def profiling_start_ns(self) -> int:
+        return self._profiling_value(self._start_ns)
+
+    @property
+    def profiling_end_ns(self) -> int:
+        return self._profiling_value(self._end_ns)
+
+    @property
+    def profiling_duration_ns(self) -> int:
+        """Simulated kernel execution time in nanoseconds."""
+        return self.profiling_end_ns - self.profiling_start_ns
+
+    @property
+    def profiling_duration_s(self) -> float:
+        return self.profiling_duration_ns * 1e-9
+
+    def _profiling_value(self, value: Optional[int]) -> int:
+        if not self._profiling_enabled:
+            raise RuntimeError(
+                "profiling was not enabled on the queue that produced this event"
+            )
+        if value is None:
+            raise RuntimeError(f"event {self._name!r} has no timestamps yet")
+        return value
+
+    # -- runtime hooks (called by Queue) ------------------------------------
+
+    def _record(self, submit_ns: int, start_ns: int, end_ns: int) -> None:
+        if not (submit_ns <= start_ns <= end_ns):
+            raise ValueError("event timestamps must be monotonically ordered")
+        self._submit_ns = submit_ns
+        self._start_ns = start_ns
+        self._end_ns = end_ns
+        self._status = EventStatus.COMPLETE
+
+    def __repr__(self) -> str:
+        return f"Event({self._name!r}, {self._status.value})"

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the SYCL-style runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "AccessorError",
+    "DeviceError",
+    "InvalidNDRangeError",
+    "SyclError",
+]
+
+
+class SyclError(RuntimeError):
+    """Base class for all runtime errors raised by :mod:`repro.sycl`."""
+
+
+class InvalidNDRangeError(SyclError, ValueError):
+    """Raised for malformed global/local ranges (zero sizes, dim mismatch,
+    local range exceeding the device work-group limit, ...)."""
+
+
+class AccessorError(SyclError):
+    """Raised for illegal accessor usage (writing through a read accessor,
+    accessing a destroyed buffer, ...)."""
+
+
+class DeviceError(SyclError):
+    """Raised when a kernel requests resources the device cannot provide."""

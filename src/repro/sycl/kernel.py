@@ -1,0 +1,78 @@
+"""Kernel protocol for the simulated runtime.
+
+A kernel is an object with:
+
+* ``name`` — identification for events and the compiled-kernel registry;
+* ``run(device, ndrange, accessors)`` — the functional computation, given
+  the accessors in submission order;
+* ``estimate_seconds(device, ndrange, accessors)`` — the simulated device
+  execution time.  The default charges a trivial cost; real kernels (the
+  tiled matmul) delegate to :mod:`repro.perfmodel`.
+* ``resource_usage(device)`` — optional (registers, LDS bytes) per
+  work-item/work-group, used for device-limit validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.sycl.buffer import Accessor
+from repro.sycl.device import Device
+from repro.sycl.ndrange import NDRange
+
+__all__ = ["Kernel", "ResourceUsage"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Static resources one instance of the kernel consumes."""
+
+    vgprs_per_lane: int = 16
+    lds_bytes_per_group: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vgprs_per_lane <= 0:
+            raise ValueError("vgprs_per_lane must be positive")
+        if self.lds_bytes_per_group < 0:
+            raise ValueError("lds_bytes_per_group must be >= 0")
+
+
+class Kernel:
+    """Base class for functional kernels."""
+
+    #: human-readable kernel name; subclasses should override.
+    name: str = "kernel"
+
+    def run(
+        self,
+        device: Device,
+        ndrange: NDRange,
+        accessors: Sequence[Accessor],
+    ) -> None:
+        """Execute the kernel functionally.  Must be overridden."""
+        raise NotImplementedError
+
+    def estimate_seconds(
+        self,
+        device: Device,
+        ndrange: NDRange,
+        accessors: Sequence[Accessor],
+    ) -> float:
+        """Simulated execution time on ``device``.
+
+        The default is launch overhead plus one cycle per launched
+        work-item spread over the device's lanes — a placeholder for
+        kernels that do not carry a performance model.
+        """
+        spec = device.spec
+        lanes = spec.compute_units * spec.lanes_per_cu
+        cycles = ndrange.launched_work_items() / lanes
+        return spec.kernel_launch_overhead_us * 1e-6 + cycles / (spec.clock_ghz * 1e9)
+
+    def resource_usage(self, device: Device) -> ResourceUsage:
+        """Static resource footprint; override for register-heavy kernels."""
+        return ResourceUsage()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

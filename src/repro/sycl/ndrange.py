@@ -1,0 +1,166 @@
+"""Index-space types: ``Range``, ``Id`` and ``NDRange``.
+
+These mirror ``sycl::range``, ``sycl::id`` and ``sycl::nd_range`` for 1-3
+dimensions.  Unlike strict SYCL 1.2.1, the global range is allowed not to be
+a multiple of the local range: the runtime rounds the global range up to
+whole work-groups and kernels are expected to bounds-check, which matches
+how SYCL-DNN launches its matmul kernels on ragged problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from repro.sycl.exceptions import InvalidNDRangeError
+from repro.utils.maths import ceil_div
+
+__all__ = ["Id", "NDRange", "Range"]
+
+DimsLike = Union[int, Tuple[int, ...], "Range"]
+
+
+def _as_dims(value: DimsLike, what: str) -> Tuple[int, ...]:
+    if isinstance(value, Range):
+        return value.dims
+    if isinstance(value, (int,)):
+        value = (value,)
+    dims = tuple(int(v) for v in value)
+    if not 1 <= len(dims) <= 3:
+        raise InvalidNDRangeError(f"{what} must have 1-3 dimensions, got {len(dims)}")
+    if any(d <= 0 for d in dims):
+        raise InvalidNDRangeError(f"{what} dimensions must be positive, got {dims}")
+    return dims
+
+
+@dataclass(frozen=True)
+class Range:
+    """An extent in 1-3 dimensions (``sycl::range``)."""
+
+    dims: Tuple[int, ...]
+
+    def __init__(self, *sizes: int):
+        if len(sizes) == 1 and not isinstance(sizes[0], int):
+            dims = _as_dims(sizes[0], "range")
+        else:
+            dims = _as_dims(sizes, "range")
+        object.__setattr__(self, "dims", dims)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def size(self) -> int:
+        """Total number of points in the range."""
+        total = 1
+        for d in self.dims:
+            total *= d
+        return total
+
+    def __getitem__(self, i: int) -> int:
+        return self.dims[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __repr__(self) -> str:
+        return f"Range{self.dims}"
+
+
+@dataclass(frozen=True)
+class Id:
+    """A point in an index space (``sycl::id``)."""
+
+    coords: Tuple[int, ...]
+
+    def __init__(self, *coords: int):
+        if len(coords) == 1 and not isinstance(coords[0], int):
+            coords = tuple(int(c) for c in coords[0])
+        else:
+            coords = tuple(int(c) for c in coords)
+        if not 1 <= len(coords) <= 3:
+            raise InvalidNDRangeError(f"id must have 1-3 dimensions, got {len(coords)}")
+        if any(c < 0 for c in coords):
+            raise InvalidNDRangeError(f"id coordinates must be >= 0, got {coords}")
+        object.__setattr__(self, "coords", coords)
+
+    def __getitem__(self, i: int) -> int:
+        return self.coords[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.coords)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __repr__(self) -> str:
+        return f"Id{self.coords}"
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A global range plus a work-group (local) range (``sycl::nd_range``).
+
+    ``global_range`` describes the logical problem; the *launched* range is
+    ``rounded_global``, the global range rounded up to whole work-groups.
+    """
+
+    global_range: Range
+    local_range: Range
+
+    def __init__(self, global_range: DimsLike, local_range: DimsLike):
+        g = Range(_as_dims(global_range, "global range"))
+        l = Range(_as_dims(local_range, "local range"))
+        if g.ndim != l.ndim:
+            raise InvalidNDRangeError(
+                f"global ({g.ndim}D) and local ({l.ndim}D) ranges must have "
+                "the same dimensionality"
+            )
+        object.__setattr__(self, "global_range", g)
+        object.__setattr__(self, "local_range", l)
+
+    @property
+    def ndim(self) -> int:
+        return self.global_range.ndim
+
+    @property
+    def work_group_size(self) -> int:
+        return self.local_range.size()
+
+    @property
+    def num_groups(self) -> Tuple[int, ...]:
+        """Work-group count per dimension (global rounded up to local)."""
+        return tuple(
+            ceil_div(g, l) for g, l in zip(self.global_range, self.local_range)
+        )
+
+    @property
+    def total_groups(self) -> int:
+        total = 1
+        for n in self.num_groups:
+            total *= n
+        return total
+
+    @property
+    def rounded_global(self) -> Range:
+        """The launched global range: whole work-groups covering the input."""
+        return Range(
+            tuple(n * l for n, l in zip(self.num_groups, self.local_range))
+        )
+
+    def launched_work_items(self) -> int:
+        return self.rounded_global.size()
+
+    def validate_for_device(self, max_work_group_size: int) -> None:
+        """Raise if the work-group exceeds the device limit."""
+        if self.work_group_size > max_work_group_size:
+            raise InvalidNDRangeError(
+                f"work-group size {self.work_group_size} exceeds device "
+                f"limit {max_work_group_size}"
+            )
+
+    def __repr__(self) -> str:
+        return f"NDRange(global={self.global_range.dims}, local={self.local_range.dims})"

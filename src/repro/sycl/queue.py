@@ -1,0 +1,133 @@
+"""In-order command queue with a simulated device timeline.
+
+``submit`` executes the kernel functionally (host/NumPy) and *advances a
+simulated clock* by the kernel's estimated device time, recording the
+timestamps on the returned event.  The queue therefore yields profiling
+data as if the kernels had run on the modelled device, while the actual
+numerical results are exact.
+
+Resource validation happens at submit time: work-group limits, register
+pressure (a kernel whose per-lane register demand exceeds the device's
+budget would spill on real hardware — we reject it, matching how SYCL-DNN
+restricts its configuration space to non-spilling kernels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.sycl.buffer import Accessor, Buffer
+from repro.sycl.device import Device
+from repro.sycl.event import Event
+from repro.sycl.exceptions import DeviceError
+from repro.sycl.kernel import Kernel
+from repro.sycl.ndrange import NDRange
+
+__all__ = ["Queue"]
+
+ArgLike = Union[Accessor, Buffer]
+
+
+class Queue:
+    """An in-order queue bound to one device."""
+
+    def __init__(self, device: Device, *, enable_profiling: bool = True):
+        if not isinstance(device, Device):
+            raise TypeError(f"device must be a Device, got {type(device).__name__}")
+        self._device = device
+        self._profiling = enable_profiling
+        self._now_ns = 0
+        self._submissions: List[Tuple[str, int, int]] = []
+
+    @property
+    def device(self) -> Device:
+        return self._device
+
+    @property
+    def profiling_enabled(self) -> bool:
+        return self._profiling
+
+    @property
+    def device_time_ns(self) -> int:
+        """Current position of the simulated device clock."""
+        return self._now_ns
+
+    @property
+    def submission_log(self) -> List[Tuple[str, int, int]]:
+        """(kernel name, start_ns, end_ns) for every completed submission."""
+        return list(self._submissions)
+
+    def submit(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        args: Sequence[ArgLike],
+        *,
+        depends_on: Optional[Sequence[Event]] = None,
+    ) -> Event:
+        """Validate, execute and time one kernel launch.
+
+        ``args`` may mix accessors and raw buffers; raw buffers are
+        wrapped in ``READ_WRITE`` accessors for convenience.
+        """
+        self._validate(kernel, ndrange)
+        accessors = [self._as_accessor(a) for a in args]
+        if depends_on:
+            for dep in depends_on:
+                # In-order queue: dependencies are satisfied by construction,
+                # but they must at least be complete events of this runtime.
+                dep.wait()
+
+        event = Event(name=kernel.name, profiling_enabled=self._profiling)
+        submit_ns = self._now_ns
+
+        kernel.run(self._device, ndrange, accessors)
+        for acc in accessors:
+            acc.release()
+
+        duration_s = kernel.estimate_seconds(self._device, ndrange, accessors)
+        if duration_s < 0:
+            raise DeviceError(
+                f"kernel {kernel.name!r} reported negative duration {duration_s}"
+            )
+        start_ns = submit_ns
+        end_ns = start_ns + max(1, int(round(duration_s * 1e9)))
+        self._now_ns = end_ns
+        event._record(submit_ns, start_ns, end_ns)
+        self._submissions.append((kernel.name, start_ns, end_ns))
+        return event
+
+    def wait(self) -> None:
+        """Block until all submitted work completes (eager: a no-op)."""
+
+    # -- helpers -----------------------------------------------------------
+
+    def _as_accessor(self, arg: ArgLike) -> Accessor:
+        if isinstance(arg, Accessor):
+            return arg
+        if isinstance(arg, Buffer):
+            from repro.sycl.buffer import AccessMode
+
+            return arg.get_access(AccessMode.READ_WRITE)
+        raise TypeError(
+            f"kernel args must be Accessor or Buffer, got {type(arg).__name__}"
+        )
+
+    def _validate(self, kernel: Kernel, ndrange: NDRange) -> None:
+        spec = self._device.spec
+        ndrange.validate_for_device(spec.max_work_group_size)
+        usage = kernel.resource_usage(self._device)
+        if usage.vgprs_per_lane > spec.vgprs_per_lane:
+            raise DeviceError(
+                f"kernel {kernel.name!r} needs {usage.vgprs_per_lane} registers "
+                f"per lane; device {self._device.name!r} provides "
+                f"{spec.vgprs_per_lane} (kernel would spill)"
+            )
+        if usage.lds_bytes_per_group > spec.lds_bytes_per_cu:
+            raise DeviceError(
+                f"kernel {kernel.name!r} needs {usage.lds_bytes_per_group} B of "
+                f"local memory per group; device provides {spec.lds_bytes_per_cu} B"
+            )
+
+    def __repr__(self) -> str:
+        return f"Queue(device={self._device.name!r}, t={self._now_ns}ns)"

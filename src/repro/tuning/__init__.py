@@ -1,0 +1,48 @@
+"""Kernel parameter search: the auto-tuning side of the paper.
+
+The case study brute-forces all 640 configurations, but the paper is
+explicit that this "is not feasible for more general kernels that have
+significantly more parameters", pointing at "more complex tuning
+algorithms ... such as basin hopping and evolutionary algorithms" (its
+Kernel Tuner discussion) and listing smarter search as future work.  This
+package implements those strategies over the kernel configuration space:
+
+* :class:`~repro.tuning.random_search.RandomSearchTuner` — the baseline;
+* :class:`~repro.tuning.hill_climbing.HillClimbingTuner` — greedy
+  neighbourhood descent with random restarts;
+* :class:`~repro.tuning.annealing.SimulatedAnnealingTuner` — Metropolis
+  acceptance with a geometric cooling schedule;
+* :class:`~repro.tuning.basin_hopping.BasinHoppingTuner` — local descent
+  chained through random perturbations;
+* :class:`~repro.tuning.evolutionary.EvolutionaryTuner` — a genetic
+  algorithm with tournament selection, uniform crossover and mutation.
+
+All tuners minimise kernel time for one GEMM shape through a shared
+:class:`~repro.tuning.objective.Objective` that counts and caches
+evaluations — the comparison metric is *quality reached per benchmark
+performed*, exactly what matters when each evaluation is a real kernel
+timing run.
+"""
+
+from repro.tuning.space import ConfigSpace
+from repro.tuning.objective import Objective, TuningBudgetExceeded
+from repro.tuning.result import TuningResult
+from repro.tuning.base import Tuner
+from repro.tuning.random_search import RandomSearchTuner
+from repro.tuning.hill_climbing import HillClimbingTuner
+from repro.tuning.annealing import SimulatedAnnealingTuner
+from repro.tuning.basin_hopping import BasinHoppingTuner
+from repro.tuning.evolutionary import EvolutionaryTuner
+
+__all__ = [
+    "BasinHoppingTuner",
+    "ConfigSpace",
+    "EvolutionaryTuner",
+    "HillClimbingTuner",
+    "Objective",
+    "RandomSearchTuner",
+    "SimulatedAnnealingTuner",
+    "Tuner",
+    "TuningBudgetExceeded",
+    "TuningResult",
+]

@@ -1,0 +1,56 @@
+"""Simulated annealing over the ordinal configuration space.
+
+Metropolis acceptance on *relative* time differences (kernel times span
+orders of magnitude across the space, so absolute deltas would make the
+temperature scale shape-dependent) with geometric cooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuning.base import Tuner
+from repro.tuning.objective import Objective
+
+__all__ = ["SimulatedAnnealingTuner"]
+
+
+class SimulatedAnnealingTuner(Tuner):
+    name = "annealing"
+
+    def __init__(
+        self,
+        *,
+        steps: int = 200,
+        initial_temperature: float = 0.5,
+        cooling: float = 0.97,
+        random_state=0,
+    ):
+        super().__init__(random_state=random_state)
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        self.steps = steps
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def _search(self, objective: Objective, space, rng: np.random.Generator):
+        coords = space.random_coords(rng)
+        current = objective(space.decode(coords))
+        temperature = self.initial_temperature
+        for _ in range(self.steps):
+            neighbors = list(space.neighbors(coords))
+            if not neighbors:
+                coords = space.random_coords(rng)
+                current = objective(space.decode(coords))
+                continue
+            candidate = neighbors[int(rng.integers(len(neighbors)))]
+            value = objective(space.decode(candidate))
+            # Relative degradation: 0 for an improvement.
+            delta = max(0.0, (value - current) / current)
+            if delta == 0.0 or rng.random() < np.exp(-delta / temperature):
+                coords, current = candidate, value
+            temperature *= self.cooling

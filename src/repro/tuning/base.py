@@ -1,0 +1,56 @@
+"""Tuner protocol and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.tuning.objective import Objective, TuningBudgetExceeded
+from repro.tuning.result import TuningResult
+from repro.tuning.space import ConfigSpace
+from repro.utils.rng import rng_from
+
+__all__ = ["Tuner"]
+
+
+class Tuner(abc.ABC):
+    """A search strategy minimising an :class:`Objective` over a space."""
+
+    name: str = "tuner"
+
+    def __init__(self, *, random_state=0):
+        self.random_state = random_state
+
+    def tune(self, objective: Objective, space) -> TuningResult:
+        """Run the search until its own stopping rule or the budget ends.
+
+        Budget exhaustion is normal termination, not an error: the tuner
+        reports the best point found within the allowance.
+        """
+        rng = rng_from(self.random_state)
+        try:
+            self._search(objective, space, rng)
+        except TuningBudgetExceeded:
+            pass
+        best_config, best_seconds = objective.best()
+        return TuningResult(
+            tuner=self.name,
+            best_config=best_config,
+            best_seconds=best_seconds,
+            evaluations=objective.evaluations,
+            curve=objective.best_so_far_curve(),
+        )
+
+    @abc.abstractmethod
+    def _search(
+        self,
+        objective: Objective,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> None:
+        """Strategy body; evaluate via ``objective(space.decode(coords))``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(random_state={self.random_state!r})"

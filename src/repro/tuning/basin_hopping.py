@@ -1,0 +1,58 @@
+"""Basin hopping: local descent chained through random perturbations.
+
+The structure the paper names explicitly.  Each iteration perturbs the
+incumbent (re-drawing a couple of axes), runs greedy descent to the
+bottom of the new basin, and keeps the result if it improved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuning.base import Tuner
+from repro.tuning.objective import Objective
+
+__all__ = ["BasinHoppingTuner"]
+
+
+class BasinHoppingTuner(Tuner):
+    name = "basin-hopping"
+
+    def __init__(
+        self,
+        *,
+        hops: int = 10,
+        perturbation_strength: int = 2,
+        random_state=0,
+    ):
+        super().__init__(random_state=random_state)
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        if not 1 <= perturbation_strength <= 4:
+            raise ValueError("perturbation_strength must be in [1, 4]")
+        self.hops = hops
+        self.perturbation_strength = perturbation_strength
+
+    def _descend(self, objective, space, coords):
+        current = objective(space.decode(coords))
+        while True:
+            best_neighbor, best_value = None, current
+            for nb in space.neighbors(coords):
+                value = objective(space.decode(nb))
+                if value < best_value:
+                    best_neighbor, best_value = nb, value
+            if best_neighbor is None:
+                return coords, current
+            coords, current = best_neighbor, best_value
+
+    def _search(self, objective: Objective, space, rng: np.random.Generator):
+        coords, current = self._descend(
+            objective, space, space.random_coords(rng)
+        )
+        for _ in range(self.hops):
+            start = space.perturb(
+                coords, rng, strength=self.perturbation_strength
+            )
+            candidate, value = self._descend(objective, space, start)
+            if value < current:
+                coords, current = candidate, value

@@ -1,0 +1,89 @@
+"""Evolutionary search: a steady generational GA over the coordinates.
+
+Tournament selection, uniform crossover of the four ordinal genes,
+per-gene mutation, elitism of the single best individual — the standard
+recipe auto-tuners such as Kernel Tuner offer for large spaces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.tuning.base import Tuner
+from repro.tuning.objective import Objective
+
+__all__ = ["EvolutionaryTuner"]
+
+Coords = Tuple[int, ...]
+
+
+class EvolutionaryTuner(Tuner):
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        *,
+        population: int = 16,
+        generations: int = 12,
+        mutation_rate: float = 0.25,
+        tournament: int = 3,
+        random_state=0,
+    ):
+        super().__init__(random_state=random_state)
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if tournament < 1:
+            raise ValueError("tournament must be >= 1")
+        self.population = population
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.tournament = tournament
+
+    def _fitness(self, objective, space, individual: Coords) -> float:
+        return objective(space.decode(individual))
+
+    def _select(self, rng, scored: List[Tuple[Coords, float]]) -> Coords:
+        picks = rng.integers(len(scored), size=self.tournament)
+        best = min(picks, key=lambda i: scored[i][1])
+        return scored[best][0]
+
+    def _crossover(self, rng, a: Coords, b: Coords) -> Coords:
+        return tuple(a[i] if rng.random() < 0.5 else b[i] for i in range(len(a)))
+
+    def _mutate(self, rng, space, individual: Coords) -> Coords:
+        coords = list(individual)
+        for axis, dim in enumerate(space.dims):
+            if rng.random() < self.mutation_rate:
+                coords[axis] = int(rng.integers(dim))
+        mutated = tuple(coords)
+        # Restricted spaces may reject the mutant; fall back to a fresh
+        # feasible draw rather than silently keeping the parent.
+        if hasattr(space, "_predicate") and space.decode(mutated) not in space:
+            return space.random_coords(rng)
+        return mutated
+
+    def _search(self, objective: Objective, space, rng: np.random.Generator):
+        population = [space.random_coords(rng) for _ in range(self.population)]
+        scored = [
+            (ind, self._fitness(objective, space, ind)) for ind in population
+        ]
+        for _ in range(self.generations):
+            scored.sort(key=lambda pair: pair[1])
+            elite = scored[0]
+            children: List[Tuple[Coords, float]] = [elite]
+            while len(children) < self.population:
+                mother = self._select(rng, scored)
+                father = self._select(rng, scored)
+                child = self._mutate(
+                    rng, space, self._crossover(rng, mother, father)
+                )
+                children.append(
+                    (child, self._fitness(objective, space, child))
+                )
+            scored = children

@@ -1,0 +1,42 @@
+"""Greedy hill climbing with random restarts.
+
+From a random point, move to the best improving ordinal neighbour until
+none improves; restart somewhere else.  Cheap and surprisingly strong on
+kernel-parameter landscapes, whose axes (tile sizes, work-group shapes)
+are individually close to monotone-then-cliff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuning.base import Tuner
+from repro.tuning.objective import Objective
+
+__all__ = ["HillClimbingTuner"]
+
+
+class HillClimbingTuner(Tuner):
+    name = "hill-climbing"
+
+    def __init__(self, *, restarts: int = 8, random_state=0):
+        super().__init__(random_state=random_state)
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        self.restarts = restarts
+
+    def _search(self, objective: Objective, space, rng: np.random.Generator):
+        for _ in range(self.restarts):
+            coords = space.random_coords(rng)
+            current = objective(space.decode(coords))
+            while True:
+                best_neighbor = None
+                best_value = current
+                for nb in space.neighbors(coords):
+                    value = objective(space.decode(nb))
+                    if value < best_value:
+                        best_value = value
+                        best_neighbor = nb
+                if best_neighbor is None:
+                    break  # local optimum
+                coords, current = best_neighbor, best_value

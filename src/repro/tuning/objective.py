@@ -1,0 +1,95 @@
+"""The tuning objective: benchmarked kernel time, counted and cached.
+
+Every tuner minimises ``Objective(config)``; the objective performs a
+benchmark on the simulated device (warm-up + timed iterations, exactly
+the dataset-collection protocol), memoises repeated queries — a real
+tuner would never re-benchmark the same point — and enforces an optional
+evaluation budget, the resource a tuner comparison is judged against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.runner import BenchmarkRunner
+from repro.kernels.params import KernelConfig
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["Objective", "TuningBudgetExceeded"]
+
+
+class TuningBudgetExceeded(RuntimeError):
+    """Raised when a tuner asks for more evaluations than its budget."""
+
+
+class Objective:
+    """Minimisation target for one GEMM shape on one device."""
+
+    def __init__(
+        self,
+        runner: BenchmarkRunner,
+        shape: GemmShape,
+        *,
+        max_evaluations: Optional[int] = None,
+    ):
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1 when set")
+        self._runner = runner
+        self._shape = shape
+        self._budget = max_evaluations
+        self._cache: Dict[KernelConfig, float] = {}
+        self._history: List[Tuple[KernelConfig, float]] = []
+
+    @property
+    def shape(self) -> GemmShape:
+        return self._shape
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct configurations actually benchmarked."""
+        return len(self._cache)
+
+    @property
+    def budget(self) -> Optional[int]:
+        return self._budget
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self._budget is None:
+            return None
+        return self._budget - self.evaluations
+
+    @property
+    def history(self) -> List[Tuple[KernelConfig, float]]:
+        """Every *new* evaluation in the order it was performed."""
+        return list(self._history)
+
+    def __call__(self, config: KernelConfig) -> float:
+        """Mean benchmarked kernel time in seconds (lower is better)."""
+        hit = self._cache.get(config)
+        if hit is not None:
+            return hit
+        if self._budget is not None and len(self._cache) >= self._budget:
+            raise TuningBudgetExceeded(
+                f"evaluation budget of {self._budget} exhausted"
+            )
+        seconds = self._runner.bench_single(self._shape, config).mean
+        self._cache[config] = seconds
+        self._history.append((config, seconds))
+        return seconds
+
+    def best(self) -> Tuple[KernelConfig, float]:
+        """Best configuration evaluated so far."""
+        if not self._cache:
+            raise ValueError("no evaluations performed yet")
+        config = min(self._cache, key=self._cache.get)
+        return config, self._cache[config]
+
+    def best_so_far_curve(self) -> List[float]:
+        """Running minimum over the evaluation history (quality curve)."""
+        curve: List[float] = []
+        best = float("inf")
+        for _, seconds in self._history:
+            best = min(best, seconds)
+            curve.append(best)
+        return curve

@@ -1,0 +1,33 @@
+"""Random search: the baseline every smarter tuner must beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuning.base import Tuner
+from repro.tuning.objective import Objective
+from repro.tuning.space import ConfigSpace
+
+__all__ = ["RandomSearchTuner"]
+
+
+class RandomSearchTuner(Tuner):
+    """Uniform sampling without replacement semantics via the cache.
+
+    Runs until the objective budget is exhausted (or ``max_samples``
+    draws, whichever first).  Because the objective caches, re-drawn
+    points cost nothing — with a finite space this converges to
+    exhaustive search in the limit.
+    """
+
+    name = "random"
+
+    def __init__(self, *, max_samples: int = 10_000, random_state=0):
+        super().__init__(random_state=random_state)
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.max_samples = max_samples
+
+    def _search(self, objective: Objective, space, rng: np.random.Generator):
+        for _ in range(self.max_samples):
+            objective(space.decode(space.random_coords(rng)))

@@ -1,0 +1,44 @@
+"""Tuning outcome."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.kernels.params import KernelConfig
+
+__all__ = ["TuningResult"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """What a tuner found and what it cost."""
+
+    tuner: str
+    best_config: KernelConfig
+    best_seconds: float
+    evaluations: int
+    #: Running best time after each new evaluation.
+    curve: List[float]
+
+    def __post_init__(self) -> None:
+        if self.best_seconds <= 0:
+            raise ValueError("best_seconds must be positive")
+        if self.evaluations < 1:
+            raise ValueError("a result requires at least one evaluation")
+        if len(self.curve) != self.evaluations:
+            raise ValueError("curve length must equal the evaluation count")
+
+    def evaluations_to_reach(self, seconds: float) -> int:
+        """First evaluation index (1-based) at or below ``seconds``; -1 if
+        the target was never reached."""
+        for i, value in enumerate(self.curve):
+            if value <= seconds:
+                return i + 1
+        return -1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.tuner}: {self.best_config} at "
+            f"{self.best_seconds * 1e6:.1f} us after {self.evaluations} evals"
+        )

@@ -1,0 +1,194 @@
+"""The search space: kernel configurations as integer coordinate vectors.
+
+Each of the five parameters (acc, rows, cols index into the tile sizes;
+the work-group shape indexes its list) becomes one ordinal dimension, so
+"neighbouring" configurations differ by one step in one parameter — the
+locality that hill climbing, annealing and basin hopping exploit, and the
+gene representation the evolutionary tuner crosses over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.params import (
+    KernelConfig,
+    TILE_SIZES,
+    WORK_GROUP_SHAPES,
+)
+
+__all__ = ["ConfigSpace"]
+
+
+class ConfigSpace:
+    """Ordinal coordinates over the kernel configuration space.
+
+    A coordinate vector is ``(i_acc, i_rows, i_cols, i_wg)``; the default
+    axes reproduce the paper's 640-point space but any subsets (or
+    extensions) can be passed — device-filtered spaces come from
+    :meth:`restricted_to`.
+    """
+
+    def __init__(
+        self,
+        tile_sizes: Sequence[int] = TILE_SIZES,
+        work_groups: Sequence[Tuple[int, int]] = WORK_GROUP_SHAPES,
+    ):
+        if not tile_sizes or not work_groups:
+            raise ValueError("search space axes must be non-empty")
+        self._tiles = tuple(tile_sizes)
+        self._wgs = tuple(work_groups)
+        self._dims = (
+            len(self._tiles),
+            len(self._tiles),
+            len(self._tiles),
+            len(self._wgs),
+        )
+
+    @property
+    def dims(self) -> Tuple[int, int, int, int]:
+        return self._dims
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for d in self._dims:
+            total *= d
+        return total
+
+    # -- coordinate <-> config ------------------------------------------
+
+    def decode(self, coords: Sequence[int]) -> KernelConfig:
+        ia, ir, ic, iw = (int(c) for c in coords)
+        wg = self._wgs[iw]
+        return KernelConfig(
+            acc=self._tiles[ia],
+            rows=self._tiles[ir],
+            cols=self._tiles[ic],
+            wg_rows=wg[0],
+            wg_cols=wg[1],
+        )
+
+    def encode(self, config: KernelConfig) -> Tuple[int, int, int, int]:
+        try:
+            return (
+                self._tiles.index(config.acc),
+                self._tiles.index(config.rows),
+                self._tiles.index(config.cols),
+                self._wgs.index((config.wg_rows, config.wg_cols)),
+            )
+        except ValueError:
+            raise ValueError(f"{config} is not in this search space") from None
+
+    def __contains__(self, config: KernelConfig) -> bool:
+        try:
+            self.encode(config)
+            return True
+        except ValueError:
+            return False
+
+    def all_configs(self) -> List[KernelConfig]:
+        out = []
+        for ia in range(self._dims[0]):
+            for ir in range(self._dims[1]):
+                for ic in range(self._dims[2]):
+                    for iw in range(self._dims[3]):
+                        out.append(self.decode((ia, ir, ic, iw)))
+        return out
+
+    # -- moves -------------------------------------------------------------
+
+    def random_coords(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        return tuple(int(rng.integers(d)) for d in self._dims)
+
+    def neighbors(self, coords: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+        """All coordinate vectors one ordinal step away."""
+        coords = tuple(int(c) for c in coords)
+        for axis, dim in enumerate(self._dims):
+            for step in (-1, +1):
+                value = coords[axis] + step
+                if 0 <= value < dim:
+                    yield coords[:axis] + (value,) + coords[axis + 1 :]
+
+    def perturb(
+        self,
+        coords: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        strength: int = 2,
+    ) -> Tuple[int, ...]:
+        """A random jump: ``strength`` axes re-drawn uniformly.
+
+        Basin hopping's "hop" move — large enough to escape a local
+        basin, small enough to stay correlated with the current point.
+        """
+        coords = list(int(c) for c in coords)
+        axes = rng.choice(4, size=min(strength, 4), replace=False)
+        for axis in axes:
+            coords[axis] = int(rng.integers(self._dims[axis]))
+        return tuple(coords)
+
+    # -- device filtering -----------------------------------------------
+
+    def restricted_to(self, predicate) -> "RestrictedSpace":
+        """A view of this space containing only configs passing ``predicate``.
+
+        Used to search only configurations a device can actually launch.
+        """
+        return RestrictedSpace(self, predicate)
+
+
+class RestrictedSpace:
+    """A predicate-filtered view of a :class:`ConfigSpace`."""
+
+    def __init__(self, base: ConfigSpace, predicate):
+        self._base = base
+        self._predicate = predicate
+        if not any(predicate(c) for c in base.all_configs()):
+            raise ValueError("predicate rejects every configuration")
+
+    @property
+    def dims(self):
+        return self._base.dims
+
+    @property
+    def size(self) -> int:
+        return sum(1 for c in self._base.all_configs() if self._predicate(c))
+
+    def decode(self, coords):
+        return self._base.decode(coords)
+
+    def encode(self, config):
+        return self._base.encode(config)
+
+    def __contains__(self, config) -> bool:
+        return config in self._base and self._predicate(config)
+
+    def all_configs(self):
+        return [c for c in self._base.all_configs() if self._predicate(c)]
+
+    def random_coords(self, rng):
+        for _ in range(10_000):
+            coords = self._base.random_coords(rng)
+            if self._predicate(self._base.decode(coords)):
+                return coords
+        raise RuntimeError("could not sample a feasible configuration")
+
+    def neighbors(self, coords):
+        for nb in self._base.neighbors(coords):
+            if self._predicate(self._base.decode(nb)):
+                yield nb
+
+    def perturb(self, coords, rng, *, strength: int = 2):
+        for _ in range(10_000):
+            cand = self._base.perturb(coords, rng, strength=strength)
+            if self._predicate(self._base.decode(cand)):
+                return cand
+        raise RuntimeError("could not perturb to a feasible configuration")
+
+    def restricted_to(self, predicate):
+        return RestrictedSpace(
+            self._base, lambda c: self._predicate(c) and predicate(c)
+        )

@@ -1,0 +1,35 @@
+"""Shared utilities: deterministic RNG streams, validation, small math helpers.
+
+These are deliberately dependency-light; every other subpackage builds on
+them.  Nothing in here knows about kernels, devices or datasets.
+"""
+
+from repro.utils.rng import (
+    derive_seed,
+    rng_from,
+    stream,
+)
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive_int,
+    check_random_state,
+)
+from repro.utils.maths import (
+    ceil_div,
+    geometric_mean,
+    round_up,
+)
+
+__all__ = [
+    "ceil_div",
+    "check_array",
+    "check_in_range",
+    "check_positive_int",
+    "check_random_state",
+    "derive_seed",
+    "geometric_mean",
+    "rng_from",
+    "round_up",
+    "stream",
+]

@@ -1,0 +1,37 @@
+"""Small numeric helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ceil_div", "geometric_mean", "round_up"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"numerator must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def geometric_mean(values, *, axis=None) -> np.ndarray:
+    """Geometric mean of strictly positive values.
+
+    The paper scores pruning and selection techniques by the geometric mean
+    of per-shape normalized performance; a geometric mean is the right
+    aggregate for ratios because a 2x win on one shape exactly cancels a 2x
+    loss on another.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of an empty array is undefined")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return np.exp(np.mean(np.log(arr), axis=axis))

@@ -1,0 +1,75 @@
+"""Argument-validation helpers shared by all estimators and models."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.utils.rng import rng_from
+
+__all__ = [
+    "check_array",
+    "check_in_range",
+    "check_positive_int",
+    "check_random_state",
+]
+
+
+def check_positive_int(value: int, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: float = -np.inf,
+    high: float = np.inf,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that a scalar lies in the given interval and return it."""
+    value = float(value)
+    ok_low = value >= low if low_inclusive else value > low
+    ok_high = value <= high if high_inclusive else value < high
+    if not (ok_low and ok_high):
+        lo_b = "[" if low_inclusive else "("
+        hi_b = "]" if high_inclusive else ")"
+        raise ValueError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value}")
+    return value
+
+
+def check_array(
+    data,
+    *,
+    name: str = "X",
+    ndim: Optional[Union[int, Sequence[int]]] = 2,
+    dtype=np.float64,
+    allow_empty: bool = False,
+    copy: bool = False,
+) -> np.ndarray:
+    """Coerce input into a finite ndarray of the expected dimensionality."""
+    arr = np.array(data, dtype=dtype, copy=copy) if copy else np.asarray(data, dtype=dtype)
+    if ndim is not None:
+        allowed = (ndim,) if isinstance(ndim, int) else tuple(ndim)
+        if arr.ndim not in allowed:
+            raise ValueError(
+                f"{name} must have ndim in {allowed}, got shape {arr.shape}"
+            )
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_random_state(random_state) -> np.random.Generator:
+    """Alias of :func:`repro.utils.rng.rng_from` under the sklearn-style name."""
+    return rng_from(random_state)

@@ -1,0 +1,50 @@
+"""Neural-network workloads and their lowering to GEMM shapes.
+
+The paper's dataset consists of the matrix-multiply sizes arising from
+VGG, ResNet and MobileNet: convolutions lowered through im2col or Winograd
+transforms and fully-connected layers.  This package defines the network
+architectures at layer granularity, the lowering passes, and the extraction
+step that produces deduplicated per-network GEMM shape sets.
+"""
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import Conv2d, Dense, GlobalPool, InputSpec, Pool2d
+from repro.workloads.lowering import (
+    LoweredGemm,
+    lower_conv_im2col,
+    lower_conv_winograd,
+    lower_dense,
+    lower_network,
+)
+from repro.workloads.extract import (
+    NetworkShapeSet,
+    extract_dataset_shapes,
+    extract_network_shapes,
+)
+from repro.workloads.networks import mobilenet_v2, resnet50, vgg16
+from repro.workloads.sparse import SparseGemmShape, sparsify
+from repro.workloads.synthetic import random_gemm_shapes, shape_envelope
+
+__all__ = [
+    "Conv2d",
+    "Dense",
+    "GemmShape",
+    "GlobalPool",
+    "InputSpec",
+    "LoweredGemm",
+    "NetworkShapeSet",
+    "Pool2d",
+    "SparseGemmShape",
+    "extract_dataset_shapes",
+    "extract_network_shapes",
+    "lower_conv_im2col",
+    "lower_conv_winograd",
+    "lower_dense",
+    "lower_network",
+    "mobilenet_v2",
+    "random_gemm_shapes",
+    "resnet50",
+    "shape_envelope",
+    "sparsify",
+    "vgg16",
+]

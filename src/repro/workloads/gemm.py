@@ -1,0 +1,68 @@
+"""The GEMM shape type shared by workloads, kernels and the dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["GemmShape"]
+
+
+@dataclass(frozen=True, order=True)
+class GemmShape:
+    """Dimensions of one matrix multiplication ``C[m,n] = A[m,k] @ B[k,n]``.
+
+    ``batch`` counts independent multiplications of the same size (batched
+    GEMM); the paper's shapes come from single-image inference so most
+    entries have ``batch == 1``.
+    """
+
+    m: int
+    k: int
+    n: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("m", "k", "n", "batch"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+                raise TypeError(f"GemmShape.{name} must be an int")
+            if value <= 0:
+                raise ValueError(f"GemmShape.{name} must be positive, got {value}")
+
+    @property
+    def flops(self) -> int:
+        """FLOPs of the multiplication (FMA counted as 2)."""
+        return 2 * self.batch * self.m * self.k * self.n
+
+    @property
+    def bytes_moved(self) -> int:
+        """Minimum fp32 traffic: read A and B once, write C once."""
+        return 4 * self.batch * (self.m * self.k + self.k * self.n + self.m * self.n)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of compulsory traffic."""
+        return self.flops / self.bytes_moved
+
+    def features(self) -> np.ndarray:
+        """The feature vector used by the selection models.
+
+        The paper's features are the matrix dimensions; image batch is
+        folded into ``m`` at lowering time, so ``batch`` here only counts
+        the independent GEMMs of a batched launch (Winograd's transformed
+        tile multiplies) and enters as a fourth feature.
+        """
+        return np.array([self.m, self.k, self.n, self.batch], dtype=np.float64)
+
+    N_FEATURES = 4
+    FEATURE_NAMES = ("m", "k", "n", "batch")
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (self.m, self.k, self.n, self.batch)
+
+    def __str__(self) -> str:
+        suffix = f"x{self.batch}" if self.batch != 1 else ""
+        return f"[{self.m}x{self.k}x{self.n}]{suffix}"

@@ -1,0 +1,125 @@
+"""Layer descriptors with shape inference.
+
+A network is a list of layer descriptors threaded through
+:class:`InputSpec` shape inference.  Only the layer types needed to
+describe VGG16, ResNet-50 and MobileNetV2 are modelled; each knows how to
+compute its output spatial shape so the lowering pass can derive GEMM
+sizes without running any tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Conv2d", "Dense", "GlobalPool", "InputSpec", "Pool2d"]
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Spatial input: height x width x channels."""
+
+    height: int
+    width: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        for name in ("height", "width", "channels"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"InputSpec.{name} must be positive")
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Conv2d:
+    """2-D convolution.
+
+    ``groups == in_channels`` marks a depthwise convolution (MobileNet);
+    depthwise layers are *not* lowered to GEMM (they have no reduction
+    across channels), matching the paper's dataset which only contains
+    shapes from GEMM-backed operations.
+    """
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"invalid Conv2d parameters: {self}")
+        if self.padding < 0 or self.groups <= 0:
+            raise ValueError(f"invalid Conv2d parameters: {self}")
+
+    def output(self, x: InputSpec) -> InputSpec:
+        if x.channels % self.groups != 0:
+            raise ValueError(
+                f"channels {x.channels} not divisible by groups {self.groups}"
+            )
+        return InputSpec(
+            height=_conv_out(x.height, self.kernel, self.stride, self.padding),
+            width=_conv_out(x.width, self.kernel, self.stride, self.padding),
+            channels=self.out_channels,
+        )
+
+    def is_depthwise(self, x: InputSpec) -> bool:
+        return self.groups == x.channels and self.groups > 1
+
+    def is_pointwise(self) -> bool:
+        return self.kernel == 1 and self.groups == 1
+
+
+@dataclass(frozen=True)
+class Pool2d:
+    """Max/average pooling (only shape matters here)."""
+
+    kernel: int
+    stride: int
+    padding: int = 0
+    name: str = ""
+
+    def output(self, x: InputSpec) -> InputSpec:
+        return InputSpec(
+            height=_conv_out(x.height, self.kernel, self.stride, self.padding),
+            width=_conv_out(x.width, self.kernel, self.stride, self.padding),
+            channels=x.channels,
+        )
+
+
+@dataclass(frozen=True)
+class GlobalPool:
+    """Global average pooling down to 1x1 spatial."""
+
+    name: str = ""
+
+    def output(self, x: InputSpec) -> InputSpec:
+        return InputSpec(height=1, width=1, channels=x.channels)
+
+
+@dataclass(frozen=True)
+class Dense:
+    """Fully connected layer (flattens its input)."""
+
+    out_features: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError("Dense.out_features must be positive")
+
+    def output(self, x: InputSpec) -> InputSpec:
+        return InputSpec(height=1, width=1, channels=self.out_features)
+
+    def in_features(self, x: InputSpec) -> int:
+        return x.height * x.width * x.channels

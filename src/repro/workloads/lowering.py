@@ -1,0 +1,156 @@
+"""Lowering neural-network layers to GEMM shapes.
+
+Three lowering routes, matching the paper's description of where matrix
+multiplies arise:
+
+* **im2col** — a ``kxk`` convolution over ``C_in`` channels producing
+  ``C_out`` maps on an ``H_out x W_out`` grid becomes a single GEMM with
+  ``M = B * H_out * W_out``, ``K = k * k * C_in``, ``N = C_out``.
+* **Winograd** — an ``F(t x t, 3x3)`` transform turns a stride-1 3x3
+  convolution into ``(t+2)^2`` independent GEMMs of
+  ``M = B * ceil(H_out/t) * ceil(W_out/t)``, ``K = C_in``, ``N = C_out``
+  (a batched GEMM; the batch count is the transformed-tile count).
+* **fully connected** — ``M = B``, ``K = in_features``, ``N = out_features``.
+
+Depthwise convolutions have no channel reduction, are not GEMM-backed in
+SYCL-DNN, and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import Conv2d, Dense, InputSpec
+from repro.workloads.networks.base import LayerInstance, Network
+from repro.utils.maths import ceil_div
+
+__all__ = [
+    "LoweredGemm",
+    "lower_conv_im2col",
+    "lower_conv_winograd",
+    "lower_dense",
+    "lower_network",
+]
+
+
+@dataclass(frozen=True)
+class LoweredGemm:
+    """A GEMM shape with provenance back to the layer that produced it."""
+
+    shape: GemmShape
+    network: str
+    layer: str
+    transform: str  # "im2col", "winograd2", "winograd4", "fc"
+    image_batch: int
+
+
+def lower_conv_im2col(
+    conv: Conv2d, input_spec: InputSpec, *, batch: int = 1
+) -> GemmShape:
+    """im2col lowering of a (grouped) convolution.
+
+    Grouped non-depthwise convolutions produce one GEMM per group of the
+    same shape; the per-group shape is returned with the group count as
+    the GEMM batch.
+    """
+    if conv.is_depthwise(input_spec):
+        raise ValueError("depthwise convolutions are not GEMM-backed")
+    out = conv.output(input_spec)
+    k = conv.kernel * conv.kernel * (input_spec.channels // conv.groups)
+    return GemmShape(
+        m=batch * out.height * out.width,
+        k=k,
+        n=conv.out_channels // conv.groups,
+        batch=conv.groups,
+    )
+
+
+def lower_conv_winograd(
+    conv: Conv2d,
+    input_spec: InputSpec,
+    *,
+    batch: int = 1,
+    tile: int = 2,
+) -> Optional[GemmShape]:
+    """Winograd ``F(tile x tile, 3x3)`` lowering.
+
+    Returns ``None`` for layers Winograd does not apply to (non-3x3,
+    strided, grouped or depthwise convolutions), letting callers iterate
+    transforms uniformly.
+    """
+    if tile not in (2, 4):
+        raise ValueError(f"supported Winograd tiles are 2 and 4, got {tile}")
+    if conv.kernel != 3 or conv.stride != 1 or conv.groups != 1:
+        return None
+    out = conv.output(input_spec)
+    tiles = ceil_div(out.height, tile) * ceil_div(out.width, tile)
+    transformed = (tile + 2) * (tile + 2)
+    return GemmShape(
+        m=batch * tiles,
+        k=input_spec.channels,
+        n=conv.out_channels,
+        batch=transformed,
+    )
+
+
+def lower_dense(dense: Dense, input_spec: InputSpec, *, batch: int = 1) -> GemmShape:
+    """Fully connected layer as a GEMM (plus a bias add the paper ignores)."""
+    return GemmShape(m=batch, k=dense.in_features(input_spec), n=dense.out_features)
+
+
+def lower_network(
+    network: Network,
+    *,
+    batches: Sequence[int] = (1,),
+    winograd_tiles: Sequence[int] = (2, 4),
+) -> List[LoweredGemm]:
+    """Lower every GEMM-backed layer of ``network`` for each image batch.
+
+    Returns the full (non-deduplicated) list with provenance; see
+    :mod:`repro.workloads.extract` for the deduplicated dataset view.
+    """
+    if not batches or any(b <= 0 for b in batches):
+        raise ValueError(f"batches must be positive, got {batches!r}")
+    out: List[LoweredGemm] = []
+    for batch in batches:
+        for li in network.layers:
+            layer = li.layer
+            if isinstance(layer, Conv2d):
+                if layer.is_depthwise(li.input):
+                    continue
+                out.append(
+                    LoweredGemm(
+                        shape=lower_conv_im2col(layer, li.input, batch=batch),
+                        network=network.name,
+                        layer=li.name,
+                        transform="im2col",
+                        image_batch=batch,
+                    )
+                )
+                for tile in winograd_tiles:
+                    wshape = lower_conv_winograd(
+                        layer, li.input, batch=batch, tile=tile
+                    )
+                    if wshape is not None:
+                        out.append(
+                            LoweredGemm(
+                                shape=wshape,
+                                network=network.name,
+                                layer=li.name,
+                                transform=f"winograd{tile}",
+                                image_batch=batch,
+                            )
+                        )
+            elif isinstance(layer, Dense):
+                out.append(
+                    LoweredGemm(
+                        shape=lower_dense(layer, li.input, batch=batch),
+                        network=network.name,
+                        layer=li.name,
+                        transform="fc",
+                        image_batch=batch,
+                    )
+                )
+    return out

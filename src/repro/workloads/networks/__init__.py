@@ -1,0 +1,15 @@
+"""Architectures of the three networks the paper extracts shapes from."""
+
+from repro.workloads.networks.base import LayerInstance, Network, Tracer
+from repro.workloads.networks.vgg import vgg16
+from repro.workloads.networks.resnet import resnet50
+from repro.workloads.networks.mobilenet import mobilenet_v2
+
+__all__ = [
+    "LayerInstance",
+    "Network",
+    "Tracer",
+    "mobilenet_v2",
+    "resnet50",
+    "vgg16",
+]

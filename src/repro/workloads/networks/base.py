@@ -1,0 +1,83 @@
+"""Network container and a small tracer for building architectures.
+
+Networks are stored as a flat list of layer *instances* — (layer, input
+spec, output spec) triples — which is exactly what conv→GEMM lowering
+needs.  Branching topologies (ResNet) are handled by the builders saving
+and restoring the tracer's current spec; element-wise merges do not change
+shapes and carry no GEMM work, so they need no explicit representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.workloads.layers import Conv2d, Dense, GlobalPool, InputSpec, Pool2d
+
+__all__ = ["LayerInstance", "Network", "Tracer"]
+
+Layer = Union[Conv2d, Dense, GlobalPool, Pool2d]
+
+
+@dataclass(frozen=True)
+class LayerInstance:
+    """A layer placed at a concrete point in a network."""
+
+    name: str
+    layer: Layer
+    input: InputSpec
+    output: InputSpec
+
+
+@dataclass(frozen=True)
+class Network:
+    """A named, shape-resolved architecture."""
+
+    name: str
+    input: InputSpec
+    layers: List[LayerInstance]
+
+    def convs(self) -> List[LayerInstance]:
+        return [li for li in self.layers if isinstance(li.layer, Conv2d)]
+
+    def denses(self) -> List[LayerInstance]:
+        return [li for li in self.layers if isinstance(li.layer, Dense)]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class Tracer:
+    """Threads an :class:`InputSpec` through successive layers."""
+
+    def __init__(self, input_spec: InputSpec):
+        self._spec = input_spec
+        self._layers: List[LayerInstance] = []
+        self._counter = 0
+
+    @property
+    def spec(self) -> InputSpec:
+        """Current activation shape."""
+        return self._spec
+
+    @spec.setter
+    def spec(self, value: InputSpec) -> None:
+        self._spec = value
+
+    def add(self, layer: Layer, name: str = "") -> InputSpec:
+        """Append a layer at the current spec and advance it."""
+        self._counter += 1
+        name = name or layer.name or f"{type(layer).__name__.lower()}{self._counter}"
+        out = layer.output(self._spec)
+        self._layers.append(
+            LayerInstance(name=name, layer=layer, input=self._spec, output=out)
+        )
+        self._spec = out
+        return out
+
+    def branch(self) -> InputSpec:
+        """Snapshot the current spec for a side branch."""
+        return self._spec
+
+    def finish(self, network_name: str, input_spec: InputSpec) -> Network:
+        return Network(name=network_name, input=input_spec, layers=list(self._layers))

@@ -1,0 +1,63 @@
+"""MobileNetV2 (Sandler et al. 2018).
+
+Inverted residual blocks: 1x1 expansion, 3x3 depthwise, 1x1 projection.
+Depthwise convolutions are kept in the network description (they matter
+for shape inference) but the lowering pass skips them — they contain no
+channel reduction and are not computed through GEMM in SYCL-DNN.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Conv2d, Dense, GlobalPool, InputSpec
+from repro.workloads.networks.base import Network, Tracer
+
+__all__ = ["mobilenet_v2"]
+
+#: (expansion t, output channels c, repeats n, first stride s)
+_BLOCKS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def mobilenet_v2(*, input_size: int = 224) -> Network:
+    inp = InputSpec(height=input_size, width=input_size, channels=3)
+    t = Tracer(inp)
+    t.add(Conv2d(out_channels=32, kernel=3, stride=2, padding=1), name="conv1")
+
+    block_no = 0
+    for expansion, out_c, repeats, first_stride in _BLOCKS:
+        for rep in range(repeats):
+            block_no += 1
+            stride = first_stride if rep == 0 else 1
+            in_c = t.spec.channels
+            hidden = in_c * expansion
+            prefix = f"block{block_no}"
+            if expansion != 1:
+                t.add(
+                    Conv2d(out_channels=hidden, kernel=1, stride=1),
+                    name=f"{prefix}_expand",
+                )
+            t.add(
+                Conv2d(
+                    out_channels=hidden,
+                    kernel=3,
+                    stride=stride,
+                    padding=1,
+                    groups=hidden,
+                ),
+                name=f"{prefix}_depthwise",
+            )
+            t.add(
+                Conv2d(out_channels=out_c, kernel=1, stride=1),
+                name=f"{prefix}_project",
+            )
+    t.add(Conv2d(out_channels=1280, kernel=1, stride=1), name="conv_last")
+    t.add(GlobalPool(), name="avgpool")
+    t.add(Dense(out_features=1000), name="fc")
+    return t.finish("mobilenet_v2", inp)

@@ -1,0 +1,57 @@
+"""ResNet-50 (He et al. 2016).
+
+Bottleneck residual blocks: 1x1 reduce, 3x3, 1x1 expand, with a 1x1
+projection on the shortcut whenever the spatial size or channel count
+changes.  Element-wise additions carry no GEMM work and are omitted.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Conv2d, Dense, GlobalPool, InputSpec, Pool2d
+from repro.workloads.networks.base import Network, Tracer
+
+__all__ = ["resnet50"]
+
+#: (mid channels, block count, first-block stride) per stage.
+_STAGES = ((64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2))
+_EXPANSION = 4
+
+
+def resnet50(*, input_size: int = 224) -> Network:
+    inp = InputSpec(height=input_size, width=input_size, channels=3)
+    t = Tracer(inp)
+    t.add(Conv2d(out_channels=64, kernel=7, stride=2, padding=3), name="conv1")
+    t.add(Pool2d(kernel=3, stride=2, padding=1), name="pool1")
+
+    for stage_idx, (mid, blocks, first_stride) in enumerate(_STAGES, start=2):
+        out_channels = mid * _EXPANSION
+        for block_idx in range(1, blocks + 1):
+            stride = first_stride if block_idx == 1 else 1
+            block_input = t.branch()
+            prefix = f"res{stage_idx}{chr(ord('a') + block_idx - 1)}"
+            # Shortcut projection when shape changes (first block of stage).
+            needs_projection = (
+                block_input.channels != out_channels or stride != 1
+            )
+            if needs_projection:
+                shortcut_tracer_spec = t.spec
+                t.add(
+                    Conv2d(out_channels=out_channels, kernel=1, stride=stride),
+                    name=f"{prefix}_shortcut",
+                )
+                t.spec = shortcut_tracer_spec  # main path starts from block input
+            t.add(
+                Conv2d(out_channels=mid, kernel=1, stride=1),
+                name=f"{prefix}_conv1",
+            )
+            t.add(
+                Conv2d(out_channels=mid, kernel=3, stride=stride, padding=1),
+                name=f"{prefix}_conv2",
+            )
+            t.add(
+                Conv2d(out_channels=out_channels, kernel=1, stride=1),
+                name=f"{prefix}_conv3",
+            )
+    t.add(GlobalPool(), name="avgpool")
+    t.add(Dense(out_features=1000), name="fc1000")
+    return t.finish("resnet50", inp)

@@ -1,0 +1,28 @@
+"""VGG16 (Simonyan & Zisserman 2014, configuration D)."""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Conv2d, Dense, InputSpec, Pool2d
+from repro.workloads.networks.base import Network, Tracer
+
+__all__ = ["vgg16"]
+
+#: (channels, conv count) per stage of configuration D.
+_STAGES = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+
+
+def vgg16(*, input_size: int = 224) -> Network:
+    """Build VGG16: five conv stages with 2x2 max-pooling, then three FCs."""
+    inp = InputSpec(height=input_size, width=input_size, channels=3)
+    t = Tracer(inp)
+    for stage_idx, (channels, count) in enumerate(_STAGES, start=1):
+        for conv_idx in range(1, count + 1):
+            t.add(
+                Conv2d(out_channels=channels, kernel=3, stride=1, padding=1),
+                name=f"conv{stage_idx}_{conv_idx}",
+            )
+        t.add(Pool2d(kernel=2, stride=2), name=f"pool{stage_idx}")
+    t.add(Dense(out_features=4096), name="fc6")
+    t.add(Dense(out_features=4096), name="fc7")
+    t.add(Dense(out_features=1000), name="fc8")
+    return t.finish("vgg16", inp)

@@ -1,0 +1,108 @@
+"""Sparse GEMM shapes: the paper's open question, made concrete.
+
+"It is unclear how well the techniques discussed here generalize to
+sparse data."  In ML systems the dominant source of sparse GEMMs is
+weight pruning: the B operand (the weights) keeps only a fraction
+(*density*) of its entries.  :class:`SparseGemmShape` extends the dense
+shape with that density, and :func:`sparsify` fabricates pruned-network
+workloads from any dense shape list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["SparseGemmShape", "sparsify"]
+
+#: Density is stored as parts-per-million in identity tuples so shapes
+#: remain hashable/orderable on integers.
+_PPM = 1_000_000
+
+
+@dataclass(frozen=True, order=True)
+class SparseGemmShape(GemmShape):
+    """A GEMM whose B (weight) operand has the given nonzero density."""
+
+    density: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError(
+                f"density must be in (0, 1], got {self.density}"
+            )
+
+    @property
+    def flops(self) -> int:
+        """Useful FLOPs: only the nonzero weights multiply."""
+        return int(round(2 * self.batch * self.m * self.k * self.n * self.density))
+
+    @property
+    def nnz(self) -> int:
+        """Nonzero entries in the sparse operand."""
+        return int(round(self.k * self.n * self.density))
+
+    def features(self) -> np.ndarray:
+        """Five features: the dense four plus density.
+
+        A selector trained with this feature space can condition on
+        sparsity; the generalisation experiment compares it against
+        density-blind selection.
+        """
+        return np.array(
+            [self.m, self.k, self.n, self.batch, self.density],
+            dtype=np.float64,
+        )
+
+    N_FEATURES = 5
+    FEATURE_NAMES = ("m", "k", "n", "batch", "density")
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (
+            self.m,
+            self.k,
+            self.n,
+            self.batch,
+            int(round(self.density * _PPM)),
+        )
+
+    def dense_equivalent(self) -> GemmShape:
+        """The same dimensions as a fully dense problem."""
+        return GemmShape(m=self.m, k=self.k, n=self.n, batch=self.batch)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.density >= 1.0:
+            return base
+        return f"{base}@{self.density:.0%}"
+
+
+def sparsify(
+    shapes: Sequence[GemmShape],
+    densities: Sequence[float] = (1.0, 0.5, 0.25, 0.1),
+) -> List[SparseGemmShape]:
+    """Cross a dense shape list with pruning densities.
+
+    Models a research workflow sweeping pruning levels over a network's
+    layers; density 1.0 keeps the unpruned baseline in-distribution.
+    """
+    if not densities:
+        raise ValueError("at least one density is required")
+    out: List[SparseGemmShape] = []
+    for density in densities:
+        for shape in shapes:
+            out.append(
+                SparseGemmShape(
+                    m=shape.m,
+                    k=shape.k,
+                    n=shape.n,
+                    batch=shape.batch,
+                    density=float(density),
+                )
+            )
+    return sorted(set(out))

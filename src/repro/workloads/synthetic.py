@@ -1,0 +1,83 @@
+"""Synthetic GEMM shapes: growing the dataset beyond three networks.
+
+The paper's conclusions: "The datasets used in this paper are fairly
+small, causing the models to fail to generalize[,] which would be
+mitigated with larger datasets."  This module fabricates additional
+training shapes by sampling the space real network GEMMs occupy —
+log-uniform in each dimension within the envelope of the extracted
+shapes, plus the characteristic structural families (batch-1 FC rows,
+Winograd batch multiplicities).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import rng_from
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["random_gemm_shapes", "shape_envelope"]
+
+#: The batch multiplicities real lowering produces (single GEMM,
+#: Winograd F(2,3) and F(4,3) transform counts).
+_BATCH_CHOICES = (1, 1, 1, 16, 36)
+
+
+def shape_envelope(
+    shapes: Sequence[GemmShape],
+) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+    """(min, max) ranges of m, k, n over an existing shape list."""
+    if not shapes:
+        raise ValueError("cannot take the envelope of zero shapes")
+    ms = [s.m for s in shapes]
+    ks = [s.k for s in shapes]
+    ns = [s.n for s in shapes]
+    return (min(ms), max(ms)), (min(ks), max(ks)), (min(ns), max(ns))
+
+
+def random_gemm_shapes(
+    n: int,
+    *,
+    random_state=0,
+    envelope: Optional[Tuple[Tuple[int, int], ...]] = None,
+    fc_fraction: float = 0.15,
+) -> List[GemmShape]:
+    """Sample ``n`` distinct synthetic GEMM shapes.
+
+    Dimensions are log-uniform inside ``envelope`` (defaults to the span
+    of real network GEMMs); a ``fc_fraction`` of samples mimic batch-1
+    fully connected layers (m in {1..64}, large k), the family whose
+    optima differ most from convolutions.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 <= fc_fraction <= 1.0:
+        raise ValueError("fc_fraction must be in [0, 1]")
+    if envelope is None:
+        envelope = ((1, 802_816), (3, 25_088), (16, 4_096))
+    rng = rng_from(random_state)
+
+    def log_uniform(lo: int, hi: int) -> int:
+        return int(round(np.exp(rng.uniform(np.log(lo), np.log(hi)))))
+
+    out: List[GemmShape] = []
+    seen = set()
+    while len(out) < n:
+        if rng.random() < fc_fraction:
+            m = int(rng.integers(1, 65))
+            k = log_uniform(max(256, envelope[1][0]), envelope[1][1])
+            n_dim = log_uniform(max(100, envelope[2][0]), envelope[2][1])
+            batch = 1
+        else:
+            m = log_uniform(*envelope[0])
+            k = log_uniform(*envelope[1])
+            n_dim = log_uniform(*envelope[2])
+            batch = int(rng.choice(_BATCH_CHOICES))
+        shape = GemmShape(m=m, k=k, n=n_dim, batch=batch)
+        key = shape.as_tuple()
+        if key not in seen:
+            seen.add(key)
+            out.append(shape)
+    return out

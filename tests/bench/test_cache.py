@@ -1,0 +1,58 @@
+"""Dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cache import load_dataset, save_dataset
+from repro.bench.runner import BenchmarkRunner, RunnerConfig
+from repro.kernels.params import config_space
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def result():
+    runner = BenchmarkRunner(
+        Device.r9_nano(),
+        configs=config_space(tile_sizes=(1, 2), work_groups=((8, 8),)),
+        runner_config=RunnerConfig(seed=77),
+    )
+    return runner.run((GemmShape(m=64, k=64, n=64), GemmShape(m=1, k=256, n=64)))
+
+
+class TestRoundTrip:
+    def test_everything_preserved(self, result, tmp_path):
+        path = save_dataset(result, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+        assert loaded.device_name == result.device_name
+        assert loaded.shapes == result.shapes
+        assert loaded.configs == result.configs
+        np.testing.assert_array_equal(loaded.gflops, result.gflops)
+        np.testing.assert_array_equal(loaded.seconds, result.seconds)
+        assert loaded.runner == result.runner
+
+    def test_suffix_normalisation(self, result, tmp_path):
+        path = save_dataset(result, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_creates_parent_dirs(self, result, tmp_path):
+        path = save_dataset(result, tmp_path / "a" / "b" / "ds.npz")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nothing.npz")
+
+    def test_format_version_checked(self, result, tmp_path):
+        import json
+
+        path = save_dataset(result, tmp_path / "ds.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(str(arrays["meta"]))
+        meta["format_version"] = 999
+        arrays["meta"] = json.dumps(meta)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported dataset format"):
+            load_dataset(path)

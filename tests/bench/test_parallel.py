@@ -1,0 +1,36 @@
+"""Deterministic parallel map."""
+
+import math
+
+from repro.bench.parallel import parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(100))
+        assert parallel_map(square, items, max_workers=4) == [i * i for i in items]
+
+    def test_serial_path_small_inputs(self):
+        assert parallel_map(square, [1, 2, 3], max_workers=8) == [1, 4, 9]
+
+    def test_single_worker(self):
+        items = list(range(50))
+        assert parallel_map(square, items, max_workers=1) == [i * i for i in items]
+
+    def test_matches_serial_regardless_of_workers(self):
+        items = list(range(64))
+        serial = parallel_map(math.factorial, items, max_workers=1)
+        parallel = parallel_map(math.factorial, items, max_workers=2)
+        assert serial == parallel
+
+    def test_empty(self):
+        assert parallel_map(square, []) == []
+
+    def test_explicit_chunksize(self):
+        items = list(range(40))
+        out = parallel_map(square, items, max_workers=2, chunksize=5)
+        assert out == [i * i for i in items]

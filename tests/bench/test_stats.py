@@ -1,0 +1,29 @@
+"""Timing aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stats import summarize_times
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize_times([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.median == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.iterations == 3
+
+    def test_relative_spread(self):
+        s = summarize_times([1.0, 1.0, 1.0])
+        assert s.relative_spread == 0.0
+        s2 = summarize_times([1.0, 3.0])
+        assert s2.relative_spread == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_times([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            summarize_times([1.0, 0.0])

@@ -1,0 +1,92 @@
+"""Baseline selectors: static-best and oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import DecisionTreePruner
+from repro.core.selection.baselines import OracleSelector, StaticBestSelector
+from repro.core.selection.evaluate import evaluate_selector
+
+
+@pytest.fixture(scope="module")
+def split(small_dataset):
+    return small_dataset.split(test_size=0.3, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def pruned(split):
+    return DecisionTreePruner().select(split[0], 5)
+
+
+class TestStaticBest:
+    def test_predicts_one_constant_position(self, split, pruned):
+        train, test = split
+        selector = StaticBestSelector(pruned).fit(train)
+        positions = selector.predict_indices(test.features())
+        assert len(set(positions.tolist())) == 1
+
+    def test_constant_is_train_geomean_winner(self, split, pruned):
+        train, _ = split
+        selector = StaticBestSelector(pruned).fit(train)
+        cols = np.asarray(pruned.indices)
+        in_set = train.normalized()[:, cols]
+        geomeans = np.exp(np.mean(np.log(in_set), axis=0))
+        expected = int(np.argmax(geomeans))
+        assert selector.predict_indices(train.features()[0:1])[0] == expected
+
+    def test_unfitted_raises(self, pruned, split):
+        with pytest.raises(RuntimeError):
+            StaticBestSelector(pruned).select(split[1].shapes[0])
+
+    def test_evaluates_below_oracle(self, split, pruned):
+        train, test = split
+        static = StaticBestSelector(pruned).fit(train)
+        oracle = OracleSelector(pruned, test)
+        static_eval = evaluate_selector(static, test)
+        oracle_eval = evaluate_selector(oracle, test)
+        assert static_eval.score <= oracle_eval.score + 1e-12
+
+
+class TestOracle:
+    def test_scores_exactly_the_ceiling(self, split, pruned):
+        _, test = split
+        oracle = OracleSelector(pruned, test)
+        evaluation = evaluate_selector(oracle, test)
+        assert evaluation.score == pytest.approx(evaluation.ceiling)
+        assert evaluation.accuracy == 1.0
+
+    def test_select_matches_measured_best(self, split, pruned):
+        _, test = split
+        oracle = OracleSelector(pruned, test)
+        cols = np.asarray(pruned.indices)
+        for i, shape in enumerate(test.shapes[:10]):
+            chosen = oracle.select(shape)
+            best = pruned.configs[int(np.argmax(test.gflops[i, cols]))]
+            assert chosen == best
+
+    def test_unknown_shape_raises(self, split, pruned):
+        from repro.workloads.gemm import GemmShape
+
+        oracle = OracleSelector(pruned, split[1])
+        with pytest.raises(KeyError, match="no measurement"):
+            oracle.select(GemmShape(m=13, k=13, n=13))
+
+    def test_every_table1_classifier_between_static_and_oracle(
+        self, split, pruned
+    ):
+        """The baselines bound the learned selectors (sanity of the whole
+        Table I construction)."""
+        from repro.core.selection import default_selectors
+
+        train, test = split
+        static_score = evaluate_selector(
+            StaticBestSelector(pruned).fit(train), test
+        ).score
+        oracle_score = evaluate_selector(OracleSelector(pruned, test), test).score
+        for selector in default_selectors(pruned, random_state=0):
+            selector.fit(train)
+            score = evaluate_selector(selector, test).score
+            # Learned selectors can dip below static on tiny test sets,
+            # but never above the oracle.
+            assert score <= oracle_score + 1e-12
+        assert static_score <= oracle_score + 1e-12

@@ -1,0 +1,79 @@
+"""Deployment: tune(), DeployedSelector, source export."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import DeployedSelector, tune
+from repro.core.pruning import TopNPruner
+from repro.kernels.registry import KernelLibrary
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def deployed(small_dataset):
+    train, _ = small_dataset.split(test_size=0.3, random_state=0)
+    return tune(train, n_configs=5, random_state=0)
+
+
+class TestTune:
+    def test_returns_consistent_artefact(self, deployed):
+        assert isinstance(deployed, DeployedSelector)
+        assert deployed.library.configs == deployed.selector.pruned.configs
+
+    def test_custom_pruner_and_classifier(self, small_dataset):
+        train, _ = small_dataset.split(test_size=0.3, random_state=0)
+        dep = tune(
+            train, n_configs=4, pruner=TopNPruner(), classifier="1NearestNeighbor"
+        )
+        assert dep.selector.name == "1NearestNeighbor"
+        assert len(dep.library) <= 4
+
+    def test_selection_is_in_library(self, deployed, small_dataset):
+        for shape in small_dataset.shapes[:10]:
+            assert deployed.select(shape) in deployed.library.configs
+
+    def test_kernel_for_shape(self, deployed):
+        kernel = deployed.kernel_for(GemmShape(m=128, k=64, n=128))
+        assert kernel.config in deployed.library.configs
+
+
+class TestEndToEndMatmul:
+    def test_matmul_through_selector(self, deployed, rng):
+        a = rng.standard_normal((48, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 24)).astype(np.float32)
+        queue = Queue(Device.r9_nano())
+        c, event, config = deployed.matmul(queue, a, b)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4, atol=1e-5)
+        assert event.profiling_duration_ns > 0
+        assert config in deployed.library.configs
+
+
+class TestSourceExport:
+    def test_python_export_agrees_with_selector(self, deployed, small_dataset):
+        src = deployed.export_python()
+        namespace = {}
+        exec(src, namespace)  # noqa: S102 - generated in-test
+        select = namespace["select_kernel"]
+        for shape in small_dataset.shapes[:12]:
+            expected = deployed.select(shape).short_name()
+            got = select(*shape.features())
+            assert got == expected
+
+    def test_cpp_export_well_formed(self, deployed):
+        src = deployed.export_cpp()
+        assert src.startswith("const char* select_kernel(")
+        assert src.count("{") == src.count("}")
+        assert "return \"" in src
+
+    def test_non_tree_selector_cannot_export(self, small_dataset):
+        train, _ = small_dataset.split(test_size=0.3, random_state=0)
+        dep = tune(train, n_configs=4, classifier="1NearestNeighbor")
+        with pytest.raises(TypeError, match="decision-tree"):
+            dep.export_python()
+
+    def test_mismatched_library_rejected(self, deployed, small_dataset):
+        other = KernelLibrary([small_dataset.configs[0]])
+        with pytest.raises(ValueError, match="same configurations"):
+            DeployedSelector(other, deployed.selector)

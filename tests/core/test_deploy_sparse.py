@@ -1,0 +1,67 @@
+"""Deployment with a sparsity-aware selector (5-feature export)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchmarkRunner, RunnerConfig
+from repro.core.dataset import PerformanceDataset
+from repro.core.deploy import tune
+from repro.kernels.params import config_space
+from repro.perfmodel.sparse import SparseGemmPerfModel
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+from repro.workloads.sparse import sparsify
+
+
+@pytest.fixture(scope="module")
+def sparse_deployed():
+    base = [
+        GemmShape(m=3136, k=576, n=128),
+        GemmShape(m=1, k=4096, n=1000),
+        GemmShape(m=196, k=256, n=512, batch=16),
+        GemmShape(m=12544, k=64, n=256),
+        GemmShape(m=49, k=960, n=160),
+        GemmShape(m=784, k=1152, n=256),
+    ]
+    shapes = sparsify(base, densities=(1.0, 0.5, 0.1))
+    runner = BenchmarkRunner(
+        Device.r9_nano(),
+        configs=config_space(tile_sizes=(1, 2, 4), work_groups=((8, 8), (1, 64), (16, 16))),
+        runner_config=RunnerConfig(timed_iterations=2),
+        model=SparseGemmPerfModel(Device.r9_nano()),
+    )
+    dataset = PerformanceDataset.from_benchmark(runner.run(shapes))
+    return tune(dataset, n_configs=4, random_state=0), dataset
+
+
+class TestSparseDeploy:
+    def test_export_includes_density_feature(self, sparse_deployed):
+        deployed, _ = sparse_deployed
+        src = deployed.export_python()
+        assert "def select_kernel(m, k, n, batch, density):" in src
+
+    def test_exported_function_agrees(self, sparse_deployed):
+        deployed, dataset = sparse_deployed
+        namespace = {}
+        exec(deployed.export_python(), namespace)  # noqa: S102
+        select = namespace["select_kernel"]
+        for shape in dataset.shapes:
+            assert select(*shape.features()) == deployed.select(shape).short_name()
+
+    def test_cpp_export_has_five_params(self, sparse_deployed):
+        deployed, _ = sparse_deployed
+        src = deployed.export_cpp()
+        assert "double density" in src
+
+    def test_selection_can_depend_on_density(self, sparse_deployed):
+        deployed, dataset = sparse_deployed
+        # Over all base shapes and densities, at least one base shape
+        # gets different configs at different densities (the sparse
+        # model's optimum shift) -- unless the pruned set collapsed.
+        choices = {}
+        for shape in dataset.shapes:
+            key = shape.dense_equivalent().as_tuple()
+            choices.setdefault(key, set()).add(deployed.select(shape))
+        assert any(len(v) > 1 for v in choices.values()) or len(
+            deployed.library
+        ) == 1

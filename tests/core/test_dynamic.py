@@ -1,0 +1,80 @@
+"""Dynamic trial-run selection."""
+
+import pytest
+
+from repro.bench.runner import BenchmarkRunner
+from repro.core.pruning import TopNPruner
+from repro.core.selection.dynamic import DynamicTrialSelector
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def runner(small_dataset):
+    return BenchmarkRunner(
+        Device.r9_nano(), configs=small_dataset.configs
+    )
+
+
+@pytest.fixture(scope="module")
+def pruned(small_dataset):
+    return TopNPruner().select(small_dataset, 4)
+
+
+class TestDynamicSelector:
+    def test_picks_true_best_in_set(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        shape = GemmShape(m=512, k=256, n=512)
+        chosen = selector.select(shape)
+        times = {
+            config: runner.bench_single(shape, config).mean
+            for config in pruned.configs
+        }
+        assert times[chosen] == min(times.values())
+
+    def test_first_use_sweeps_then_caches(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        shape = GemmShape(m=128, k=128, n=128)
+        first = selector.select(shape)
+        spent_after_first = selector.stats.trial_seconds
+        second = selector.select(shape)
+        assert first == second
+        assert selector.stats.trial_sweeps == 1
+        assert selector.stats.lookups == 2
+        assert selector.stats.trial_seconds == spent_after_first
+
+    def test_distinct_shapes_trigger_new_trials(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        selector.select(GemmShape(m=64, k=64, n=64))
+        selector.select(GemmShape(m=64, k=64, n=65))
+        assert selector.stats.trial_sweeps == 2
+
+    def test_hit_rate(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        shape = GemmShape(m=96, k=96, n=96)
+        for _ in range(4):
+            selector.select(shape)
+        assert selector.stats.hit_rate == pytest.approx(0.75)
+
+    def test_trial_cost_positive_and_accumulates(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        selector.select(GemmShape(m=200, k=200, n=200))
+        one = selector.stats.trial_seconds
+        assert one > 0
+        selector.select(GemmShape(m=201, k=200, n=200))
+        assert selector.stats.trial_seconds > one
+
+    def test_reset(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        selector.select(GemmShape(m=64, k=64, n=64))
+        selector.reset()
+        assert selector.stats.lookups == 0
+        selector.select(GemmShape(m=64, k=64, n=64))
+        assert selector.stats.trial_sweeps == 1
+
+    def test_empty_stats(self, runner, pruned):
+        assert DynamicTrialSelector(runner, pruned).stats.hit_rate == 0.0
+
+    def test_invalid_trial_iterations(self, runner, pruned):
+        with pytest.raises(ValueError):
+            DynamicTrialSelector(runner, pruned, trial_iterations=0)

@@ -1,0 +1,30 @@
+"""PCA-based target-count analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca_analysis import analyze_dataset
+
+
+class TestAnalysis:
+    def test_thresholds_resolved(self, small_dataset):
+        analysis = analyze_dataset(small_dataset, thresholds=(0.5, 0.8, 0.95))
+        counts = analysis.components_for_threshold
+        assert set(counts) == {0.5, 0.8, 0.95}
+        assert counts[0.5] <= counts[0.8] <= counts[0.95]
+
+    def test_budget_range(self, small_dataset):
+        analysis = analyze_dataset(small_dataset, thresholds=(0.8, 0.95))
+        low, high = analysis.suggested_budget_range()
+        assert low == analysis.components_for_threshold[0.8]
+        assert high == analysis.components_for_threshold[0.95]
+
+    def test_cumulative_ratio_monotone(self, small_dataset):
+        analysis = analyze_dataset(small_dataset)
+        cum = analysis.cumulative_ratio
+        assert np.all(np.diff(cum) >= -1e-12)
+        assert cum[-1] <= 1.0 + 1e-9
+
+    def test_empty_thresholds_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            analyze_dataset(small_dataset, thresholds=())

@@ -1,0 +1,108 @@
+"""Property-based tests: pipeline invariants on arbitrary datasets.
+
+Hypothesis generates random performance tables; every pruning technique
+and the scoring machinery must satisfy their contracts regardless of the
+data's structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning import (
+    DecisionTreePruner,
+    KMeansPruner,
+    TopNPruner,
+    achievable_performance,
+)
+from repro.core.pruning.base import PrunedSet
+from repro.core.selection.selector import selection_labels
+from repro.kernels.params import config_space
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = tuple(config_space(tile_sizes=(1, 2), work_groups=((8, 8), (16, 16))))
+
+
+@st.composite
+def datasets(draw, min_shapes=4, max_shapes=16):
+    n_shapes = draw(st.integers(min_shapes, max_shapes))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    shapes = []
+    seen = set()
+    while len(shapes) < n_shapes:
+        m, k, n = (int(v) for v in rng.integers(1, 2048, size=3))
+        if (m, k, n) not in seen:
+            seen.add((m, k, n))
+            shapes.append(GemmShape(m=m, k=k, n=n))
+    gflops = np.exp(rng.normal(3.0, 1.5, size=(n_shapes, len(CONFIGS))))
+    return PerformanceDataset(
+        shapes=tuple(shapes), configs=CONFIGS, gflops=gflops
+    )
+
+
+PRUNERS = [TopNPruner(), KMeansPruner(n_init=2, random_state=0), DecisionTreePruner()]
+
+
+class TestPrunerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(dataset=datasets(), budget=st.integers(1, 10))
+    @pytest.mark.parametrize("pruner", PRUNERS, ids=lambda p: p.name)
+    def test_budget_and_validity(self, pruner, dataset, budget):
+        pruned = pruner.select(dataset, budget)
+        assert 1 <= len(pruned) <= budget
+        assert len(set(pruned.indices)) == len(pruned.indices)
+        for idx, cfg in zip(pruned.indices, pruned.configs):
+            assert dataset.configs[idx] == cfg
+
+    @settings(max_examples=20, deadline=None)
+    @given(dataset=datasets())
+    def test_full_budget_achieves_optimum_for_topn(self, dataset):
+        pruned = TopNPruner().select(dataset, dataset.n_configs)
+        assert achievable_performance(pruned, dataset) == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(dataset=datasets(), budget=st.integers(1, 8))
+    def test_achievable_performance_bounds(self, dataset, budget):
+        pruned = TopNPruner().select(dataset, budget)
+        score = achievable_performance(pruned, dataset)
+        assert 0.0 < score <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(dataset=datasets(), seed=st.integers(0, 1000))
+    def test_superset_never_worse(self, dataset, seed):
+        """Adding configurations to a set can only help the achievable
+        score (max over a superset dominates)."""
+        rng = np.random.default_rng(seed)
+        base = sorted(rng.choice(dataset.n_configs, size=3, replace=False))
+        extra = sorted(set(base) | {int(rng.integers(dataset.n_configs))})
+
+        def make(indices):
+            return PrunedSet(
+                indices=tuple(int(i) for i in indices),
+                configs=tuple(dataset.configs[i] for i in indices),
+                method="manual",
+            )
+
+        assert achievable_performance(make(extra), dataset) >= achievable_performance(
+            make(base), dataset
+        ) - 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(dataset=datasets(), budget=st.integers(2, 6))
+    def test_labels_select_in_set_optimum(self, dataset, budget):
+        pruned = TopNPruner().select(dataset, budget)
+        labels = selection_labels(dataset, pruned)
+        cols = np.asarray(pruned.indices)
+        achieved = dataset.gflops[np.arange(dataset.n_shapes), cols[labels]]
+        np.testing.assert_allclose(
+            achieved, dataset.gflops[:, cols].max(axis=1)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(dataset=datasets(min_shapes=6))
+    def test_split_preserves_columns(self, dataset):
+        train, test = dataset.split(test_size=0.3, random_state=1)
+        assert train.configs == test.configs == dataset.configs
+        assert train.n_shapes + test.n_shapes == dataset.n_shapes

@@ -1,0 +1,144 @@
+"""Runtime selection: labels, selectors, Table I evaluation, latency."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import DecisionTreePruner, TopNPruner
+from repro.core.selection import (
+    default_selectors,
+    evaluate_selector,
+    make_selector,
+    selection_labels,
+    sweep_selectors,
+)
+from repro.core.selection.classifiers import TABLE1_CLASSIFIERS
+from repro.core.selection.latency import measure_selection_latency
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def split(small_dataset):
+    return small_dataset.split(test_size=0.3, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def pruned(split):
+    return DecisionTreePruner().select(split[0], 5)
+
+
+class TestLabels:
+    def test_labels_within_set(self, split, pruned):
+        labels = selection_labels(split[0], pruned)
+        assert labels.shape == (split[0].n_shapes,)
+        assert labels.min() >= 0 and labels.max() < len(pruned)
+
+    def test_labels_are_best_in_set(self, split, pruned):
+        train = split[0]
+        labels = selection_labels(train, pruned)
+        cols = np.asarray(pruned.indices)
+        for row, label in enumerate(labels):
+            in_set = train.gflops[row, cols]
+            assert in_set[label] == in_set.max()
+
+
+class TestSelector:
+    def test_all_six_classifiers_fit_and_predict(self, split, pruned):
+        train, test = split
+        for selector in default_selectors(pruned, random_state=0):
+            selector.fit(train)
+            config = selector.select(test.shapes[0])
+            assert config in pruned.configs
+
+    def test_unfitted_raises(self, pruned, split):
+        selector = make_selector("DecisionTree", pruned)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            selector.select(split[1].shapes[0])
+
+    def test_unknown_classifier(self, pruned):
+        with pytest.raises(ValueError, match="unknown classifier"):
+            make_selector("GradientBoosting", pruned)
+
+    def test_constant_labels_handled(self, split, small_dataset):
+        # A pruned set where one config dominates every shape.
+        train = split[0]
+        best_everywhere = int(
+            np.argmax(train.normalized().mean(axis=0))
+        )
+        from repro.core.pruning.base import PrunedSet
+
+        pruned1 = PrunedSet(
+            indices=(best_everywhere,),
+            configs=(train.configs[best_everywhere],),
+            method="single",
+        )
+        selector = make_selector("DecisionTree", pruned1).fit(train)
+        assert selector.select(train.shapes[0]) == train.configs[best_everywhere]
+
+    def test_table1_names(self):
+        assert TABLE1_CLASSIFIERS == (
+            "DecisionTree",
+            "RandomForest",
+            "1NearestNeighbor",
+            "3NearestNeighbors",
+            "LinearSVM",
+            "RadialSVM",
+        )
+
+
+class TestEvaluation:
+    def test_score_bounded_by_ceiling(self, split, pruned):
+        train, test = split
+        for name in ("DecisionTree", "1NearestNeighbor"):
+            selector = make_selector(name, pruned, random_state=0).fit(train)
+            ev = evaluate_selector(selector, test)
+            assert 0.0 < ev.score <= ev.ceiling + 1e-12
+            assert 0.0 <= ev.accuracy <= 1.0
+            assert ev.n_configs == len(pruned)
+
+    def test_perfect_selector_hits_ceiling(self, split, pruned):
+        """An oracle predicting best-in-set labels scores the ceiling."""
+        train, test = split
+
+        class Oracle:
+            def fit(self, X, y):
+                return self
+
+            def predict(self, X):
+                return selection_labels(test, pruned)
+
+        from repro.core.selection.selector import Selector
+
+        selector = Selector("oracle", Oracle(), pruned)
+        selector.fit(train)
+        ev = evaluate_selector(selector, test)
+        assert ev.score == pytest.approx(ev.ceiling)
+        assert ev.accuracy == 1.0
+
+    def test_sweep_structure(self, split):
+        train, test = split
+        out = sweep_selectors(
+            train, test, TopNPruner(), budgets=(3, 5), random_state=0
+        )
+        assert set(out) == {3, 5}
+        for evaluations in out.values():
+            assert [e.classifier for e in evaluations] == list(TABLE1_CLASSIFIERS)
+
+
+class TestLatency:
+    def test_latency_measured(self, split, pruned):
+        train, _ = split
+        selector = make_selector("DecisionTree", pruned).fit(train)
+        lat = measure_selection_latency(
+            selector, GemmShape(m=128, k=128, n=128), repeats=20, warmup=2
+        )
+        assert lat.mean > 0
+        assert lat.p95 >= lat.median
+        assert lat.repeats == 20
+
+    def test_invalid_repeats(self, split, pruned):
+        train, _ = split
+        selector = make_selector("DecisionTree", pruned).fit(train)
+        with pytest.raises(ValueError):
+            measure_selection_latency(
+                selector, GemmShape(m=1, k=1, n=1), repeats=0
+            )

@@ -1,0 +1,32 @@
+"""Dataset-size experiment mechanics (small scale)."""
+
+import pytest
+
+from repro.experiments.dataset_size import run_dataset_size
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_dataset_size(sizes=(30, 60), budget=6)
+
+
+class TestDatasetSize:
+    def test_scores_structure(self, result):
+        assert set(result.scores) == {30, 60}
+        for score, ceiling in result.scores.values():
+            assert 0 < score <= ceiling <= 1.0
+
+    def test_improvement_accessor(self, result):
+        small = result.scores[30][0]
+        large = result.scores[60][0]
+        assert result.improvement == pytest.approx(large - small)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "train shapes" in text and "gap" in text
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            run_dataset_size(sizes=(4,), budget=8)
+        with pytest.raises(ValueError):
+            run_dataset_size(sizes=())

@@ -1,0 +1,121 @@
+"""Experiment drivers on the small dataset (mechanics, not calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table1,
+)
+
+
+class TestFig1:
+    def test_sorted_means(self, small_dataset):
+        result = run_fig1(small_dataset)
+        assert np.all(np.diff(result.mean_sorted) >= -1e-12)
+        assert len(result.order) == small_dataset.n_configs
+
+    def test_min_le_mean_le_max(self, small_dataset):
+        result = run_fig1(small_dataset)
+        assert np.all(result.min_sorted <= result.mean_sorted + 1e-12)
+        assert np.all(result.mean_sorted <= result.max_sorted + 1e-12)
+
+    def test_render(self, small_dataset):
+        text = run_fig1(small_dataset).render()
+        assert "Fig 1" in text and "config rank" in text
+
+
+class TestFig2:
+    def test_winner_counts_sum(self, small_dataset):
+        result = run_fig2(small_dataset)
+        assert sum(w for _, w in result.winners) == small_dataset.n_shapes
+
+    def test_sorted_descending(self, small_dataset):
+        counts = [w for _, w in run_fig2(small_dataset).winners]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_dominance_ratio(self, small_dataset):
+        result = run_fig2(small_dataset)
+        if len(result.winners) >= 2:
+            assert result.dominance_ratio >= 1.0
+
+    def test_render(self, small_dataset):
+        text = run_fig2(small_dataset).render()
+        assert "win counts" in text and "distinct winning" in text
+
+
+class TestFig3:
+    def test_components_monotone(self, small_dataset):
+        result = run_fig3(small_dataset, thresholds=(0.7, 0.9))
+        assert (
+            result.components_for_threshold[0.7]
+            <= result.components_for_threshold[0.9]
+        )
+
+    def test_render(self, small_dataset):
+        text = run_fig3(small_dataset).render()
+        assert "variance" in text and "budget range" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return run_fig4(small_dataset, budgets=(3, 5, 8))
+
+    def test_all_methods_present(self, result):
+        assert set(result.scores) == {
+            "top-n",
+            "k-means",
+            "pca+k-means",
+            "hdbscan",
+            "decision tree",
+        }
+
+    def test_scores_in_range(self, result):
+        for per_budget in result.scores.values():
+            assert all(0 < v <= 1 for v in per_budget.values())
+
+    def test_best_technique_query(self, result):
+        best = result.best_technique(5)
+        assert best in result.scores
+        assert result.scores[best][5] == max(s[5] for s in result.scores.values())
+
+    def test_best_score_cell(self, result):
+        tech, budget, score = result.best_score()
+        assert result.scores[tech][budget] == score
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig 4" in text and "decision tree" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return run_table1(small_dataset, budgets=(4, 6))
+
+    def test_all_classifiers_scored(self, result):
+        from repro.core.selection.classifiers import TABLE1_CLASSIFIERS
+
+        for name in TABLE1_CLASSIFIERS:
+            for budget in (4, 6):
+                assert 0 < result.score(name, budget) <= 1.0
+
+    def test_scores_below_ceiling(self, result):
+        for budget in (4, 6):
+            ceiling = result.ceiling(budget)
+            for ev in result.evaluations[budget]:
+                assert ev.score <= ceiling + 1e-9
+
+    def test_best_classifier(self, result):
+        best = result.best_classifier(4)
+        assert result.score(best, 4) == max(
+            ev.score for ev in result.evaluations[4]
+        )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table I" in text and "RadialSVM" in text and "(ceiling)" in text

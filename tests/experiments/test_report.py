@@ -1,0 +1,48 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import ascii_bars, ascii_series, ascii_table
+
+
+class TestTable:
+    def test_alignment(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+        assert "longer" in out
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        out = ascii_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestBars:
+    def test_proportional_lengths(self):
+        out = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+        bar_a = out.splitlines()[0].count("#")
+        bar_b = out.splitlines()[1].count("#")
+        assert bar_b == 10 and bar_a == 5
+
+    def test_zero_values_no_crash(self):
+        out = ascii_bars(["a"], [0.0])
+        assert "a" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+
+class TestSeries:
+    def test_markers_and_legend(self):
+        out = ascii_series([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "legend:" in out
+        assert "* = up" in out and "o = down" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_series([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in out

@@ -1,0 +1,41 @@
+"""Sparse-generalization experiment mechanics (small scale)."""
+
+import pytest
+
+from repro.experiments.sparse import run_sparse_generalization
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Heavily strided base shapes keep this fast; the full-scale run is
+    # the benchmark's job.
+    return run_sparse_generalization(
+        densities=(1.0, 0.5, 0.1), budget=6, shape_stride=9
+    )
+
+
+class TestSparseGeneralization:
+    def test_scores_in_range(self, result):
+        assert 0 < result.score_dense_trained <= 1
+        assert 0 < result.score_sparsity_aware <= 1
+        assert result.score_dense_trained <= result.ceiling_dense_trained + 1e-9
+        assert result.score_sparsity_aware <= result.ceiling_sparsity_aware + 1e-9
+
+    def test_per_density_scores_cover_sparse_levels(self, result):
+        assert set(result.per_density_scores) == {0.5, 0.1}
+        assert all(0 < v <= 1 for v in result.per_density_scores.values())
+
+    def test_aware_not_worse(self, result):
+        # The point of the experiment: density-aware training should not
+        # lose to density-blind training on sparse test rows.
+        assert result.generalization_gap >= -0.02
+
+    def test_render(self, result):
+        text = result.render()
+        assert "dense-trained" in text
+        assert "sparsity-aware" in text
+        assert "generalization gap" in text
+
+    def test_requires_dense_rows(self):
+        with pytest.raises(ValueError, match="must include 1.0"):
+            run_sparse_generalization(densities=(0.5, 0.1))

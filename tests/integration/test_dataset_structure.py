@@ -1,0 +1,101 @@
+"""Calibration targets: the full dataset must reproduce the paper's
+structure (DESIGN.md section 5).
+
+These tests run against the real 640-config dataset and assert the
+qualitative properties every downstream experiment depends on.  The
+tolerances are wide: they fail when the performance model drifts away
+from the paper's regime, not on noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.maths import geometric_mean
+
+
+@pytest.fixture(scope="module")
+def normalized(full_dataset):
+    return full_dataset.normalized()
+
+
+class TestDatasetShape:
+    def test_config_count_is_640(self, full_dataset):
+        assert full_dataset.n_configs == 640
+
+    def test_shape_count_near_paper(self, full_dataset):
+        # Paper: 170 shape combinations.
+        assert 130 <= full_dataset.n_shapes <= 220
+
+
+class TestFig2Structure:
+    """One dominant winner, a long tail (paper: 32 wins / 58 winners)."""
+
+    def test_long_tail_of_winners(self, full_dataset):
+        wins = full_dataset.win_counts()
+        assert np.count_nonzero(wins) >= 35
+
+    def test_dominant_winner(self, full_dataset):
+        wins = np.sort(full_dataset.win_counts())[::-1]
+        assert wins[0] >= 10
+        assert wins[0] >= 1.3 * wins[1]
+
+
+class TestFig1Structure:
+    """Bad-everywhere configs and niche specialists."""
+
+    def test_some_configs_bad_everywhere(self, normalized):
+        best_anywhere = normalized.max(axis=0)
+        assert np.sum(best_anywhere < 0.5) >= 20
+
+    def test_niche_specialists_exist(self, full_dataset, normalized):
+        # "Some configurations that perform poorly on the majority of
+        # cases can be seen to perform well on a small number of specific
+        # matrix sizes": winners with weak (< 0.6) mean performance.
+        mean = normalized.mean(axis=0)
+        winners = set(full_dataset.best_config_indices().tolist())
+        niche = [c for c in winners if mean[c] < 0.6]
+        assert len(niche) >= 5
+
+    def test_no_single_config_is_good_everywhere(self, normalized):
+        # The motivation for selection: even the best single config
+        # leaves large losses on some shapes.
+        best_single = np.exp(np.mean(np.log(normalized), axis=0)).max()
+        assert best_single < 0.92
+
+    def test_wide_per_shape_spread(self, normalized):
+        # Choosing the worst config must be catastrophic on most shapes.
+        worst = normalized.min(axis=1)
+        assert np.median(worst) < 0.10
+
+
+class TestFig3Structure:
+    """PCA variance concentration (paper: 4 / 8 / 15 components)."""
+
+    def test_components_for_thresholds(self, full_dataset):
+        from repro.core.pca_analysis import analyze_dataset
+
+        analysis = analyze_dataset(full_dataset)
+        counts = analysis.components_for_threshold
+        assert 2 <= counts[0.80] <= 7
+        assert counts[0.80] <= counts[0.90] <= 12
+        assert counts[0.90] <= counts[0.95] <= 20
+
+
+class TestMagnitudes:
+    def test_peak_gflops_regime(self, full_dataset):
+        # Best configs on big GEMMs should reach GEMM-realistic rates on
+        # an 8.2 TFLOP/s part: above 1 TFLOP/s, below peak.
+        best = full_dataset.best_gflops().max()
+        assert 1000.0 < best < 8192.0
+
+    def test_m1_shapes_are_slow(self, full_dataset):
+        # FC layers at batch 1 are memory/latency bound.
+        for i, shape in enumerate(full_dataset.shapes):
+            if shape.m == 1 and shape.k > 1000:
+                assert full_dataset.best_gflops()[i] < 500.0
+
+    def test_determinism_against_regeneration(self, full_dataset):
+        from repro.core.dataset import generate_dataset
+
+        again = generate_dataset()
+        np.testing.assert_array_equal(full_dataset.gflops, again.gflops)

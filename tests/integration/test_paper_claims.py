@@ -1,0 +1,120 @@
+"""The paper's headline experimental claims, on the full dataset.
+
+Each test corresponds to a sentence in the paper's evaluation; tolerances
+accommodate the simulated substrate (we match shape, not absolute
+numbers — see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig4, run_table1
+
+
+@pytest.fixture(scope="module")
+def fig4(full_dataset):
+    # Average over three splits: 34-shape test sets make single-split
+    # method rankings noisy (the paper reports one split; EXPERIMENTS.md
+    # shows both).
+    return run_fig4(
+        full_dataset, budgets=(4, 5, 6, 8, 10, 12, 15), split_seeds=(0, 1, 2)
+    )
+
+
+@pytest.fixture(scope="module")
+def table1(full_dataset):
+    return run_table1(full_dataset)
+
+
+class TestFig4Claims:
+    def test_clustering_beats_naive_when_very_limited(self, fig4):
+        """'When the number of configurations is very limited, the
+        clustering methods all perform significantly better than the
+        naive method.'"""
+        naive = fig4.scores["top-n"][4]
+        clustering_best = max(
+            fig4.scores[m][4] for m in fig4.scores if m != "top-n"
+        )
+        assert clustering_best > naive + 0.01
+
+    def test_best_methods_reach_mid_nineties_at_6(self, fig4):
+        """'With a limit of 6 kernels, the decision tree and PCA+k-means
+        could both achieve close to 95%.'"""
+        assert fig4.scores["decision tree"][6] > 0.90
+        assert fig4.scores["pca+k-means"][6] > 0.90
+
+    def test_all_techniques_improve_with_budget(self, fig4):
+        """'As more configurations were allowed all techniques improved.'"""
+        for name, scores in fig4.scores.items():
+            assert scores[15] >= scores[4] - 0.02, name
+
+    def test_everything_converges_around_95_at_15(self, fig4):
+        for scores in fig4.scores.values():
+            assert scores[15] > 0.92
+
+    def test_decision_tree_competitive_at_6_plus(self, fig4):
+        """'The decision tree consistently provided the best results when
+        6 or more kernel configurations were allowed.'  On the simulated
+        dataset we require it to be within 2.5 points of the best
+        technique at every budget >= 6 (single-split rankings are noisy;
+        EXPERIMENTS.md reports the multi-seed comparison)."""
+        for budget in (6, 8, 10, 12, 15):
+            best = max(scores[budget] for scores in fig4.scores.values())
+            assert fig4.scores["decision tree"][budget] >= best - 0.025
+
+    def test_best_case_above_95(self, fig4):
+        _, _, score = fig4.best_score()
+        assert score > 0.95
+
+
+class TestTable1Claims:
+    def test_ceilings_in_paper_band(self, table1):
+        """Caption: ceilings 92.99 / 94.98 / 95.37 / 96.61 %."""
+        for budget in (5, 6, 8, 15):
+            assert 0.90 <= table1.ceiling(budget) <= 0.99
+
+    def test_ceilings_nondecreasing(self, table1):
+        ceilings = [table1.ceiling(b) for b in (5, 6, 8, 15)]
+        assert ceilings == sorted(ceilings)
+
+    def test_no_classifier_reaches_its_ceiling(self, table1):
+        """'None of the models achieve over 89%' while ceilings are
+        93-97%: a persistent generalisation gap."""
+        for budget in (5, 6, 8, 15):
+            ceiling = table1.ceiling(budget)
+            for ev in table1.evaluations[budget]:
+                assert ev.score < ceiling
+
+    def test_gap_is_substantial_somewhere(self, table1):
+        gaps = [
+            table1.ceiling(b) - max(ev.score for ev in table1.evaluations[b])
+            for b in (5, 6, 8, 15)
+        ]
+        assert max(gaps) > 0.02
+
+    def test_decision_tree_competitive(self, table1):
+        """'The decision tree outperforms or comes close to the
+        performance of all other classifiers.'"""
+        for budget in (5, 6, 8):
+            best = max(ev.score for ev in table1.evaluations[budget])
+            assert table1.score("DecisionTree", budget) >= best - 0.05
+
+    def test_radial_svm_collapses(self, table1):
+        """The RadialSVM row sits far below the tree-based rows and is
+        near-constant across budgets (the paper's flat ~55%)."""
+        scores = [table1.score("RadialSVM", b) for b in (5, 6, 8, 15)]
+        trees = [table1.score("DecisionTree", b) for b in (5, 6, 8, 15)]
+        assert np.mean(scores) < np.mean(trees) - 0.05
+        assert max(scores) - min(scores) < 0.15
+
+    def test_nearest_neighbors_below_tree_methods(self, table1):
+        for budget in (5, 6, 8, 15):
+            knn = max(
+                table1.score("1NearestNeighbor", budget),
+                table1.score("3NearestNeighbors", budget),
+            )
+            tree_like = max(
+                table1.score("DecisionTree", budget),
+                table1.score("RandomForest", budget),
+            )
+            assert knn <= tree_like + 0.02

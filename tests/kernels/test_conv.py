@@ -1,0 +1,167 @@
+"""Convolution-through-GEMM: im2col and Winograd vs the direct oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.conv import (
+    conv2d_direct,
+    conv2d_im2col,
+    conv2d_winograd,
+    im2col,
+    winograd_gemm_shape,
+)
+from repro.kernels.params import KernelConfig
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.workloads.layers import Conv2d, InputSpec
+from repro.workloads.lowering import lower_conv_im2col, lower_conv_winograd
+
+CFG = KernelConfig(acc=2, rows=2, cols=2, wg_rows=8, wg_cols=8)
+
+
+@pytest.fixture
+def queue():
+    return Queue(Device.r9_nano())
+
+
+class TestDirectOracle:
+    def test_identity_filter(self, rng):
+        x = rng.standard_normal((5, 5, 3))
+        w = np.zeros((1, 1, 3, 3))
+        for c in range(3):
+            w[0, 0, c, c] = 1.0
+        np.testing.assert_allclose(conv2d_direct(x, w), x, atol=1e-12)
+
+    def test_averaging_filter(self):
+        x = np.ones((4, 4, 1))
+        w = np.full((2, 2, 1, 1), 0.25)
+        out = conv2d_direct(x, w)
+        np.testing.assert_allclose(out, np.ones((3, 3, 1)), atol=1e-12)
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = rng.standard_normal((7, 9, 2))
+        w = rng.standard_normal((3, 3, 2, 4))
+        out = conv2d_direct(x, w, stride=2, padding=1)
+        assert out.shape == (4, 5, 4)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv2d_direct(
+                rng.standard_normal((4, 4, 2)), rng.standard_normal((3, 3, 3, 1))
+            )
+
+
+class TestIm2col:
+    def test_matrix_shape_matches_lowering(self, rng):
+        x = rng.standard_normal((14, 14, 16)).astype(np.float32)
+        cols = im2col(x, (3, 3), stride=1, padding=1)
+        predicted = lower_conv_im2col(
+            Conv2d(out_channels=1, kernel=3, padding=1), InputSpec(14, 14, 16)
+        )
+        assert cols.shape == (predicted.m, predicted.k)
+
+    def test_values_are_patches(self):
+        x = np.arange(9, dtype=np.float64).reshape(3, 3, 1)
+        cols = im2col(x, (2, 2))
+        np.testing.assert_allclose(cols[0].ravel(), [0, 1, 3, 4])
+        np.testing.assert_allclose(cols[-1].ravel(), [4, 5, 7, 8])
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            im2col(np.zeros((2, 2, 1)), (5, 5))
+
+
+class TestIm2colConv:
+    def test_matches_direct(self, queue, rng):
+        x = rng.standard_normal((9, 11, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 4, 6)).astype(np.float32)
+        got, event = conv2d_im2col(queue, x, w, CFG, stride=1, padding=1)
+        want = conv2d_direct(x, w, stride=1, padding=1)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+        assert event.profiling_duration_ns > 0
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (2, 3)])
+    def test_strided_padded(self, queue, rng, stride, padding):
+        x = rng.standard_normal((12, 10, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 5)).astype(np.float32)
+        got, _ = conv2d_im2col(queue, x, w, CFG, stride=stride, padding=padding)
+        want = conv2d_direct(x, w, stride=stride, padding=padding)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_1x1_pointwise(self, queue, rng):
+        x = rng.standard_normal((8, 8, 16)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 16, 8)).astype(np.float32)
+        got, _ = conv2d_im2col(queue, x, w, CFG)
+        want = conv2d_direct(x, w)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        h=st.integers(4, 12),
+        w_dim=st.integers(4, 12),
+        c=st.integers(1, 6),
+        f=st.integers(1, 6),
+        seed=st.integers(0, 99),
+    )
+    def test_property_matches_direct(self, h, w_dim, c, f, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((h, w_dim, c)).astype(np.float32)
+        w = rng.standard_normal((3, 3, c, f)).astype(np.float32)
+        got, _ = conv2d_im2col(
+            Queue(Device.r9_nano()), x, w, CFG, stride=1, padding=1
+        )
+        want = conv2d_direct(x, w, stride=1, padding=1)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-3)
+
+
+class TestWinogradConv:
+    def test_matches_direct(self, queue, rng):
+        x = rng.standard_normal((10, 10, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 4, 6)).astype(np.float32)
+        got, events = conv2d_winograd(queue, x, w, CFG, padding=1)
+        want = conv2d_direct(x, w, padding=1)
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+        assert len(events) == 16  # the batch=16 GEMM launch
+
+    def test_odd_output_sizes(self, queue, rng):
+        x = rng.standard_normal((7, 9, 2)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 2, 3)).astype(np.float32)
+        got, _ = conv2d_winograd(queue, x, w, CFG, padding=1)
+        want = conv2d_direct(x, w, padding=1)
+        assert got.shape == want.shape == (7, 9, 3)
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+
+    def test_no_padding(self, queue, rng):
+        x = rng.standard_normal((8, 8, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 2)).astype(np.float32)
+        got, _ = conv2d_winograd(queue, x, w, CFG)
+        want = conv2d_direct(x, w)
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+
+    def test_rejects_non_3x3(self, queue, rng):
+        with pytest.raises(ValueError, match="3x3"):
+            conv2d_winograd(
+                queue,
+                rng.standard_normal((6, 6, 2)).astype(np.float32),
+                rng.standard_normal((5, 5, 2, 2)).astype(np.float32),
+                CFG,
+            )
+
+    def test_gemm_shape_matches_lowering(self, rng):
+        x = rng.standard_normal((14, 14, 32)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 32, 64)).astype(np.float32)
+        actual = winograd_gemm_shape(x, w, padding=1)
+        predicted = lower_conv_winograd(
+            Conv2d(out_channels=64, kernel=3, padding=1),
+            InputSpec(14, 14, 32),
+            tile=2,
+        )
+        assert actual == predicted
+
+    def test_queue_saw_16_launches(self, rng):
+        queue = Queue(Device.r9_nano())
+        x = rng.standard_normal((6, 6, 2)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 2, 2)).astype(np.float32)
+        conv2d_winograd(queue, x, w, CFG, padding=1)
+        assert len(queue.submission_log) == 16

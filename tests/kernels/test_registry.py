@@ -1,0 +1,71 @@
+"""Kernel library: dedup, size accounting, dispatch."""
+
+import pytest
+
+from repro.kernels.params import KernelConfig, config_space
+from repro.kernels.registry import CompiledKernel, KernelLibrary
+
+
+def cfg(acc=2, rows=2, cols=2, wg=(8, 8)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+class TestLibrary:
+    def test_holds_configs_in_order(self):
+        configs = [cfg(wg=(8, 8)), cfg(wg=(16, 16)), cfg(acc=4)]
+        lib = KernelLibrary(configs)
+        assert lib.configs == tuple(configs)
+        assert len(lib) == 3
+
+    def test_duplicate_configs_collapsed(self):
+        lib = KernelLibrary([cfg(), cfg(), cfg(acc=4)])
+        assert lib.num_configs == 2
+
+    def test_compiled_templates_deduplicated_across_wg(self):
+        # Same template, different work groups: one compiled kernel.
+        lib = KernelLibrary([cfg(wg=(8, 8)), cfg(wg=(16, 16)), cfg(wg=(1, 64))])
+        assert lib.num_configs == 3
+        assert lib.num_compiled == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLibrary([])
+
+    def test_contains_and_index(self):
+        lib = KernelLibrary([cfg(), cfg(acc=4)])
+        assert cfg() in lib
+        assert cfg(acc=8) not in lib
+        assert lib.index_of(cfg(acc=4)) == 1
+        with pytest.raises(KeyError):
+            lib.index_of(cfg(acc=8))
+
+    def test_kernel_dispatch(self):
+        lib = KernelLibrary([cfg()])
+        kernel = lib.kernel(cfg())
+        assert kernel.config == cfg()
+        with pytest.raises(KeyError):
+            lib.kernel(cfg(acc=8))
+
+    def test_kernel_by_index(self):
+        lib = KernelLibrary([cfg(), cfg(acc=4)])
+        assert lib.kernel_by_index(1).config == cfg(acc=4)
+
+
+class TestSizeAccounting:
+    def test_size_grows_with_templates_not_wg(self):
+        one = KernelLibrary([cfg()])
+        same_template = KernelLibrary([cfg(wg=(8, 8)), cfg(wg=(16, 16))])
+        two_templates = KernelLibrary([cfg(), cfg(acc=4)])
+        assert same_template.binary_bytes == one.binary_bytes
+        assert two_templates.binary_bytes > one.binary_bytes
+
+    def test_bigger_tiles_bigger_ir(self):
+        small = CompiledKernel((1, 1, 1))
+        big = CompiledKernel((8, 8, 8))
+        assert big.ir_bytes > small.ir_bytes
+
+    def test_full_space_library_is_much_larger_than_pruned(self):
+        full = KernelLibrary(config_space())
+        pruned = KernelLibrary(config_space()[:8])
+        # The motivation of the whole paper: pruning shrinks the binary.
+        assert full.binary_bytes > 5 * pruned.binary_bytes

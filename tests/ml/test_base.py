@@ -1,0 +1,58 @@
+"""Estimator protocol."""
+
+import pytest
+
+from repro.ml.base import BaseEstimator, NotFittedError, check_is_fitted, clone
+
+
+class Toy(BaseEstimator):
+    def __init__(self, alpha: float = 1.0, beta: int = 2):
+        self.alpha = alpha
+        self.beta = beta
+
+    def fit(self):
+        self.coef_ = self.alpha * self.beta
+        return self
+
+
+class TestParams:
+    def test_get_params(self):
+        assert Toy(alpha=3.0).get_params() == {"alpha": 3.0, "beta": 2}
+
+    def test_set_params(self):
+        toy = Toy().set_params(beta=5)
+        assert toy.beta == 5
+
+    def test_set_invalid_param(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            Toy().set_params(gamma=1)
+
+    def test_repr_shows_params(self):
+        assert "alpha=1.0" in repr(Toy())
+
+
+class TestClone:
+    def test_clone_copies_params_not_state(self):
+        toy = Toy(alpha=2.0).fit()
+        fresh = clone(toy)
+        assert fresh.alpha == 2.0
+        assert not hasattr(fresh, "coef_")
+
+    def test_clone_is_new_object(self):
+        toy = Toy()
+        assert clone(toy) is not toy
+
+
+class TestCheckIsFitted:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(Toy())
+
+    def test_fitted_passes(self):
+        check_is_fitted(Toy().fit())
+
+    def test_specific_attribute(self):
+        toy = Toy().fit()
+        check_is_fitted(toy, "coef_")
+        with pytest.raises(NotFittedError):
+            check_is_fitted(toy, "other_")

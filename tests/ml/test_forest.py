@@ -1,0 +1,77 @@
+"""Random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.vstack(
+        [rng.normal(c, 0.8, (40, 2)) for c in ((0, 0), (6, 6), (0, 6))]
+    )
+    y = np.repeat([0, 1, 2], 40)
+    return X, y
+
+
+class TestForest:
+    def test_fits_separable_data(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert rf.score(X, y) > 0.95
+
+    def test_reproducible(self, blobs):
+        X, y = blobs
+        a = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_seed_changes_model(self, blobs, rng):
+        X, y = blobs
+        Q = rng.normal(3, 3, (200, 2))
+        a = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        assert not np.array_equal(a.predict_proba(Q), b.predict_proba(Q))
+
+    def test_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=8, random_state=0).fit(X, y)
+        np.testing.assert_allclose(rf.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_estimator_count(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(rf.estimators_) == 7
+
+    def test_max_features_resolution(self, blobs):
+        X, y = blobs
+        assert RandomForestClassifier()._resolve_max_features(16) == 4
+        assert RandomForestClassifier(max_features="log2")._resolve_max_features(16) == 4
+        assert RandomForestClassifier(max_features=3)._resolve_max_features(16) == 3
+        assert RandomForestClassifier(max_features=None)._resolve_max_features(16) is None
+        with pytest.raises(ValueError):
+            RandomForestClassifier(max_features="bogus")._resolve_max_features(16)
+
+    def test_no_bootstrap_mode(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert rf.score(X, y) > 0.95
+
+    def test_missing_class_in_bootstrap_handled(self, rng):
+        # Tiny minority class: some bootstrap samples will miss it entirely;
+        # the probability alignment must not crash or misattribute columns.
+        X = np.vstack([rng.normal(0, 1, (50, 2)), rng.normal(10, 0.1, (2, 2))])
+        y = np.array([0] * 50 + [1] * 2)
+        rf = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        proba = rf.predict_proba(X)
+        assert proba.shape == (52, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=2).fit(
+                rng.normal(size=(5, 2)), np.zeros(4)
+            )

@@ -1,0 +1,106 @@
+"""k-means."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.kmeans import KMeans, kmeans_plusplus
+
+
+def blobs(rng, centers, n=30, spread=0.3):
+    return np.vstack([rng.normal(c, spread, (n, len(c))) for c in centers])
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        X = blobs(rng, [(0, 0), (10, 10), (0, 10)])
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Each blob maps to exactly one label.
+        labels = km.labels_.reshape(3, 30)
+        assert all(len(np.unique(row)) == 1 for row in labels)
+        assert len(np.unique(labels[:, 0])) == 3
+
+    def test_centers_near_blob_means(self, rng):
+        X = blobs(rng, [(0, 0), (10, 10)])
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        dists = np.linalg.norm(
+            km.cluster_centers_[:, None] - np.array([[0, 0], [10, 10]])[None], axis=2
+        )
+        assert dists.min(axis=1).max() < 0.5
+
+    def test_inertia_decreases_with_k(self, rng):
+        X = rng.normal(size=(100, 3))
+        inertias = [
+            KMeans(n_clusters=k, random_state=0, n_init=3).fit(X).inertia_
+            for k in (1, 2, 4, 8)
+        ]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_exactly_k_clusters_even_on_hard_data(self, rng):
+        # Heavily duplicated points invite empty clusters; re-seeding must
+        # still deliver the requested count.
+        X = np.repeat(rng.normal(size=(3, 2)), 20, axis=0)
+        X += rng.normal(0, 1e-6, X.shape)
+        km = KMeans(n_clusters=5, random_state=0).fit(X)
+        assert km.cluster_centers_.shape == (5, 2)
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(60, 4))
+        a = KMeans(n_clusters=4, random_state=7).fit(X)
+        b = KMeans(n_clusters=4, random_state=7).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_predict_matches_fit_labels(self, rng):
+        X = blobs(rng, [(0, 0), (8, 8)])
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels_)
+
+    def test_fit_predict(self, rng):
+        X = rng.normal(size=(20, 2))
+        km = KMeans(n_clusters=2, random_state=0)
+        np.testing.assert_array_equal(km.fit_predict(X), km.labels_)
+
+    def test_k_exceeds_samples(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(rng.normal(size=(5, 2)))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict(np.ones((2, 2)))
+
+    def test_predict_feature_mismatch(self, rng):
+        km = KMeans(n_clusters=2, random_state=0).fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            km.predict(rng.normal(size=(2, 4)))
+
+    def test_labels_in_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        km = KMeans(n_clusters=6, random_state=0, n_init=2).fit(X)
+        assert set(km.labels_.tolist()) <= set(range(6))
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centers_from_data(self, rng):
+        X = rng.normal(size=(40, 3))
+        centers = kmeans_plusplus(X, 5, np.random.default_rng(0))
+        assert centers.shape == (5, 3)
+        # Every center is an actual data point.
+        d = np.min(
+            np.linalg.norm(X[None] - centers[:, None], axis=2), axis=1
+        )
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_spreads_over_blobs(self, rng):
+        X = blobs(rng, [(0, 0), (50, 50), (0, 50), (50, 0)], n=25)
+        centers = kmeans_plusplus(X, 4, np.random.default_rng(3))
+        # With blobs 50 apart, ++ seeding picks one per blob.
+        from repro.ml.metrics import pairwise_sq_distances
+
+        cross = pairwise_sq_distances(centers, centers)
+        np.fill_diagonal(cross, np.inf)
+        assert cross.min() > 100.0
+
+    def test_degenerate_identical_points(self):
+        X = np.ones((10, 2))
+        centers = kmeans_plusplus(X, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)

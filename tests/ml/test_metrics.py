@@ -1,0 +1,99 @@
+"""Metrics and pairwise distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    euclidean_distances,
+    mean_squared_error,
+    pairwise_sq_distances,
+    r2_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusion:
+    def test_diagonal_on_perfect(self):
+        cm = confusion_matrix([0, 1, 1, 2], [0, 1, 1, 2])
+        np.testing.assert_array_equal(np.diag(cm), [1, 2, 1])
+        assert cm.sum() == 4
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix([0, 0], [1, 0])
+        assert cm[0, 1] == 1 and cm[0, 0] == 1
+
+    def test_explicit_labels(self):
+        cm = confusion_matrix([0], [0], labels=[0, 1, 2])
+        assert cm.shape == (3, 3)
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_multioutput(self, rng):
+        y = rng.normal(size=(20, 3))
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        X = rng.normal(size=(10, 4))
+        Y = rng.normal(size=(7, 4))
+        fast = euclidean_distances(X, Y)
+        naive = np.array([[np.linalg.norm(x - y) for y in Y] for x in X])
+        np.testing.assert_allclose(fast, naive, atol=1e-8)
+
+    def test_self_distance_zero(self, rng):
+        X = rng.normal(size=(5, 3))
+        d = euclidean_distances(X, X)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-6)
+
+    def test_never_negative(self, rng):
+        X = rng.normal(size=(20, 2)) * 1e6  # cancellation-prone scale
+        assert np.all(pairwise_sq_distances(X, X) >= 0.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_distances(np.ones((2, 3)), np.ones((2, 4)))
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 8), st.just(3)),
+               elements=st.floats(-50, 50)),
+        arrays(np.float64, st.tuples(st.integers(1, 8), st.just(3)),
+               elements=st.floats(-50, 50)),
+    )
+    def test_symmetry_property(self, X, Y):
+        np.testing.assert_allclose(
+            pairwise_sq_distances(X, Y), pairwise_sq_distances(Y, X).T, atol=1e-8
+        )

@@ -1,0 +1,92 @@
+"""Splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.tree.classifier import DecisionTreeClassifier
+
+
+class TestTrainTestSplit:
+    def test_paper_split_sizes(self):
+        # 170 shapes at test_size 0.2 -> 136/34, the paper's split.
+        X = np.arange(170 * 2).reshape(170, 2)
+        Xtr, Xte = train_test_split(X, test_size=0.2, random_state=0)
+        assert len(Xtr) == 136 and len(Xte) == 34
+
+    def test_partition_is_exact(self):
+        X = np.arange(50)
+        tr, te = train_test_split(X, test_size=0.3, random_state=1)
+        assert sorted(np.concatenate([tr, te]).tolist()) == list(range(50))
+
+    def test_multiple_arrays_aligned(self):
+        X = np.arange(20)
+        y = np.arange(20) * 10
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, random_state=2)
+        np.testing.assert_array_equal(ytr, Xtr * 10)
+        np.testing.assert_array_equal(yte, Xte * 10)
+
+    def test_reproducible(self):
+        X = np.arange(30)
+        a = train_test_split(X, random_state=5)
+        b = train_test_split(X, random_state=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_no_shuffle(self):
+        X = np.arange(10)
+        tr, te = train_test_split(X, test_size=0.2, shuffle=False)
+        np.testing.assert_array_equal(te, [0, 1])
+
+    def test_absolute_count(self):
+        X = np.arange(10)
+        tr, te = train_test_split(X, test_size=3, random_state=0)
+        assert len(te) == 3
+
+    def test_list_inputs(self):
+        items = [f"s{i}" for i in range(10)]
+        tr, te = train_test_split(items, test_size=0.2, random_state=0)
+        assert isinstance(tr, list) and len(tr) == 8
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), test_size=1.5)
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        X = np.arange(23)
+        seen = []
+        for train_idx, test_idx in KFold(n_splits=5).split(X):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_shuffled_folds_differ_by_seed(self):
+        X = np.arange(20)
+        a = [t.tolist() for _, t in KFold(5, shuffle=True, random_state=0).split(X)]
+        b = [t.tolist() for _, t in KFold(5, shuffle=True, random_state=1).split(X)]
+        assert a != b
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.arange(3)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self, rng):
+        X = np.vstack([rng.normal(0, 1, (30, 2)), rng.normal(5, 1, (30, 2))])
+        y = np.repeat([0, 1], 30)
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3), X, y, cv=5, random_state=0
+        )
+        assert scores.shape == (5,)
+        assert np.all((0.0 <= scores) & (scores <= 1.0))
+        assert scores.mean() > 0.8

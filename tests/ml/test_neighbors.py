@@ -1,0 +1,102 @@
+"""KD-tree and kNN classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.metrics import euclidean_distances
+from repro.ml.neighbors import KDTree, KNeighborsClassifier
+
+
+class TestKDTree:
+    def test_nearest_matches_brute_force(self, rng):
+        X = rng.normal(size=(200, 3))
+        Q = rng.normal(size=(20, 3))
+        tree = KDTree(X)
+        d_tree, i_tree = tree.query(Q, k=3)
+        d_all = euclidean_distances(Q, X)
+        i_brute = np.argsort(d_all, axis=1)[:, :3]
+        d_brute = np.take_along_axis(d_all, i_brute, axis=1)
+        np.testing.assert_allclose(np.sort(d_tree, axis=1), d_brute, atol=1e-8)
+
+    def test_query_self_returns_self(self, rng):
+        X = rng.normal(size=(50, 2))
+        tree = KDTree(X)
+        d, i = tree.query(X, k=1)
+        np.testing.assert_array_equal(i.ravel(), np.arange(50))
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_k_too_large(self, rng):
+        tree = KDTree(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            tree.query(rng.normal(size=(1, 2)), k=6)
+
+    def test_duplicate_points_handled(self):
+        X = np.vstack([np.zeros((20, 2)), np.ones((20, 2))])
+        tree = KDTree(X)
+        d, i = tree.query(np.array([[0.0, 0.0]]), k=5)
+        assert np.all(d == 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 60),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_matches_brute(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        k = min(k, n)
+        X = rng.normal(size=(n, 2))
+        q = rng.normal(size=(3, 2))
+        d_tree, _ = KDTree(X, leaf_size=4).query(q, k=k)
+        d_brute = np.sort(euclidean_distances(q, X), axis=1)[:, :k]
+        np.testing.assert_allclose(np.sort(d_tree, axis=1), d_brute, atol=1e-8)
+
+
+class TestKNNClassifier:
+    def test_1nn_memorises_training_set(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = rng.integers(0, 3, 30)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        np.testing.assert_array_equal(knn.predict(X), y)
+
+    def test_3nn_majority_vote(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        knn = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert knn.predict(np.array([[0.05]]))[0] == 0
+
+    def test_string_labels(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = np.array(["a", "b"] * 10)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert set(knn.predict(X)) <= {"a", "b"}
+
+    def test_brute_and_tree_agree(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = rng.integers(0, 4, 60)
+        Q = rng.normal(size=(15, 3))
+        tree = KNeighborsClassifier(n_neighbors=3, algorithm="kd_tree").fit(X, y)
+        brute = KNeighborsClassifier(n_neighbors=3, algorithm="brute").fit(X, y)
+        np.testing.assert_array_equal(tree.predict(Q), brute.predict(Q))
+
+    def test_high_dimensional_uses_brute(self, rng):
+        X = rng.normal(size=(20, 32))
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, rng.integers(0, 2, 20))
+        assert knn.tree_ is None
+
+    def test_k_exceeds_training(self, rng):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=10).fit(
+                rng.normal(size=(5, 2)), np.zeros(5)
+            )
+
+    def test_bad_algorithm(self, rng):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(algorithm="ball_tree").fit(
+                rng.normal(size=(5, 2)), np.zeros(5)
+            )
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier().fit(rng.normal(size=(5, 2)), np.zeros(6))

@@ -1,0 +1,114 @@
+"""PCA."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA
+
+
+class TestFit:
+    def test_components_orthonormal(self, rng):
+        X = rng.normal(size=(50, 10))
+        pca = PCA(n_components=5).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_ratios_sum_to_one_full_rank(self, rng):
+        X = rng.normal(size=(30, 5))
+        pca = PCA().fit(X)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_ratios_sorted_descending(self, rng):
+        X = rng.normal(size=(40, 8)) * np.arange(1, 9)
+        r = PCA().fit(X).explained_variance_ratio_
+        assert np.all(np.diff(r) <= 1e-12)
+
+    def test_first_component_finds_dominant_direction(self, rng):
+        t = rng.normal(size=200)
+        X = np.column_stack([t, 2 * t + rng.normal(0, 0.01, 200), rng.normal(0, 0.01, 200)])
+        pca = PCA(n_components=1).fit(X)
+        assert pca.explained_variance_ratio_[0] > 0.99
+        direction = np.abs(pca.components_[0])
+        assert direction[1] > direction[2]
+
+    def test_deterministic_signs(self, rng):
+        X = rng.normal(size=(30, 6))
+        a = PCA(n_components=3).fit(X).components_
+        b = PCA(n_components=3).fit(X).components_
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_n_components(self, rng):
+        X = rng.normal(size=(10, 4))
+        with pytest.raises(ValueError):
+            PCA(n_components=0).fit(X)
+        with pytest.raises(ValueError):
+            PCA(n_components=11).fit(X)
+
+
+class TestTransform:
+    def test_reduces_dimension(self, rng):
+        X = rng.normal(size=(20, 7))
+        Z = PCA(n_components=3).fit_transform(X)
+        assert Z.shape == (20, 3)
+
+    def test_transform_centers_data(self, rng):
+        X = rng.normal(5.0, 1.0, (100, 4))
+        Z = PCA(n_components=4).fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_full_rank_inverse_round_trip(self, rng):
+        X = rng.normal(size=(25, 6))
+        pca = PCA(n_components=6).fit(X)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(X)), X, atol=1e-9
+        )
+
+    def test_truncated_inverse_is_best_approximation(self, rng):
+        # Reconstruction error through k components must not exceed the
+        # variance discarded (Eckart-Young).
+        X = rng.normal(size=(60, 10))
+        pca = PCA(n_components=4).fit(X)
+        recon = pca.inverse_transform(pca.transform(X))
+        err = np.sum((X - recon) ** 2) / (60 - 1)
+        discarded = PCA().fit(X).explained_variance_[4:].sum()
+        assert err == pytest.approx(discarded, rel=1e-6)
+
+    def test_feature_mismatch(self, rng):
+        pca = PCA(n_components=2).fit(rng.normal(size=(10, 5)))
+        with pytest.raises(ValueError):
+            pca.transform(rng.normal(size=(3, 6)))
+        with pytest.raises(ValueError):
+            pca.inverse_transform(rng.normal(size=(3, 3)))
+
+
+class TestComponentsForVariance:
+    def test_known_structure(self, rng):
+        # Three strong directions, rest noise.
+        n = 500
+        basis = rng.normal(size=(6, 6))
+        scales = np.array([10.0, 8.0, 6.0, 0.1, 0.1, 0.1])
+        X = rng.normal(size=(n, 6)) * scales @ basis
+        pca = PCA().fit(X)
+        assert pca.components_for_variance(0.95) <= 3
+
+    def test_full_variance_needs_all(self, rng):
+        X = rng.normal(size=(20, 4))
+        pca = PCA().fit(X)
+        assert pca.components_for_variance(1.0) == 4
+
+    def test_monotone_in_threshold(self, rng):
+        X = rng.normal(size=(40, 10)) * np.arange(1, 11)
+        pca = PCA().fit(X)
+        counts = [pca.components_for_variance(t) for t in (0.5, 0.8, 0.9, 0.99)]
+        assert counts == sorted(counts)
+
+    def test_invalid_threshold(self, rng):
+        pca = PCA().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            pca.components_for_variance(0.0)
+
+    def test_unreachable_threshold_with_truncation(self, rng):
+        X = rng.normal(size=(50, 10))
+        pca = PCA(n_components=2).fit(X)
+        with pytest.raises(ValueError, match="cannot reach"):
+            pca.components_for_variance(0.999)

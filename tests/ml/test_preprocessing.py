@@ -1,0 +1,78 @@
+"""Scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.base import NotFittedError
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 30), st.integers(1, 6)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_round_trip(self, rng):
+        X = rng.normal(0, 5, (50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9
+        )
+
+    def test_without_mean(self, rng):
+        X = rng.normal(10, 1, (50, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.mean() > 1.0  # mean not removed
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(rng.normal(size=(10, 4)))
+
+    @given(matrices)
+    def test_transform_finite(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.normal(0, 10, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(0, 10, (100, 2))
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0)).fit(np.ones((3, 1)))
+
+    def test_constant_feature(self):
+        X = np.full((5, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))

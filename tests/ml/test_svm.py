@@ -1,0 +1,117 @@
+"""SMO-trained SVC."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import SVC, _resolve_gamma
+
+
+@pytest.fixture
+def linearly_separable(rng):
+    X = np.vstack([rng.normal(-2, 0.5, (30, 2)), rng.normal(2, 0.5, (30, 2))])
+    y = np.repeat([0, 1], 30)
+    return X, y
+
+
+class TestBinary:
+    def test_linear_separable(self, linearly_separable):
+        X, y = linearly_separable
+        svc = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert svc.score(X, y) >= 0.95
+
+    def test_rbf_separable(self, linearly_separable):
+        X, y = linearly_separable
+        svc = SVC(kernel="rbf", random_state=0).fit(X, y)
+        assert svc.score(X, y) >= 0.95
+
+    def test_rbf_nonlinear_rings(self, rng):
+        # Inner blob vs surrounding ring: not linearly separable.
+        inner = rng.normal(0, 0.3, (40, 2))
+        angles = rng.uniform(0, 2 * np.pi, 40)
+        ring = np.column_stack([3 * np.cos(angles), 3 * np.sin(angles)])
+        ring += rng.normal(0, 0.1, ring.shape)
+        X = np.vstack([inner, ring])
+        y = np.repeat([0, 1], 40)
+        rbf = SVC(kernel="rbf", random_state=0).fit(X, y)
+        lin = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert rbf.score(X, y) > lin.score(X, y)
+        assert rbf.score(X, y) >= 0.9
+
+    def test_decision_function_shape(self, linearly_separable):
+        X, y = linearly_separable
+        svc = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert svc.decision_function(X).shape == (60, 2)
+
+
+class TestMulticlass:
+    def test_three_blobs(self, rng):
+        X = np.vstack([rng.normal(c, 0.4, (25, 2)) for c in ((0, 0), (5, 5), (0, 5))])
+        y = np.repeat([0, 1, 2], 25)
+        svc = SVC(kernel="linear", C=10.0, random_state=0).fit(X, y)
+        assert svc.score(X, y) >= 0.95
+
+    def test_string_labels(self, rng):
+        X = np.vstack([rng.normal(-2, 0.3, (15, 1)), rng.normal(2, 0.3, (15, 1))])
+        y = np.array(["neg"] * 15 + ["pos"] * 15)
+        svc = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert set(svc.predict(X)) <= {"neg", "pos"}
+
+
+class TestDegenerateRegimes:
+    def test_rbf_on_unscaled_huge_features_collapses(self, rng):
+        """The Table I RadialSVM mechanism: gamma='auto' on raw
+        matrix-size-scale features makes K approach identity and the
+        prediction constant."""
+        X = rng.uniform(1, 1e5, (60, 3))
+        y = rng.integers(0, 4, 60)
+        svc = SVC(kernel="rbf", gamma="auto", random_state=0).fit(X, y)
+        # Training points sit on the kernel matrix's diagonal and can be
+        # memorised; *unseen* points see a ~zero kernel vector, so the
+        # decision degenerates to the per-class biases -> one constant.
+        unseen = rng.uniform(1, 1e5, (40, 3))
+        assert len(set(svc.predict(unseen).tolist())) == 1
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError, match="two classes"):
+            SVC().fit(rng.normal(size=(5, 2)), np.zeros(5))
+
+    def test_invalid_c(self, rng):
+        X = rng.normal(size=(6, 2))
+        y = np.array([0, 1] * 3)
+        with pytest.raises(ValueError):
+            SVC(C=0.0).fit(X, y)
+
+    def test_invalid_kernel(self, rng):
+        X = rng.normal(size=(6, 2))
+        y = np.array([0, 1] * 3)
+        with pytest.raises(ValueError, match="unsupported kernel"):
+            SVC(kernel="poly").fit(X, y)
+
+
+class TestGammaResolution:
+    def test_scale(self, rng):
+        X = rng.normal(size=(10, 4))
+        assert _resolve_gamma("scale", X) == pytest.approx(1.0 / (4 * X.var()))
+
+    def test_auto(self, rng):
+        X = rng.normal(size=(10, 4))
+        assert _resolve_gamma("auto", X) == pytest.approx(0.25)
+
+    def test_numeric(self, rng):
+        assert _resolve_gamma(0.5, rng.normal(size=(3, 2))) == 0.5
+
+    def test_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            _resolve_gamma(0.0, rng.normal(size=(3, 2)))
+
+    def test_constant_data_scale(self):
+        X = np.ones((5, 2))
+        assert _resolve_gamma("scale", X) == 1.0
+
+
+class TestDeterminism:
+    def test_reproducible(self, linearly_separable):
+        X, y = linearly_separable
+        a = SVC(kernel="rbf", random_state=42).fit(X, y).predict(X)
+        b = SVC(kernel="rbf", random_state=42).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)

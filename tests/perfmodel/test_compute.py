@@ -1,0 +1,72 @@
+"""Compute-efficiency components."""
+
+import pytest
+
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.compute import compute_efficiency, latency_hiding
+from repro.perfmodel.params import PerfModelParams
+
+P = PerfModelParams()
+
+
+def cfg(acc, rows, cols):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=8, wg_cols=8)
+
+
+class TestInstructionMix:
+    def test_bigger_tiles_amortise_overhead(self):
+        small = compute_efficiency(cfg(1, 1, 1), P)
+        big = compute_efficiency(cfg(4, 4, 4), P)
+        assert big.instruction_mix > small.instruction_mix
+
+    def test_mix_in_unit_interval(self):
+        for acc in (1, 8):
+            for rows in (1, 8):
+                eff = compute_efficiency(cfg(acc, rows, 4), P)
+                assert 0.0 < eff.instruction_mix < 1.0
+
+    def test_tiny_tile_is_overhead_dominated(self):
+        eff = compute_efficiency(cfg(1, 1, 1), P)
+        assert eff.instruction_mix < 0.2
+
+
+class TestILP:
+    def test_single_accumulator_stalls(self):
+        eff = compute_efficiency(cfg(4, 1, 1), P)
+        assert eff.ilp < 0.3
+
+    def test_saturates_at_latency(self):
+        eff = compute_efficiency(cfg(1, 4, 4), P)  # 16 independent chains
+        assert eff.ilp == pytest.approx(1.0)
+
+    def test_monotone_in_independent_chains(self):
+        prev = 0.0
+        for rows, cols in ((1, 1), (1, 2), (2, 2), (2, 4), (4, 4)):
+            eff = compute_efficiency(cfg(2, rows, cols), P)
+            assert eff.ilp >= prev
+            prev = eff.ilp
+
+    def test_static_total_is_product(self):
+        eff = compute_efficiency(cfg(2, 2, 2), P)
+        assert eff.static_total == pytest.approx(eff.instruction_mix * eff.ilp)
+
+
+class TestLatencyHiding:
+    def test_monotone_in_waves(self):
+        values = [latency_hiding(w, 0.5, P, max_waves=10) for w in (1, 2, 4, 8, 10)]
+        assert values == sorted(values)
+
+    def test_full_occupancy_reaches_one(self):
+        assert latency_hiding(10, 1.0, P, max_waves=10) == pytest.approx(1.0)
+
+    def test_ilp_substitutes_for_waves(self):
+        low_ilp = latency_hiding(2, 0.0, P, max_waves=10)
+        high_ilp = latency_hiding(2, 1.0, P, max_waves=10)
+        assert high_ilp > low_ilp
+
+    def test_rejects_sub_one_waves(self):
+        with pytest.raises(ValueError):
+            latency_hiding(0.5, 0.5, P, max_waves=10)
+
+    def test_bounded_by_one(self):
+        assert latency_hiding(10, 1.0, P, max_waves=4) <= 1.0

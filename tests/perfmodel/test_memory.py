@@ -1,0 +1,78 @@
+"""Memory traffic model."""
+
+import pytest
+
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.memory import memory_traffic
+from repro.perfmodel.params import PerfModelParams
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+SPEC = Device.r9_nano().spec
+P = PerfModelParams()
+
+
+def cfg(rows=4, cols=4, acc=4, wg=(16, 16)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+class TestVolumes:
+    def test_compulsory_matches_operands(self):
+        shape = GemmShape(m=128, k=64, n=256)
+        mem = memory_traffic(shape, cfg(), SPEC, P)
+        assert mem.compulsory_bytes == 4 * (128 * 64 + 64 * 256 + 128 * 256)
+
+    def test_l2_traffic_at_least_compulsory(self):
+        shape = GemmShape(m=512, k=512, n=512)
+        mem = memory_traffic(shape, cfg(), SPEC, P)
+        assert mem.l2_bytes >= mem.compulsory_bytes
+
+    def test_dram_between_compulsory_and_l2(self):
+        shape = GemmShape(m=2048, k=2048, n=2048)
+        mem = memory_traffic(shape, cfg(), SPEC, P)
+        assert mem.compulsory_bytes <= mem.dram_bytes <= mem.l2_bytes
+
+    def test_bigger_macro_tiles_reduce_l2_traffic(self):
+        shape = GemmShape(m=1024, k=1024, n=1024)
+        small = memory_traffic(shape, cfg(rows=1, cols=1), SPEC, P)
+        big = memory_traffic(shape, cfg(rows=8, cols=8), SPEC, P)
+        assert big.l2_bytes < small.l2_bytes
+
+    def test_small_problem_fully_cached(self):
+        # Operands fit in L2 -> only compulsory traffic reaches DRAM.
+        shape = GemmShape(m=64, k=64, n=64)
+        mem = memory_traffic(shape, cfg(), SPEC, P)
+        assert mem.dram_bytes == pytest.approx(mem.compulsory_bytes)
+
+    def test_batch_scales_traffic(self):
+        s1 = memory_traffic(GemmShape(m=256, k=256, n=256), cfg(), SPEC, P)
+        s4 = memory_traffic(GemmShape(m=256, k=256, n=256, batch=4), cfg(), SPEC, P)
+        assert s4.l2_bytes == 4 * s1.l2_bytes
+
+
+class TestCoalescing:
+    def test_wide_groups_coalesce(self):
+        shape = GemmShape(m=1024, k=512, n=1024)
+        wide = memory_traffic(shape, cfg(wg=(8, 32)), SPEC, P)
+        tall = memory_traffic(shape, cfg(wg=(128, 1)), SPEC, P)
+        assert wide.access_efficiency > tall.access_efficiency
+
+    def test_efficiency_bounded(self):
+        shape = GemmShape(m=333, k=77, n=555)
+        for wg in ((1, 64), (64, 1), (16, 16)):
+            mem = memory_traffic(shape, cfg(wg=wg), SPEC, P)
+            assert P.min_coalescing_efficiency <= mem.access_efficiency <= 1.0
+
+    def test_channel_camping_penalty(self):
+        # N*4 divisible by 1024 plus a tall-thin group triggers camping.
+        camped = memory_traffic(
+            GemmShape(m=512, k=512, n=256), cfg(wg=(128, 1)), SPEC, P
+        )
+        clear = memory_traffic(
+            GemmShape(m=512, k=512, n=255), cfg(wg=(128, 1)), SPEC, P
+        )
+        assert camped.access_efficiency < clear.access_efficiency
+
+    def test_hit_rate_in_unit_interval(self):
+        mem = memory_traffic(GemmShape(m=999, k=333, n=111), cfg(), SPEC, P)
+        assert 0.0 <= mem.l2_hit_rate <= 1.0

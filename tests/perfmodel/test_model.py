@@ -1,0 +1,176 @@
+"""Whole-kernel time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.params import KernelConfig, config_space
+from repro.perfmodel.model import GemmPerfModel
+from repro.perfmodel.params import PerfModelParams
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GemmPerfModel(Device.r9_nano())
+
+
+def cfg(acc=4, rows=4, cols=4, wg=(16, 16)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+shape_strategy = st.builds(
+    GemmShape,
+    m=st.integers(1, 4096),
+    k=st.integers(1, 4096),
+    n=st.integers(1, 4096),
+    batch=st.integers(1, 8),
+)
+
+config_strategy = st.builds(
+    cfg,
+    acc=st.sampled_from((1, 2, 4, 8)),
+    rows=st.sampled_from((1, 2, 4, 8)),
+    cols=st.sampled_from((1, 2, 4, 8)),
+    wg=st.sampled_from(((1, 64), (8, 16), (16, 16), (64, 1))),
+)
+
+
+class TestBasicSanity:
+    def test_time_positive(self, model):
+        assert model.time_seconds(GemmShape(m=256, k=256, n=256), cfg()) > 0
+
+    def test_gflops_below_peak(self, model):
+        g = model.gflops(GemmShape(m=4096, k=4096, n=4096), cfg())
+        assert 0 < g < model.device_spec.peak_gflops
+
+    def test_time_at_least_overhead(self, model):
+        t = model.time_seconds(GemmShape(m=1, k=1, n=1), cfg(rows=1, cols=1))
+        assert t >= model.device_spec.kernel_launch_overhead_us * 1e-6
+
+    def test_all_640_configs_supported_on_r9_nano(self, model):
+        assert all(model.supported(c) for c in config_space())
+
+    def test_breakdown_consistency(self, model):
+        b = model.breakdown(GemmShape(m=512, k=512, n=512), cfg())
+        assert b.total_seconds >= max(b.compute_seconds, b.memory_seconds)
+        assert b.bound in ("compute", "memory")
+        assert 0 < b.tile_utilization <= 1.0
+        assert b.k_tail_factor >= 1.0
+        assert b.quantization >= 1.0
+
+
+class TestScaling:
+    def test_time_grows_with_problem(self, model):
+        small = model.time_seconds(GemmShape(m=256, k=256, n=256), cfg())
+        big = model.time_seconds(GemmShape(m=2048, k=2048, n=2048), cfg())
+        assert big > small
+
+    def test_batch_increases_time_but_not_worse_than_linear(self, model):
+        # A larger launch fills the device better, so a 4x batch costs
+        # more than 1x but less than 4x (higher achieved GFLOP/s).
+        t1 = model.time_seconds(GemmShape(m=512, k=512, n=512), cfg())
+        t4 = model.time_seconds(GemmShape(m=512, k=512, n=512, batch=4), cfg())
+        assert t1 < t4 <= 4 * t1
+
+    def test_m1_prefers_single_row_tiles(self, model):
+        shape = GemmShape(m=1, k=4096, n=4096)
+        row1 = model.time_seconds(shape, cfg(rows=1, cols=4, wg=(1, 64)))
+        row8 = model.time_seconds(shape, cfg(rows=8, cols=4, wg=(1, 64)))
+        assert row1 < row8
+
+    def test_large_square_prefers_big_tiles(self, model):
+        shape = GemmShape(m=2048, k=2048, n=2048)
+        tiny = model.gflops(shape, cfg(acc=1, rows=1, cols=1))
+        big = model.gflops(shape, cfg(acc=4, rows=4, cols=4))
+        assert big > 3 * tiny
+
+    def test_faster_device_is_faster(self):
+        # A configuration small enough to fit the embedded device's
+        # register file and wave budget.
+        config = cfg(acc=2, rows=2, cols=2, wg=(8, 8))
+        shape = GemmShape(m=1024, k=1024, n=1024)
+        nano = GemmPerfModel(Device.r9_nano()).time_seconds(shape, config)
+        emb = GemmPerfModel(Device.embedded()).time_seconds(shape, config)
+        assert emb > 5 * nano
+
+    def test_embedded_device_rejects_register_heavy_configs(self):
+        heavy = cfg(acc=8, rows=8, cols=8, wg=(16, 16))
+        assert not GemmPerfModel(Device.embedded()).supported(heavy)
+
+
+class TestDeterminismAndNoise:
+    def test_time_deterministic(self, model):
+        shape = GemmShape(m=300, k=300, n=300)
+        assert model.time_seconds(shape, cfg()) == model.time_seconds(shape, cfg())
+
+    def test_measured_reproducible_per_iteration(self, model):
+        shape = GemmShape(m=300, k=300, n=300)
+        a = model.measured_time_seconds(shape, cfg(), iteration=3)
+        b = model.measured_time_seconds(shape, cfg(), iteration=3)
+        assert a == b
+
+    def test_iterations_differ(self, model):
+        shape = GemmShape(m=300, k=300, n=300)
+        a = model.measured_time_seconds(shape, cfg(), iteration=0)
+        b = model.measured_time_seconds(shape, cfg(), iteration=1)
+        assert a != b
+
+    def test_block_matches_scalar(self, model):
+        shape = GemmShape(m=128, k=256, n=64)
+        block = model.measured_times_seconds(shape, cfg(), iterations=4)
+        scalars = [
+            model.measured_time_seconds(shape, cfg(), iteration=i) for i in range(4)
+        ]
+        np.testing.assert_allclose(block, scalars)
+
+    def test_block_offset_consistency(self, model):
+        shape = GemmShape(m=128, k=256, n=64)
+        full = model.measured_times_seconds(shape, cfg(), iterations=6)
+        tail = model.measured_times_seconds(
+            shape, cfg(), iterations=4, start_iteration=2
+        )
+        np.testing.assert_allclose(full[2:], tail)
+
+    def test_different_seeds_different_noise(self):
+        shape = GemmShape(m=128, k=128, n=128)
+        m1 = GemmPerfModel(Device.r9_nano(), seed=1)
+        m2 = GemmPerfModel(Device.r9_nano(), seed=2)
+        assert m1.measured_time_seconds(shape, cfg()) != m2.measured_time_seconds(
+            shape, cfg()
+        )
+
+    def test_zero_sigma_noise_free(self):
+        params = PerfModelParams(noise_sigma=0.0)
+        m = GemmPerfModel(Device.r9_nano(), params=params)
+        shape = GemmShape(m=128, k=128, n=128)
+        assert m.measured_time_seconds(shape, cfg(), iteration=0) == m.time_seconds(
+            shape, cfg()
+        )
+
+    def test_quirk_disabled(self):
+        params = PerfModelParams(alignment_penalty=0.0)
+        m = GemmPerfModel(Device.r9_nano(), params=params)
+        b = m.breakdown(GemmShape(m=512, k=512, n=512), cfg())
+        assert b.quirk == 1.0
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shape_strategy, config=config_strategy)
+    def test_time_finite_positive(self, model, shape, config):
+        t = model.time_seconds(shape, config)
+        assert np.isfinite(t) and t > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shape_strategy, config=config_strategy)
+    def test_gflops_never_exceeds_peak(self, model, shape, config):
+        assert model.gflops(shape, config) <= model.device_spec.peak_gflops
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shape_strategy, config=config_strategy)
+    def test_quirk_bounded(self, model, shape, config):
+        b = model.breakdown(shape, config)
+        amp = model.params.alignment_penalty
+        assert 1.0 - amp <= b.quirk <= 1.0 + amp

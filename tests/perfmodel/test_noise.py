@@ -1,0 +1,71 @@
+"""Counter-based measurement noise."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.noise import measurement_noise_factor, noise_factors
+from repro.workloads.gemm import GemmShape
+
+SHAPE = GemmShape(m=128, k=64, n=32)
+CFG = KernelConfig(acc=2, rows=2, cols=2, wg_rows=8, wg_cols=8)
+
+
+class TestNoiseFactors:
+    def test_reproducible(self):
+        a = noise_factors(1, SHAPE, CFG, 5, sigma=0.05)
+        b = noise_factors(1, SHAPE, CFG, 5, sigma=0.05)
+        np.testing.assert_array_equal(a, b)
+
+    def test_prefix_property(self):
+        # Requesting more iterations must not change earlier factors.
+        short = noise_factors(1, SHAPE, CFG, 3, sigma=0.05)
+        long = noise_factors(1, SHAPE, CFG, 8, sigma=0.05)
+        np.testing.assert_array_equal(short, long[:3])
+
+    def test_start_iteration_slices(self):
+        full = noise_factors(1, SHAPE, CFG, 8, sigma=0.05)
+        tail = noise_factors(1, SHAPE, CFG, 5, sigma=0.05, start_iteration=3)
+        np.testing.assert_array_equal(full[3:], tail)
+
+    def test_positive(self):
+        assert np.all(noise_factors(1, SHAPE, CFG, 50, sigma=0.2) > 0)
+
+    def test_sigma_zero_is_ones(self):
+        np.testing.assert_array_equal(
+            noise_factors(1, SHAPE, CFG, 4, sigma=0.0), np.ones(4)
+        )
+
+    def test_distinct_configs_independent(self):
+        other = KernelConfig(acc=4, rows=2, cols=2, wg_rows=8, wg_cols=8)
+        a = noise_factors(1, SHAPE, CFG, 5, sigma=0.05)
+        b = noise_factors(1, SHAPE, other, 5, sigma=0.05)
+        assert not np.allclose(a, b)
+
+    def test_distinct_shapes_independent(self):
+        other = GemmShape(m=128, k=64, n=33)
+        a = noise_factors(1, SHAPE, CFG, 5, sigma=0.05)
+        b = noise_factors(1, other, CFG, 5, sigma=0.05)
+        assert not np.allclose(a, b)
+
+    def test_statistics_lognormal(self):
+        sigma = 0.05
+        factors = noise_factors(7, SHAPE, CFG, 4000, sigma=sigma)
+        log = np.log(factors)
+        assert abs(log.mean()) < 0.01
+        assert log.std() == pytest.approx(sigma, rel=0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            noise_factors(1, SHAPE, CFG, 0, sigma=0.1)
+        with pytest.raises(ValueError):
+            noise_factors(1, SHAPE, CFG, 3, sigma=-0.1)
+        with pytest.raises(ValueError):
+            noise_factors(1, SHAPE, CFG, 3, sigma=0.1, start_iteration=-1)
+
+
+class TestScalarFactor:
+    def test_matches_vector(self):
+        vec = noise_factors(1, SHAPE, CFG, 5, sigma=0.05)
+        for i in range(5):
+            assert measurement_noise_factor(1, SHAPE, CFG, i, sigma=0.05) == vec[i]

@@ -1,0 +1,67 @@
+"""Occupancy limits."""
+
+import pytest
+
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.occupancy import occupancy_for
+from repro.sycl.device import Device
+
+SPEC = Device.r9_nano().spec
+
+
+def cfg(acc=4, rows=4, cols=4, wg=(16, 16)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+class TestRegisterLimit:
+    def test_small_tile_hits_wave_slots(self):
+        # 1x1x1 tile needs ~19 registers -> register limit 13 > 10 slots.
+        occ = occupancy_for(cfg(acc=1, rows=1, cols=1), SPEC)
+        assert occ.waves_per_simd == SPEC.max_waves_per_simd
+        assert occ.limited_by == "wave-slots"
+
+    def test_large_tile_register_limited(self):
+        # 8x8 tile with acc=8: 64 + 8*16 + 16 = 208 registers -> 1 wave.
+        occ = occupancy_for(cfg(acc=8, rows=8, cols=8), SPEC)
+        assert occ.limited_by == "registers"
+        assert occ.waves_per_simd == 1
+
+    def test_monotone_in_tile_volume(self):
+        small = occupancy_for(cfg(acc=2, rows=2, cols=2), SPEC)
+        big = occupancy_for(cfg(acc=8, rows=8, cols=4), SPEC)
+        assert big.waves_per_simd <= small.waves_per_simd
+
+    def test_occupancy_fraction(self):
+        occ = occupancy_for(cfg(acc=1, rows=1, cols=1), SPEC)
+        assert occ.occupancy == pytest.approx(1.0)
+
+
+class TestGroupGeometry:
+    def test_waves_per_group(self):
+        occ = occupancy_for(cfg(wg=(16, 16)), SPEC)  # 256 items / 64 = 4 waves
+        assert occ.waves_per_group == 4
+
+    def test_small_group_one_wave(self):
+        occ = occupancy_for(cfg(wg=(8, 8)), SPEC)
+        assert occ.waves_per_group == 1
+
+
+class TestRejections:
+    def test_oversized_work_group(self):
+        huge = SPEC.with_overrides(max_work_group_size=64)
+        with pytest.raises(ValueError, match="work-group size"):
+            occupancy_for(cfg(wg=(16, 16)), huge)
+
+    def test_register_demand_exceeds_file(self):
+        tiny = SPEC.with_overrides(vgprs_per_lane=32)
+        with pytest.raises(ValueError, match="register"):
+            occupancy_for(cfg(acc=8, rows=8, cols=8), tiny)
+
+
+class TestLDSLimit:
+    def test_lds_bound_kernel(self):
+        occ = occupancy_for(cfg(wg=(8, 8)), SPEC, lds_bytes_per_group=32 * 1024)
+        # 2 groups per CU, 1 wave each, over 4 SIMDs -> sub-slot residency,
+        # clamped to the one-group minimum.
+        assert occ.waves_per_simd >= 1
+        assert occ.limited_by in ("lds", "group-size")

@@ -1,0 +1,95 @@
+"""Buffer / accessor data-management semantics."""
+
+import numpy as np
+import pytest
+
+from repro.sycl.buffer import AccessMode, Buffer
+from repro.sycl.exceptions import AccessorError
+
+
+class TestBuffer:
+    def test_from_array_copies(self):
+        src = np.ones((2, 2), dtype=np.float32)
+        buf = Buffer.from_array(src)
+        src[0, 0] = 99.0
+        assert buf.to_host()[0, 0] == 1.0
+
+    def test_zero_initialised(self):
+        assert np.all(Buffer((3, 3)).to_host() == 0.0)
+
+    def test_shape_dtype_nbytes(self):
+        buf = Buffer((4, 8), dtype=np.float32)
+        assert buf.shape == (4, 8)
+        assert buf.dtype == np.float32
+        assert buf.nbytes == 4 * 8 * 4
+        assert buf.size == 32
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            Buffer((0, 4))
+
+    def test_destroyed_buffer_raises(self):
+        buf = Buffer((2, 2))
+        buf.destroy()
+        with pytest.raises(AccessorError, match="destroyed"):
+            buf.to_host()
+        with pytest.raises(AccessorError):
+            buf.get_access(AccessMode.READ)
+
+
+class TestAccessor:
+    def test_read_mode_blocks_writes(self):
+        buf = Buffer((2, 2))
+        acc = buf.get_access(AccessMode.READ)
+        with pytest.raises(AccessorError, match="writing requires"):
+            acc.write(np.ones((2, 2)))
+
+    def test_read_view_is_not_writeable(self):
+        acc = Buffer((2, 2)).get_access(AccessMode.READ)
+        view = acc.view()
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+
+    def test_write_mode_blocks_reads(self):
+        acc = Buffer((2, 2)).get_access(AccessMode.WRITE)
+        with pytest.raises(AccessorError, match="reading requires"):
+            acc.read()
+
+    def test_read_write_round_trip(self):
+        buf = Buffer((2, 3))
+        with buf.get_access(AccessMode.READ_WRITE) as acc:
+            acc.write(np.full((2, 3), 7.0))
+        np.testing.assert_array_equal(buf.to_host(), np.full((2, 3), 7.0))
+
+    def test_write_shape_mismatch(self):
+        acc = Buffer((2, 2)).get_access(AccessMode.WRITE)
+        with pytest.raises(AccessorError, match="shape mismatch"):
+            acc.write(np.ones((3, 3)))
+
+    def test_use_after_release(self):
+        buf = Buffer((2, 2))
+        acc = buf.get_access(AccessMode.READ)
+        acc.release()
+        with pytest.raises(AccessorError, match="after release"):
+            acc.read()
+
+    def test_write_generation_counts_writable_releases(self):
+        buf = Buffer((2, 2))
+        assert buf.write_generation == 0
+        with buf.get_access(AccessMode.READ):
+            pass
+        assert buf.write_generation == 0
+        with buf.get_access(AccessMode.WRITE):
+            pass
+        assert buf.write_generation == 1
+
+    def test_mode_properties(self):
+        assert AccessMode.READ.can_read and not AccessMode.READ.can_write
+        assert AccessMode.WRITE.can_write and not AccessMode.WRITE.can_read
+        assert AccessMode.READ_WRITE.can_read and AccessMode.READ_WRITE.can_write
+
+    def test_invalid_mode_type(self):
+        from repro.sycl.buffer import Accessor
+
+        with pytest.raises(TypeError):
+            Accessor(Buffer((1, 1)), "read")

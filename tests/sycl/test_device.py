@@ -1,0 +1,68 @@
+"""Device specs and presets."""
+
+import pytest
+
+from repro.sycl.device import Device, DeviceSpec, DeviceType
+
+
+class TestPresets:
+    def test_r9_nano_peak_matches_datasheet(self):
+        # Fiji: 4096 lanes x 2 flops x 1.0 GHz = 8192 GFLOP/s.
+        assert Device.r9_nano().spec.peak_gflops == pytest.approx(8192.0)
+
+    def test_r9_nano_bandwidth(self):
+        assert Device.r9_nano().spec.dram_bandwidth_gbps == pytest.approx(512.0)
+
+    def test_all_presets_listed(self):
+        assert set(Device.available_presets()) >= {
+            "r9-nano",
+            "embedded-accelerator",
+            "desktop-gpu",
+        }
+
+    def test_embedded_is_much_smaller(self):
+        assert Device.embedded().spec.peak_gflops < Device.r9_nano().spec.peak_gflops / 10
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown device preset"):
+            Device.from_preset("gtx-9000")
+
+    def test_device_type_queries(self):
+        assert Device.r9_nano().is_gpu()
+        assert not Device.embedded().is_gpu()
+        assert Device.embedded().device_type is DeviceType.ACCELERATOR
+
+
+class TestDeviceSpec:
+    def test_wave_issue_cycles_gcn(self):
+        # 64-wide wavefront over 16-wide SIMDs: 4 cycles.
+        assert Device.r9_nano().spec.wave_issue_cycles == 4
+
+    def test_max_threads_per_cu(self):
+        spec = Device.r9_nano().spec
+        assert spec.max_threads_per_cu == 4 * 10 * 64
+
+    def test_with_overrides(self):
+        spec = Device.r9_nano().spec.with_overrides(compute_units=32)
+        assert spec.compute_units == 32
+        assert Device.r9_nano().spec.compute_units == 64  # original intact
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            Device.r9_nano().spec.with_overrides(compute_units=0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            Device.r9_nano().spec.with_overrides(sustained_compute_efficiency=1.5)
+
+    def test_equality_and_hash(self):
+        assert Device.r9_nano() == Device.r9_nano()
+        assert hash(Device.r9_nano()) == hash(Device.r9_nano())
+        assert Device.r9_nano() != Device.embedded()
+
+
+class TestRegistration:
+    def test_register_custom_preset(self):
+        spec = Device.r9_nano().spec.with_overrides(name="custom")
+        Device.register_preset("custom-test", spec)
+        assert Device.from_preset("custom-test").name == "custom"

@@ -1,0 +1,49 @@
+"""Kernel base class defaults."""
+
+import pytest
+
+from repro.sycl.device import Device
+from repro.sycl.kernel import Kernel, ResourceUsage
+from repro.sycl.ndrange import NDRange
+
+
+class MinimalKernel(Kernel):
+    name = "minimal"
+
+    def run(self, device, ndrange, accessors):
+        pass
+
+
+class TestDefaultEstimate:
+    def test_includes_launch_overhead(self):
+        kernel = MinimalKernel()
+        dev = Device.r9_nano()
+        t = kernel.estimate_seconds(dev, NDRange((1,), (1,)), ())
+        assert t >= dev.spec.kernel_launch_overhead_us * 1e-6
+
+    def test_scales_with_work(self):
+        kernel = MinimalKernel()
+        dev = Device.r9_nano()
+        small = kernel.estimate_seconds(dev, NDRange((1024,), (64,)), ())
+        big = kernel.estimate_seconds(dev, NDRange((1024 * 4096,), (64,)), ())
+        assert big > small
+
+    def test_base_run_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Kernel().run(Device.r9_nano(), NDRange((1,), (1,)), ())
+
+    def test_repr(self):
+        assert "minimal" in repr(MinimalKernel())
+
+
+class TestResourceUsage:
+    def test_defaults(self):
+        usage = ResourceUsage()
+        assert usage.vgprs_per_lane > 0
+        assert usage.lds_bytes_per_group == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceUsage(vgprs_per_lane=0)
+        with pytest.raises(ValueError):
+            ResourceUsage(lds_bytes_per_group=-1)

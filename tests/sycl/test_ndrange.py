@@ -1,0 +1,81 @@
+"""Range / Id / NDRange index-space arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sycl.exceptions import InvalidNDRangeError
+from repro.sycl.ndrange import Id, NDRange, Range
+
+
+class TestRange:
+    def test_construction_from_ints(self):
+        assert Range(4, 5).dims == (4, 5)
+
+    def test_construction_from_tuple(self):
+        assert Range((2, 3, 4)).dims == (2, 3, 4)
+
+    def test_size(self):
+        assert Range(3, 4, 5).size() == 60
+
+    def test_iteration_and_index(self):
+        r = Range(7, 8)
+        assert list(r) == [7, 8] and r[1] == 8 and len(r) == 2
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(InvalidNDRangeError):
+            Range(0, 4)
+
+    def test_rejects_too_many_dims(self):
+        with pytest.raises(InvalidNDRangeError):
+            Range((1, 2, 3, 4))
+
+
+class TestId:
+    def test_zero_allowed(self):
+        assert Id(0, 0).coords == (0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidNDRangeError):
+            Id(-1, 0)
+
+
+class TestNDRange:
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(InvalidNDRangeError):
+            NDRange((8, 8), (4,))
+
+    def test_exact_division(self):
+        ndr = NDRange((64, 64), (8, 8))
+        assert ndr.num_groups == (8, 8)
+        assert ndr.rounded_global.dims == (64, 64)
+        assert ndr.launched_work_items() == 64 * 64
+
+    def test_ragged_rounds_up(self):
+        ndr = NDRange((100, 3), (16, 2))
+        assert ndr.num_groups == (7, 2)
+        assert ndr.rounded_global.dims == (112, 4)
+
+    def test_work_group_size(self):
+        assert NDRange((10,), (4,)).work_group_size == 4
+
+    def test_total_groups(self):
+        assert NDRange((100, 3), (16, 2)).total_groups == 14
+
+    def test_device_limit_validation(self):
+        ndr = NDRange((512, 512), (32, 32))
+        with pytest.raises(InvalidNDRangeError, match="exceeds device limit"):
+            ndr.validate_for_device(256)
+        ndr.validate_for_device(1024)  # no raise
+
+    @given(
+        st.integers(1, 10_000),
+        st.integers(1, 10_000),
+        st.integers(1, 64),
+        st.integers(1, 64),
+    )
+    def test_rounded_global_covers_input(self, gm, gn, lm, ln):
+        ndr = NDRange((gm, gn), (lm, ln))
+        rm, rn = ndr.rounded_global.dims
+        assert rm >= gm and rn >= gn
+        assert rm - gm < lm and rn - gn < ln
+        assert rm % lm == 0 and rn % ln == 0

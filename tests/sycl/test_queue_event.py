@@ -1,0 +1,129 @@
+"""Queue submission, the simulated clock, and profiling events."""
+
+import numpy as np
+import pytest
+
+from repro.sycl.buffer import AccessMode, Buffer
+from repro.sycl.device import Device
+from repro.sycl.event import Event, EventStatus
+from repro.sycl.exceptions import DeviceError
+from repro.sycl.kernel import Kernel, ResourceUsage
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+
+
+class FillKernel(Kernel):
+    """Writes a constant into its single accessor."""
+
+    name = "fill"
+
+    def __init__(self, value: float, duration: float = 1e-6):
+        self._value = value
+        self._duration = duration
+
+    def run(self, device, ndrange, accessors):
+        accessors[0].view()[...] = self._value
+
+    def estimate_seconds(self, device, ndrange, accessors):
+        return self._duration
+
+
+class GreedyKernel(Kernel):
+    name = "greedy"
+
+    def run(self, device, ndrange, accessors):
+        pass
+
+    def resource_usage(self, device):
+        return ResourceUsage(vgprs_per_lane=10_000)
+
+
+@pytest.fixture
+def queue():
+    return Queue(Device.r9_nano(), enable_profiling=True)
+
+
+class TestQueue:
+    def test_submit_executes_kernel(self, queue):
+        buf = Buffer((4, 4))
+        queue.submit(FillKernel(3.0), NDRange((4, 4), (2, 2)), args=(buf,))
+        assert np.all(buf.to_host() == 3.0)
+
+    def test_clock_advances_by_duration(self, queue):
+        buf = Buffer((2, 2))
+        queue.submit(FillKernel(1.0, duration=5e-6), NDRange((2, 2), (2, 2)), args=(buf,))
+        assert queue.device_time_ns == pytest.approx(5000, abs=1)
+
+    def test_in_order_events_do_not_overlap(self, queue):
+        buf = Buffer((2, 2))
+        e1 = queue.submit(FillKernel(1.0, 1e-6), NDRange((2, 2), (2, 2)), args=(buf,))
+        e2 = queue.submit(FillKernel(2.0, 1e-6), NDRange((2, 2), (2, 2)), args=(buf,))
+        assert e2.profiling_start_ns >= e1.profiling_end_ns
+
+    def test_submission_log(self, queue):
+        buf = Buffer((2, 2))
+        queue.submit(FillKernel(1.0), NDRange((2, 2), (2, 2)), args=(buf,))
+        log = queue.submission_log
+        assert len(log) == 1 and log[0][0] == "fill"
+
+    def test_work_group_limit_enforced(self, queue):
+        buf = Buffer((64, 64))
+        with pytest.raises(Exception, match="exceeds device limit"):
+            queue.submit(FillKernel(0.0), NDRange((64, 64), (32, 32)), args=(buf,))
+
+    def test_register_spill_rejected(self, queue):
+        buf = Buffer((2, 2))
+        with pytest.raises(DeviceError, match="spill"):
+            queue.submit(GreedyKernel(), NDRange((2, 2), (2, 2)), args=(buf,))
+
+    def test_accessor_args_accepted(self, queue):
+        buf = Buffer((2, 2))
+        acc = buf.get_access(AccessMode.READ_WRITE)
+        queue.submit(FillKernel(4.0), NDRange((2, 2), (2, 2)), args=(acc,))
+        assert np.all(buf.to_host() == 4.0)
+
+    def test_bad_arg_type_rejected(self, queue):
+        with pytest.raises(TypeError):
+            queue.submit(
+                FillKernel(0.0), NDRange((2, 2), (2, 2)), args=(np.ones((2, 2)),)
+            )
+
+    def test_dependencies_must_be_complete(self, queue):
+        buf = Buffer((2, 2))
+        ev = queue.submit(FillKernel(1.0), NDRange((2, 2), (2, 2)), args=(buf,))
+        queue.submit(
+            FillKernel(2.0), NDRange((2, 2), (2, 2)), args=(buf,), depends_on=[ev]
+        )
+
+
+class TestEvent:
+    def test_profiling_duration(self, queue):
+        buf = Buffer((2, 2))
+        ev = queue.submit(
+            FillKernel(1.0, duration=2e-6), NDRange((2, 2), (2, 2)), args=(buf,)
+        )
+        assert ev.profiling_duration_ns == pytest.approx(2000, abs=1)
+        assert ev.profiling_duration_s == pytest.approx(2e-6, rel=1e-3)
+
+    def test_status_complete_after_submit(self, queue):
+        buf = Buffer((2, 2))
+        ev = queue.submit(FillKernel(1.0), NDRange((2, 2), (2, 2)), args=(buf,))
+        assert ev.status is EventStatus.COMPLETE
+        assert ev.wait() is ev
+
+    def test_profiling_disabled_raises(self):
+        q = Queue(Device.r9_nano(), enable_profiling=False)
+        buf = Buffer((2, 2))
+        ev = q.submit(FillKernel(1.0), NDRange((2, 2), (2, 2)), args=(buf,))
+        with pytest.raises(RuntimeError, match="profiling"):
+            _ = ev.profiling_duration_ns
+
+    def test_unrecorded_event_has_no_timestamps(self):
+        ev = Event(name="orphan", profiling_enabled=True)
+        with pytest.raises(RuntimeError, match="no timestamps"):
+            _ = ev.profiling_start_ns
+
+    def test_record_rejects_unordered_timestamps(self):
+        ev = Event(name="bad", profiling_enabled=True)
+        with pytest.raises(ValueError):
+            ev._record(10, 5, 20)

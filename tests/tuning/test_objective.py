@@ -1,0 +1,69 @@
+"""Objective: caching, budget, history."""
+
+import pytest
+
+from repro.bench.runner import BenchmarkRunner
+from repro.kernels.params import KernelConfig, config_space
+from repro.sycl.device import Device
+from repro.tuning.objective import Objective, TuningBudgetExceeded
+from repro.workloads.gemm import GemmShape
+
+SHAPE = GemmShape(m=256, k=256, n=256)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return BenchmarkRunner(Device.r9_nano())
+
+
+def cfg(acc=4, rows=4, cols=4, wg=(16, 16)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+class TestObjective:
+    def test_returns_benchmark_mean(self, runner):
+        obj = Objective(runner, SHAPE)
+        assert obj(cfg()) == pytest.approx(
+            runner.bench_single(SHAPE, cfg()).mean
+        )
+
+    def test_caching_counts_distinct_only(self, runner):
+        obj = Objective(runner, SHAPE)
+        a = obj(cfg())
+        b = obj(cfg())
+        assert a == b
+        assert obj.evaluations == 1
+
+    def test_budget_enforced(self, runner):
+        obj = Objective(runner, SHAPE, max_evaluations=2)
+        obj(cfg(acc=1))
+        obj(cfg(acc=2))
+        obj(cfg(acc=1))  # cached: free
+        with pytest.raises(TuningBudgetExceeded):
+            obj(cfg(acc=4))
+        assert obj.remaining == 0
+
+    def test_best_and_curve(self, runner):
+        obj = Objective(runner, SHAPE)
+        values = [obj(c) for c in (cfg(acc=1), cfg(acc=2), cfg(acc=4))]
+        best_cfg, best_val = obj.best()
+        assert best_val == min(values)
+        curve = obj.best_so_far_curve()
+        assert len(curve) == 3
+        assert curve == sorted(curve, reverse=True) or curve[-1] == min(values)
+        assert curve[-1] == best_val
+
+    def test_best_before_any_eval(self, runner):
+        with pytest.raises(ValueError):
+            Objective(runner, SHAPE).best()
+
+    def test_invalid_budget(self, runner):
+        with pytest.raises(ValueError):
+            Objective(runner, SHAPE, max_evaluations=0)
+
+    def test_history_preserves_order(self, runner):
+        obj = Objective(runner, SHAPE)
+        configs = [cfg(acc=1), cfg(acc=8), cfg(acc=2)]
+        for c in configs:
+            obj(c)
+        assert [c for c, _ in obj.history] == configs

@@ -1,0 +1,112 @@
+"""Search-space coordinates, neighbourhoods and restriction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.params import KernelConfig
+from repro.tuning.space import ConfigSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigSpace()
+
+
+class TestCoding:
+    def test_size_is_640(self, space):
+        assert space.size == 640
+        assert len(space.all_configs()) == 640
+
+    def test_encode_decode_round_trip(self, space):
+        for config in space.all_configs():
+            assert space.decode(space.encode(config)) == config
+
+    def test_contains(self, space):
+        assert KernelConfig(acc=2, rows=4, cols=8, wg_rows=8, wg_cols=16) in space
+        assert KernelConfig(acc=3, rows=4, cols=8, wg_rows=8, wg_cols=16) not in space
+
+    def test_foreign_config_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.encode(KernelConfig(acc=16, rows=1, cols=1, wg_rows=8, wg_cols=8))
+
+    def test_custom_axes(self):
+        small = ConfigSpace(tile_sizes=(1, 2), work_groups=((8, 8),))
+        assert small.size == 8
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(tile_sizes=())
+
+
+class TestMoves:
+    def test_neighbors_differ_by_one_step(self, space):
+        coords = (1, 2, 3, 5)
+        for nb in space.neighbors(coords):
+            diffs = [abs(a - b) for a, b in zip(coords, nb)]
+            assert sum(diffs) == 1
+
+    def test_corner_has_fewer_neighbors(self, space):
+        corner = (0, 0, 0, 0)
+        interior = (1, 1, 1, 5)
+        assert len(list(space.neighbors(corner))) == 4
+        assert len(list(space.neighbors(interior))) == 8
+
+    def test_neighbors_stay_in_bounds(self, space):
+        for nb in space.neighbors((3, 3, 3, 9)):
+            for value, dim in zip(nb, space.dims):
+                assert 0 <= value < dim
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_coords_valid(self, seed):
+        space = ConfigSpace()
+        coords = space.random_coords(np.random.default_rng(seed))
+        for value, dim in zip(coords, space.dims):
+            assert 0 <= value < dim
+
+    def test_perturb_changes_at_most_strength_axes(self, space):
+        rng = np.random.default_rng(0)
+        coords = (2, 2, 2, 4)
+        for _ in range(50):
+            new = space.perturb(coords, rng, strength=2)
+            changed = sum(a != b for a, b in zip(coords, new))
+            assert changed <= 2
+
+
+class TestRestriction:
+    def test_predicate_filters(self, space):
+        restricted = space.restricted_to(lambda c: c.work_group_size <= 128)
+        assert all(c.work_group_size <= 128 for c in restricted.all_configs())
+        assert restricted.size < space.size
+
+    def test_contains_respects_predicate(self, space):
+        restricted = space.restricted_to(lambda c: c.acc == 4)
+        assert KernelConfig(acc=4, rows=1, cols=1, wg_rows=8, wg_cols=8) in restricted
+        assert (
+            KernelConfig(acc=2, rows=1, cols=1, wg_rows=8, wg_cols=8)
+            not in restricted
+        )
+
+    def test_random_coords_feasible(self, space):
+        restricted = space.restricted_to(lambda c: c.rows == 1)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            assert restricted.decode(restricted.random_coords(rng)).rows == 1
+
+    def test_neighbors_filtered(self, space):
+        restricted = space.restricted_to(lambda c: c.registers_per_item <= 64)
+        coords = restricted.random_coords(np.random.default_rng(0))
+        for nb in restricted.neighbors(coords):
+            assert restricted.decode(nb).registers_per_item <= 64
+
+    def test_unsatisfiable_predicate_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.restricted_to(lambda c: False)
+
+    def test_device_filtering_use_case(self, space):
+        from repro.perfmodel import GemmPerfModel
+        from repro.sycl.device import Device
+
+        model = GemmPerfModel(Device.embedded())
+        feasible = space.restricted_to(model.supported)
+        assert 0 < feasible.size < 640

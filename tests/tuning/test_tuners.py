@@ -1,0 +1,134 @@
+"""Search strategies: correctness, budget respect, quality floors."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchmarkRunner
+from repro.sycl.device import Device
+from repro.tuning import (
+    BasinHoppingTuner,
+    ConfigSpace,
+    EvolutionaryTuner,
+    HillClimbingTuner,
+    Objective,
+    RandomSearchTuner,
+    SimulatedAnnealingTuner,
+)
+from repro.workloads.gemm import GemmShape
+
+SHAPE = GemmShape(m=3136, k=576, n=128)
+
+ALL_TUNERS = [
+    RandomSearchTuner(random_state=0),
+    HillClimbingTuner(random_state=0),
+    SimulatedAnnealingTuner(random_state=0),
+    BasinHoppingTuner(random_state=0),
+    EvolutionaryTuner(random_state=0),
+]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return BenchmarkRunner(Device.r9_nano())
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigSpace()
+
+
+@pytest.fixture(scope="module")
+def optimum(runner, space):
+    obj = Objective(runner, SHAPE)
+    for config in space.all_configs():
+        obj(config)
+    return obj.best()[1]
+
+
+@pytest.mark.parametrize("tuner", ALL_TUNERS, ids=lambda t: t.name)
+class TestAllTuners:
+    def test_respects_budget(self, tuner, runner, space):
+        obj = Objective(runner, SHAPE, max_evaluations=40)
+        result = tuner.tune(obj, space)
+        assert result.evaluations <= 40
+        assert result.best_config in space
+
+    def test_result_is_actually_best_evaluated(self, tuner, runner, space):
+        obj = Objective(runner, SHAPE, max_evaluations=30)
+        result = tuner.tune(obj, space)
+        assert result.best_seconds == min(v for _, v in obj.history)
+        assert result.curve[-1] == result.best_seconds
+
+    def test_deterministic(self, tuner, runner, space):
+        a = tuner.tune(Objective(runner, SHAPE, max_evaluations=30), space)
+        b = tuner.tune(Objective(runner, SHAPE, max_evaluations=30), space)
+        assert a.best_config == b.best_config
+        assert a.evaluations == b.evaluations
+
+    def test_quality_floor_at_100_evals(self, tuner, runner, space, optimum):
+        """Every strategy gets within 25% of the global optimum using at
+        most 100 of the 640 evaluations (the whole point of tuning)."""
+        obj = Objective(runner, SHAPE, max_evaluations=100)
+        result = tuner.tune(obj, space)
+        assert result.best_seconds <= optimum * 1.25
+
+    def test_works_on_restricted_space(self, tuner, runner, space):
+        restricted = space.restricted_to(lambda c: c.work_group_size <= 128)
+        obj = Objective(runner, SHAPE, max_evaluations=30)
+        result = tuner.tune(obj, restricted)
+        assert result.best_config.work_group_size <= 128
+
+
+class TestStrategySpecifics:
+    def test_random_search_seed_changes_path(self, runner, space):
+        a = RandomSearchTuner(random_state=0).tune(
+            Objective(runner, SHAPE, max_evaluations=20), space
+        )
+        b = RandomSearchTuner(random_state=1).tune(
+            Objective(runner, SHAPE, max_evaluations=20), space
+        )
+        assert a.best_config != b.best_config or a.curve != b.curve
+
+    def test_hill_climbing_descends(self, runner, space):
+        """Each restart's trajectory is non-increasing in accepted values
+        (verified via the global best-so-far curve being reached early)."""
+        obj = Objective(runner, SHAPE, max_evaluations=120)
+        result = HillClimbingTuner(restarts=2, random_state=0).tune(obj, space)
+        curve = result.curve
+        assert curve == sorted(curve, reverse=True)[: len(curve)] or all(
+            curve[i] >= curve[i + 1] - 1e-12 for i in range(len(curve) - 1)
+        )
+
+    def test_basin_hopping_beats_single_descent(self, runner, space, optimum):
+        single = BasinHoppingTuner(hops=1, random_state=2).tune(
+            Objective(runner, SHAPE, max_evaluations=200), space
+        )
+        many = BasinHoppingTuner(hops=12, random_state=2).tune(
+            Objective(runner, SHAPE, max_evaluations=200), space
+        )
+        assert many.best_seconds <= single.best_seconds
+
+    def test_evolutionary_population_validations(self):
+        with pytest.raises(ValueError):
+            EvolutionaryTuner(population=1)
+        with pytest.raises(ValueError):
+            EvolutionaryTuner(mutation_rate=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(cooling=1.0)
+        with pytest.raises(ValueError):
+            BasinHoppingTuner(perturbation_strength=5)
+        with pytest.raises(ValueError):
+            HillClimbingTuner(restarts=0)
+        with pytest.raises(ValueError):
+            RandomSearchTuner(max_samples=0)
+
+    def test_result_reporting(self, runner, space):
+        result = RandomSearchTuner(random_state=0).tune(
+            Objective(runner, SHAPE, max_evaluations=25), space
+        )
+        text = str(result)
+        assert "random" in text and "evals" in text
+        target = result.curve[-1]
+        reached = result.evaluations_to_reach(target)
+        assert 1 <= reached <= result.evaluations
+        assert result.evaluations_to_reach(0.0) == -1

@@ -1,0 +1,76 @@
+"""ceil_div / round_up / geometric_mean."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.maths import ceil_div, geometric_mean, round_up
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 1, 0), (1, 1, 1), (5, 2, 3), (6, 2, 3), (7, 8, 1), (64, 8, 8)],
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b or (a == 0 and q == 0)
+
+
+class TestRoundUp:
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_is_multiple_and_minimal(self, value, multiple):
+        r = round_up(value, multiple)
+        assert r % multiple == 0
+        assert r >= value
+        assert r - value < multiple
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_identity_on_constant(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_axis(self):
+        out = geometric_mean([[1.0, 4.0], [1.0, 16.0]], axis=0)
+        np.testing.assert_allclose(out, [1.0, 8.0])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+        st.floats(0.01, 100.0),
+    )
+    def test_scale_equivariance(self, values, scale):
+        base = geometric_mean(values)
+        scaled = geometric_mean([v * scale for v in values])
+        assert scaled == pytest.approx(base * scale, rel=1e-9)
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-12 <= g <= max(values) + 1e-12

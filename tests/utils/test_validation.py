@@ -1,0 +1,94 @@
+"""Input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive_int,
+    check_random_state,
+)
+
+
+class TestCheckPositiveInt:
+    def test_passes_through(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_numpy_ints_accepted(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="budget"):
+            check_positive_int(-1, "budget")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", low=0.0, high=1.0) == 0.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", low=0.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", high=1.0, high_inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="gamma"):
+            check_in_range(2.0, "gamma", low=0.0, high=1.0)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_multiple_allowed_ndims(self):
+        assert check_array([1.0, 2.0], ndim=(1, 2)).ndim == 1
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array([[np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_array([[np.inf]])
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError):
+            check_array(np.empty((0, 3)))
+
+    def test_allow_empty(self):
+        assert check_array(np.empty((0, 3)), allow_empty=True).shape == (0, 3)
+
+    def test_copy_is_independent(self):
+        src = np.ones((2, 2))
+        out = check_array(src, copy=True)
+        out[0, 0] = 5.0
+        assert src[0, 0] == 1.0
+
+
+class TestCheckRandomState:
+    def test_is_alias_of_rng_from(self):
+        assert check_random_state(3).integers(10) == check_random_state(3).integers(10)

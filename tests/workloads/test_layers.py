@@ -1,0 +1,82 @@
+"""Layer shape inference."""
+
+import pytest
+
+from repro.workloads.layers import Conv2d, Dense, GlobalPool, InputSpec, Pool2d
+
+
+class TestConv2d:
+    def test_same_padding(self):
+        out = Conv2d(out_channels=64, kernel=3, padding=1).output(
+            InputSpec(224, 224, 3)
+        )
+        assert (out.height, out.width, out.channels) == (224, 224, 64)
+
+    def test_stride_halves(self):
+        out = Conv2d(out_channels=64, kernel=3, stride=2, padding=1).output(
+            InputSpec(224, 224, 32)
+        )
+        assert (out.height, out.width) == (112, 112)
+
+    def test_7x7_stride2_pad3(self):
+        out = Conv2d(out_channels=64, kernel=7, stride=2, padding=3).output(
+            InputSpec(224, 224, 3)
+        )
+        assert (out.height, out.width) == (112, 112)
+
+    def test_pointwise(self):
+        conv = Conv2d(out_channels=128, kernel=1)
+        assert conv.is_pointwise()
+        out = conv.output(InputSpec(14, 14, 64))
+        assert (out.height, out.width, out.channels) == (14, 14, 128)
+
+    def test_depthwise_detection(self):
+        dw = Conv2d(out_channels=32, kernel=3, groups=32, padding=1)
+        assert dw.is_depthwise(InputSpec(56, 56, 32))
+        assert not dw.is_depthwise(InputSpec(56, 56, 64))
+
+    def test_group_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Conv2d(out_channels=8, kernel=1, groups=3).output(InputSpec(4, 4, 8))
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            Conv2d(out_channels=8, kernel=9).output(InputSpec(4, 4, 3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=0, kernel=3)
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=8, kernel=3, padding=-1)
+
+
+class TestPooling:
+    def test_max_pool_halves(self):
+        out = Pool2d(kernel=2, stride=2).output(InputSpec(224, 224, 64))
+        assert (out.height, out.width, out.channels) == (112, 112, 64)
+
+    def test_resnet_pool(self):
+        out = Pool2d(kernel=3, stride=2, padding=1).output(InputSpec(112, 112, 64))
+        assert (out.height, out.width) == (56, 56)
+
+    def test_global_pool(self):
+        out = GlobalPool().output(InputSpec(7, 7, 2048))
+        assert (out.height, out.width, out.channels) == (1, 1, 2048)
+
+
+class TestDense:
+    def test_flattens_input(self):
+        dense = Dense(out_features=4096)
+        spec = InputSpec(7, 7, 512)
+        assert dense.in_features(spec) == 25088
+        assert dense.output(spec).channels == 4096
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Dense(out_features=0)
+
+
+class TestInputSpec:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            InputSpec(0, 4, 4)

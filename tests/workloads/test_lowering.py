@@ -1,0 +1,115 @@
+"""Conv/FC -> GEMM lowering."""
+
+import pytest
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import Conv2d, Dense, InputSpec
+from repro.workloads.lowering import (
+    lower_conv_im2col,
+    lower_conv_winograd,
+    lower_dense,
+    lower_network,
+)
+from repro.workloads.networks import vgg16
+
+
+class TestIm2col:
+    def test_vgg_conv1_shape(self):
+        # 3x3x3 kernel on 224x224 -> M=224*224, K=27, N=64.
+        conv = Conv2d(out_channels=64, kernel=3, padding=1)
+        shape = lower_conv_im2col(conv, InputSpec(224, 224, 3))
+        assert shape == GemmShape(m=224 * 224, k=27, n=64)
+
+    def test_batch_folds_into_m(self):
+        conv = Conv2d(out_channels=64, kernel=3, padding=1)
+        shape = lower_conv_im2col(conv, InputSpec(56, 56, 64), batch=4)
+        assert shape.m == 4 * 56 * 56
+
+    def test_pointwise(self):
+        conv = Conv2d(out_channels=128, kernel=1)
+        shape = lower_conv_im2col(conv, InputSpec(14, 14, 96))
+        assert shape == GemmShape(m=196, k=96, n=128)
+
+    def test_strided(self):
+        conv = Conv2d(out_channels=64, kernel=7, stride=2, padding=3)
+        shape = lower_conv_im2col(conv, InputSpec(224, 224, 3))
+        assert shape == GemmShape(m=112 * 112, k=147, n=64)
+
+    def test_grouped_non_depthwise(self):
+        conv = Conv2d(out_channels=64, kernel=3, groups=2, padding=1)
+        shape = lower_conv_im2col(conv, InputSpec(28, 28, 32))
+        assert shape.k == 3 * 3 * 16
+        assert shape.n == 32
+        assert shape.batch == 2
+
+    def test_depthwise_rejected(self):
+        conv = Conv2d(out_channels=32, kernel=3, groups=32, padding=1)
+        with pytest.raises(ValueError, match="depthwise"):
+            lower_conv_im2col(conv, InputSpec(56, 56, 32))
+
+
+class TestWinograd:
+    def test_f2_tile_counts(self):
+        conv = Conv2d(out_channels=64, kernel=3, padding=1)
+        shape = lower_conv_winograd(conv, InputSpec(56, 56, 32), tile=2)
+        assert shape == GemmShape(m=28 * 28, k=32, n=64, batch=16)
+
+    def test_f4_tile_counts(self):
+        conv = Conv2d(out_channels=64, kernel=3, padding=1)
+        shape = lower_conv_winograd(conv, InputSpec(56, 56, 32), tile=4)
+        assert shape == GemmShape(m=14 * 14, k=32, n=64, batch=36)
+
+    def test_ragged_output_rounds_up(self):
+        conv = Conv2d(out_channels=8, kernel=3, padding=1)
+        shape = lower_conv_winograd(conv, InputSpec(7, 7, 4), tile=2)
+        assert shape.m == 4 * 4  # ceil(7/2)^2
+
+    def test_inapplicable_returns_none(self):
+        strided = Conv2d(out_channels=8, kernel=3, stride=2, padding=1)
+        assert lower_conv_winograd(strided, InputSpec(28, 28, 8)) is None
+        one_by_one = Conv2d(out_channels=8, kernel=1)
+        assert lower_conv_winograd(one_by_one, InputSpec(28, 28, 8)) is None
+        grouped = Conv2d(out_channels=8, kernel=3, groups=8, padding=1)
+        assert lower_conv_winograd(grouped, InputSpec(28, 28, 8)) is None
+
+    def test_unsupported_tile_size(self):
+        conv = Conv2d(out_channels=8, kernel=3, padding=1)
+        with pytest.raises(ValueError, match="Winograd tiles"):
+            lower_conv_winograd(conv, InputSpec(28, 28, 8), tile=3)
+
+
+class TestDense:
+    def test_vgg_fc6(self):
+        shape = lower_dense(Dense(out_features=4096), InputSpec(7, 7, 512))
+        assert shape == GemmShape(m=1, k=25088, n=4096)
+
+    def test_batched(self):
+        shape = lower_dense(Dense(out_features=10), InputSpec(1, 1, 64), batch=32)
+        assert shape.m == 32
+
+
+class TestLowerNetwork:
+    def test_vgg_counts(self):
+        lowered = lower_network(vgg16(), batches=(1,))
+        im2col = [lg for lg in lowered if lg.transform == "im2col"]
+        wino2 = [lg for lg in lowered if lg.transform == "winograd2"]
+        fc = [lg for lg in lowered if lg.transform == "fc"]
+        assert len(im2col) == 13
+        assert len(wino2) == 13  # every VGG conv is Winograd-eligible
+        assert len(fc) == 3
+
+    def test_provenance_attached(self):
+        lowered = lower_network(vgg16(), batches=(1,))
+        assert all(lg.network == "vgg16" for lg in lowered)
+        assert any(lg.layer == "conv1_1" for lg in lowered)
+
+    def test_multiple_batches_multiply(self):
+        one = lower_network(vgg16(), batches=(1,))
+        two = lower_network(vgg16(), batches=(1, 4))
+        assert len(two) == 2 * len(one)
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            lower_network(vgg16(), batches=())
+        with pytest.raises(ValueError):
+            lower_network(vgg16(), batches=(0,))

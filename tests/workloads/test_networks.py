@@ -1,0 +1,96 @@
+"""The three network architectures."""
+
+import pytest
+
+from repro.workloads.layers import Conv2d, Dense
+from repro.workloads.networks import mobilenet_v2, resnet50, vgg16
+
+
+class TestVGG16:
+    def test_layer_counts(self):
+        net = vgg16()
+        assert len(net.convs()) == 13
+        assert len(net.denses()) == 3
+
+    def test_final_spatial_size(self):
+        net = vgg16()
+        # The layer before fc6 sees 7x7x512.
+        fc6 = next(li for li in net.layers if li.name == "fc6")
+        assert (fc6.input.height, fc6.input.width, fc6.input.channels) == (7, 7, 512)
+
+    def test_stage_channels(self):
+        net = vgg16()
+        conv5 = next(li for li in net.layers if li.name == "conv5_1")
+        assert conv5.layer.out_channels == 512
+        assert (conv5.input.height, conv5.input.width) == (14, 14)
+
+    def test_all_convs_are_3x3_stride1(self):
+        assert all(
+            li.layer.kernel == 3 and li.layer.stride == 1 for li in vgg16().convs()
+        )
+
+    def test_classifier_dims(self):
+        names = [li.layer.out_features for li in vgg16().denses()]
+        assert names == [4096, 4096, 1000]
+
+
+class TestResNet50:
+    def test_conv_count(self):
+        # 1 stem + per-stage (3 convs per block + 1 projection):
+        # (3*3+1) + (4*3+1) + (6*3+1) + (3*3+1) = 10+13+19+10 = 52, +1 = 53.
+        assert len(resnet50().convs()) == 53
+
+    def test_stage_output_sizes(self):
+        net = resnet50()
+        last = net.convs()[-1]
+        assert last.output.channels == 2048
+        assert (last.output.height, last.output.width) == (7, 7)
+
+    def test_fc(self):
+        denses = resnet50().denses()
+        assert len(denses) == 1 and denses[0].layer.out_features == 1000
+        assert denses[0].input.channels == 2048
+
+    def test_projection_shortcuts_present(self):
+        names = [li.name for li in resnet50().layers]
+        assert "res2a_shortcut" in names
+        assert "res5a_shortcut" in names
+        assert "res2b_shortcut" not in names  # only first block per stage
+
+    def test_bottleneck_structure(self):
+        net = resnet50()
+        block = [li for li in net.layers if li.name.startswith("res3a_conv")]
+        kernels = [li.layer.kernel for li in block]
+        assert kernels == [1, 3, 1]
+        assert block[1].layer.stride == 2  # stage entry downsamples
+
+
+class TestMobileNetV2:
+    def test_depthwise_layers_marked(self):
+        net = mobilenet_v2()
+        depthwise = [
+            li for li in net.convs() if li.layer.is_depthwise(li.input)
+        ]
+        assert len(depthwise) == 17  # one per inverted-residual block
+
+    def test_block_count(self):
+        net = mobilenet_v2()
+        projects = [li for li in net.convs() if li.name.endswith("_project")]
+        assert len(projects) == 17
+
+    def test_first_block_has_no_expansion(self):
+        names = [li.name for li in mobilenet_v2().layers]
+        assert "block1_expand" not in names
+        assert "block2_expand" in names
+
+    def test_final_conv_and_fc(self):
+        net = mobilenet_v2()
+        last_conv = net.convs()[-1]
+        assert last_conv.layer.out_channels == 1280
+        assert net.denses()[0].layer.out_features == 1000
+
+    def test_output_channel_progression(self):
+        net = mobilenet_v2()
+        projects = [li for li in net.convs() if li.name.endswith("_project")]
+        channels = sorted({li.layer.out_channels for li in projects})
+        assert channels == [16, 24, 32, 64, 96, 160, 320]

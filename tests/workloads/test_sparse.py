@@ -1,0 +1,66 @@
+"""Sparse GEMM shapes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.sparse import SparseGemmShape, sparsify
+
+
+class TestSparseShape:
+    def test_is_a_gemm_shape(self):
+        shape = SparseGemmShape(m=8, k=8, n=8, density=0.5)
+        assert isinstance(shape, GemmShape)
+
+    def test_flops_scale_with_density(self):
+        dense = SparseGemmShape(m=10, k=10, n=10, density=1.0)
+        half = SparseGemmShape(m=10, k=10, n=10, density=0.5)
+        assert half.flops == dense.flops // 2
+
+    def test_nnz(self):
+        shape = SparseGemmShape(m=4, k=100, n=10, density=0.25)
+        assert shape.nnz == 250
+
+    def test_features_include_density(self):
+        shape = SparseGemmShape(m=1, k=2, n=3, batch=4, density=0.1)
+        np.testing.assert_allclose(
+            shape.features(), [1.0, 2.0, 3.0, 4.0, 0.1]
+        )
+        assert SparseGemmShape.N_FEATURES == 5
+
+    def test_identity_tuple_distinguishes_densities(self):
+        a = SparseGemmShape(m=8, k=8, n=8, density=0.5)
+        b = SparseGemmShape(m=8, k=8, n=8, density=0.25)
+        assert a.as_tuple() != b.as_tuple()
+        assert a != b
+
+    def test_dense_equivalent(self):
+        shape = SparseGemmShape(m=8, k=16, n=4, batch=2, density=0.3)
+        assert shape.dense_equivalent() == GemmShape(m=8, k=16, n=4, batch=2)
+
+    def test_str(self):
+        assert str(SparseGemmShape(m=1, k=2, n=3, density=0.25)) == "[1x2x3]@25%"
+        assert str(SparseGemmShape(m=1, k=2, n=3, density=1.0)) == "[1x2x3]"
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            SparseGemmShape(m=1, k=1, n=1, density=0.0)
+        with pytest.raises(ValueError):
+            SparseGemmShape(m=1, k=1, n=1, density=1.5)
+
+
+class TestSparsify:
+    def test_cross_product(self):
+        shapes = [GemmShape(m=8, k=8, n=8), GemmShape(m=4, k=4, n=4)]
+        out = sparsify(shapes, densities=(1.0, 0.5))
+        assert len(out) == 4
+        assert all(isinstance(s, SparseGemmShape) for s in out)
+
+    def test_deduplicated_and_sorted(self):
+        shapes = [GemmShape(m=8, k=8, n=8)] * 2
+        out = sparsify(shapes, densities=(0.5,))
+        assert len(out) == 1
+
+    def test_empty_densities_rejected(self):
+        with pytest.raises(ValueError):
+            sparsify([GemmShape(m=1, k=1, n=1)], densities=())

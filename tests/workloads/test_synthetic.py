@@ -1,0 +1,68 @@
+"""Synthetic shape generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.synthetic import random_gemm_shapes, shape_envelope
+
+
+class TestEnvelope:
+    def test_min_max(self):
+        shapes = [GemmShape(m=1, k=10, n=100), GemmShape(m=50, k=5, n=200)]
+        env = shape_envelope(shapes)
+        assert env == ((1, 50), (5, 10), (100, 200))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shape_envelope([])
+
+
+class TestRandomShapes:
+    def test_count_and_distinctness(self):
+        shapes = random_gemm_shapes(100, random_state=0)
+        assert len(shapes) == 100
+        assert len({s.as_tuple() for s in shapes}) == 100
+
+    def test_reproducible(self):
+        a = random_gemm_shapes(20, random_state=7)
+        b = random_gemm_shapes(20, random_state=7)
+        assert a == b
+
+    def test_seed_matters(self):
+        assert random_gemm_shapes(20, random_state=0) != random_gemm_shapes(
+            20, random_state=1
+        )
+
+    def test_within_envelope(self):
+        env = ((10, 1000), (20, 2000), (30, 3000))
+        shapes = random_gemm_shapes(
+            200, random_state=0, envelope=env, fc_fraction=0.0
+        )
+        for s in shapes:
+            # Log-uniform rounding can nudge one past the bound.
+            assert env[0][0] <= s.m <= env[0][1] + 1
+            assert env[1][0] <= s.k <= env[1][1] + 1
+            assert env[2][0] <= s.n <= env[2][1] + 1
+
+    def test_fc_family_present(self):
+        shapes = random_gemm_shapes(300, random_state=0, fc_fraction=0.3)
+        fc_like = [s for s in shapes if s.m <= 64 and s.k >= 256]
+        assert len(fc_like) >= 30
+
+    def test_batch_multiplicities(self):
+        shapes = random_gemm_shapes(300, random_state=0, fc_fraction=0.0)
+        batches = {s.batch for s in shapes}
+        assert batches <= {1, 16, 36}
+        assert 16 in batches or 36 in batches
+
+    def test_log_uniform_spreads_orders_of_magnitude(self):
+        shapes = random_gemm_shapes(300, random_state=0, fc_fraction=0.0)
+        ms = np.array([s.m for s in shapes], dtype=float)
+        assert ms.max() / ms.min() > 100
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_gemm_shapes(0)
+        with pytest.raises(ValueError):
+            random_gemm_shapes(5, fc_fraction=1.5)
