@@ -125,6 +125,11 @@ class BenchmarkRunner:
     def model(self) -> GemmPerfModel:
         return self._model
 
+    @property
+    def runner_config(self) -> RunnerConfig:
+        """The benchmark protocol parameters in force."""
+        return self._runner_config
+
     def run(
         self,
         shapes: Sequence[GemmShape],
@@ -159,14 +164,27 @@ class BenchmarkRunner:
         )
 
     def bench_single(
-        self, shape: GemmShape, config: KernelConfig
+        self,
+        shape: GemmShape,
+        config: KernelConfig,
+        *,
+        iterations: Optional[int] = None,
     ) -> TimingSummary:
-        """Benchmark one (shape, config) pair and return timing detail."""
+        """Benchmark one (shape, config) pair and return timing detail.
+
+        ``iterations`` overrides the protocol's timed iteration count for
+        this measurement (e.g. a dynamic selector's cheaper trial sweeps);
+        warm-up stays as configured.
+        """
         rc = self._runner_config
+        if iterations is None:
+            iterations = rc.timed_iterations
+        elif iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
         times = self._model.measured_times_seconds(
             shape,
             config,
-            iterations=rc.timed_iterations,
+            iterations=iterations,
             start_iteration=rc.warmup_iterations,
         )
         return summarize_times(times)

@@ -6,6 +6,7 @@ Subcommands
 * ``shapes``      — list the GEMM shapes extracted from the networks.
 * ``experiments`` — run figure/table reproductions and print them.
 * ``tune``        — run the full pipeline and export the selector source.
+* ``serve-stats`` — replay a serving workload, print service counters.
 * ``devices``     — list the simulated device presets.
 """
 
@@ -130,6 +131,38 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve_stats(args) -> int:
+    import numpy as np
+
+    from repro.core.deploy import tune
+    from repro.serving import SelectionService
+
+    dataset = _load_or_generate(args)
+    train, test = dataset.split(test_size=0.2, random_state=args.seed)
+    deployed = tune(
+        train,
+        n_configs=args.budget,
+        classifier=args.classifier,
+        random_state=args.seed,
+    )
+    service = SelectionService(deployed, capacity=args.cache_capacity)
+
+    # Production-style traffic: a skewed distribution over the test
+    # shapes (a few hot shapes dominate, a long tail of rare ones).
+    rng = np.random.default_rng(args.seed)
+    shapes = list(test.shapes)
+    weights = 1.0 / np.arange(1, len(shapes) + 1)
+    weights /= weights.sum()
+    picks = rng.choice(len(shapes), size=args.requests, p=weights)
+    for start in range(0, args.requests, args.batch_size):
+        batch = [shapes[i] for i in picks[start : start + args.batch_size]]
+        service.select_batch(batch)
+
+    print(f"served {args.requests} requests in batches of {args.batch_size}")
+    print(service.stats().render())
+    return 0
+
+
 def _cmd_devices(args) -> int:
     from repro.sycl.device import Device
 
@@ -185,6 +218,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--export", choices=("none", "py", "cpp"), default="none")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "serve-stats",
+        help="replay a serving workload, print SelectionService counters",
+    )
+    _add_dataset_args(p)
+    p.add_argument("--budget", type=int, default=8)
+    p.add_argument("--classifier", default="DecisionTree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--requests", type=int, default=10000, help="total shape queries"
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=256, help="queries per service call"
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=4096, help="LRU memo capacity"
+    )
+    p.set_defaults(func=_cmd_serve_stats)
 
     p = sub.add_parser("devices", help="list simulated device presets")
     p.set_defaults(func=_cmd_devices)

@@ -45,6 +45,12 @@ class DeployedSelector:
         """The configuration the library will launch for ``shape``."""
         return self.selector.select(shape)
 
+    def select_batch(
+        self, shapes: Sequence[GemmShape]
+    ) -> Tuple[KernelConfig, ...]:
+        """Configurations for many shapes in one selector pass."""
+        return self.selector.select_batch(shapes)
+
     def kernel_for(self, shape: GemmShape) -> TiledMatmulKernel:
         """A launchable kernel instance for ``shape``."""
         return self.library.kernel(self.select(shape))

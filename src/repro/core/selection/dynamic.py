@@ -40,7 +40,13 @@ class TrialStats:
 
 
 class DynamicTrialSelector:
-    """Benchmark-on-first-use selection over a bundled kernel set."""
+    """Benchmark-on-first-use selection over a bundled kernel set.
+
+    ``trial_iterations`` caps the timed iterations of each trial
+    benchmark (instead of the runner's configured protocol), trading
+    choice confidence for cheaper first encounters; the per-sweep
+    ``trial_seconds`` accounting reflects the reduced run count.
+    """
 
     def __init__(
         self,
@@ -51,8 +57,14 @@ class DynamicTrialSelector:
     ):
         if trial_iterations is not None and trial_iterations < 1:
             raise ValueError("trial_iterations must be >= 1 when given")
+        if len(pruned) == 0:
+            raise ValueError(
+                "pruned set is empty: a dynamic selector needs at least "
+                "one bundled configuration to trial"
+            )
         self._runner = runner
         self._pruned = pruned
+        self._trial_iterations = trial_iterations
         self._cache: Dict[Tuple[int, int, int, int], KernelConfig] = {}
         self._lookups = 0
         self._sweeps = 0
@@ -79,22 +91,26 @@ class DynamicTrialSelector:
             return cached
 
         self._sweeps += 1
-        best_config = None
+        warmup = self._runner.runner_config.warmup_iterations
+        best_config = self._pruned.configs[0]
         best_time = float("inf")
         for config in self._pruned.configs:
-            summary = self._runner.bench_single(shape, config)
+            summary = self._runner.bench_single(
+                shape, config, iterations=self._trial_iterations
+            )
             # Every trial iteration runs on the device; the protocol's
             # warm-up launches execute too.
-            runs = (
-                self._runner._runner_config.warmup_iterations
-                + summary.iterations
-            )
-            self._trial_seconds += summary.mean * runs
+            self._trial_seconds += summary.mean * (warmup + summary.iterations)
             if summary.mean < best_time:
                 best_time = summary.mean
                 best_config = config
         self._cache[key] = best_config
         return best_config
+
+    def select_batch(self, shapes: Sequence[GemmShape]) -> Tuple[KernelConfig, ...]:
+        """Best bundled kernel per shape; each distinct new shape is
+        trial-swept once, repeats within the batch hit the cache."""
+        return tuple(self.select(shape) for shape in shapes)
 
     def reset(self) -> None:
         """Forget all trials (e.g., after a device or driver change)."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,21 @@ class Selector:
         """The configuration to launch for one GEMM shape."""
         pos = int(self.predict_indices(shape.features()[None, :])[0])
         return self.pruned.configs[pos]
+
+    def select_batch(self, shapes: Sequence[GemmShape]) -> Tuple[KernelConfig, ...]:
+        """Configurations for many shapes in one classifier pass.
+
+        Equivalent to ``tuple(self.select(s) for s in shapes)`` but pays
+        estimator overhead (validation, tree descent set-up) once for the
+        whole batch instead of per shape.
+        """
+        shapes = tuple(shapes)
+        if not shapes:
+            return ()
+        features = np.stack([s.features() for s in shapes])
+        positions = self.predict_indices(features)
+        configs = self.pruned.configs
+        return tuple(configs[int(pos)] for pos in positions)
 
     def __repr__(self) -> str:
         state = "fitted" if self._fitted else "unfitted"

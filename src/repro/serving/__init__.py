@@ -1,0 +1,6 @@
+"""Serving layer: memoised, observable selection at traffic scale."""
+
+from repro.serving.service import SelectionService
+from repro.serving.stats import LatencySummary, ServiceStats
+
+__all__ = ["LatencySummary", "SelectionService", "ServiceStats"]

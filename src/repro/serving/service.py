@@ -1,0 +1,203 @@
+"""The selection serving layer.
+
+A :class:`SelectionService` fronts any fitted selection policy — a
+trained :class:`~repro.core.selection.selector.Selector`, a
+:class:`~repro.core.deploy.DeployedSelector`, or a
+:class:`~repro.core.selection.dynamic.DynamicTrialSelector` — with the
+machinery a production dispatch path needs:
+
+* a thread-safe LRU memo cache keyed on ``shape.as_tuple()``, so a hot
+  shape's decision costs a dict lookup rather than a model evaluation
+  (the paper's "negligible overhead" requirement at traffic scale);
+* batch and single-query APIs, routing misses through the policy's
+  vectorized ``select_batch`` when it has one;
+* observability counters (lookups, cache hits, batch sizes, per-call
+  latency) exposed as an immutable :meth:`stats` snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Dict, Sequence, Tuple
+
+from repro.kernels.params import KernelConfig
+from repro.serving.stats import LatencySummary, ServiceStats
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["SelectionService"]
+
+_Key = Tuple[int, ...]
+
+
+class SelectionService:
+    """Thread-safe memoising front-end over a selection policy.
+
+    ``policy`` is anything with ``select(shape) -> KernelConfig``; a
+    vectorized ``select_batch(shapes)`` is used for batch misses when
+    present.  ``capacity`` bounds the LRU memo; ``latency_window`` how
+    many recent call latencies the :meth:`stats` summary covers.
+    """
+
+    def __init__(
+        self,
+        policy,
+        *,
+        capacity: int = 4096,
+        latency_window: int = 2048,
+    ):
+        if not hasattr(policy, "select"):
+            raise TypeError(
+                f"policy {policy!r} has no select(shape) method"
+            )
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if latency_window < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {latency_window}"
+            )
+        self._policy = policy
+        self._capacity = capacity
+        self._cache: "OrderedDict[_Key, KernelConfig]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._lookups = 0
+        self._hits = 0
+        self._single_calls = 0
+        self._batch_calls = 0
+        self._batch_queries = 0
+        self._max_batch_size = 0
+        self._evictions = 0
+        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+
+    @property
+    def policy(self):
+        return self._policy
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    # -- serving APIs --------------------------------------------------------
+
+    def select(self, shape: GemmShape) -> KernelConfig:
+        """The configuration for one shape, memoised."""
+        start = time.perf_counter()
+        with self._lock:
+            self._single_calls += 1
+            self._lookups += 1
+            key = shape.as_tuple()
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                config = cached
+            else:
+                config = self._policy.select(shape)
+                self._insert(key, config)
+            self._latencies.append(time.perf_counter() - start)
+        return config
+
+    def select_batch(
+        self, shapes: Sequence[GemmShape]
+    ) -> Tuple[KernelConfig, ...]:
+        """Configurations for many shapes in one call.
+
+        Cache misses are deduplicated and resolved through the policy's
+        ``select_batch`` (one classifier pass) when available, falling
+        back to per-shape ``select``; hits and repeats never re-evaluate.
+        """
+        start = time.perf_counter()
+        shapes = tuple(shapes)
+        with self._lock:
+            self._batch_calls += 1
+            self._lookups += len(shapes)
+            self._batch_queries += len(shapes)
+            self._max_batch_size = max(self._max_batch_size, len(shapes))
+            if not shapes:
+                self._latencies.append(time.perf_counter() - start)
+                return ()
+
+            resolved: Dict[_Key, KernelConfig] = {}
+            miss_shapes = []
+            for shape in shapes:
+                key = shape.as_tuple()
+                if key in resolved:
+                    continue
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(key)
+                    resolved[key] = cached
+                else:
+                    resolved[key] = None  # placeholder keeps first-seen order
+                    miss_shapes.append(shape)
+            # Repeats of a key within the batch count as hits: only the
+            # first occurrence of a missing shape pays the policy.
+            self._hits += len(shapes) - len(resolved)
+
+            if miss_shapes:
+                batch_fn = getattr(self._policy, "select_batch", None)
+                if batch_fn is not None:
+                    configs = batch_fn(miss_shapes)
+                else:
+                    configs = [self._policy.select(s) for s in miss_shapes]
+                for shape, config in zip(miss_shapes, configs):
+                    key = shape.as_tuple()
+                    resolved[key] = config
+                    self._insert(key, config)
+
+            out = tuple(resolved[shape.as_tuple()] for shape in shapes)
+            self._latencies.append(time.perf_counter() - start)
+        return out
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Immutable snapshot of the service counters."""
+        with self._lock:
+            mean_batch = (
+                self._batch_queries / self._batch_calls
+                if self._batch_calls
+                else 0.0
+            )
+            return ServiceStats(
+                lookups=self._lookups,
+                cache_hits=self._hits,
+                single_calls=self._single_calls,
+                batch_calls=self._batch_calls,
+                max_batch_size=self._max_batch_size,
+                mean_batch_size=mean_batch,
+                evictions=self._evictions,
+                cache_size=len(self._cache),
+                capacity=self._capacity,
+                latency=LatencySummary.from_samples(list(self._latencies)),
+            )
+
+    def clear(self) -> None:
+        """Drop the memo cache and zero all counters."""
+        with self._lock:
+            self._cache.clear()
+            self._lookups = 0
+            self._hits = 0
+            self._single_calls = 0
+            self._batch_calls = 0
+            self._batch_queries = 0
+            self._max_batch_size = 0
+            self._evictions = 0
+            self._latencies.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert(self, key: _Key, config: KernelConfig) -> None:
+        self._cache[key] = config
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionService({self._policy!r}, "
+            f"cache {len(self._cache)}/{self._capacity})"
+        )

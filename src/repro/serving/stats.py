@@ -1,0 +1,90 @@
+"""Observability snapshot types for the serving layer.
+
+The counters quantify exactly what the paper cares about: how often a
+selection decision is answered from memo (negligible overhead) versus
+paid in full, and how long the decision path takes when it is paid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LatencySummary", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of recent per-call selection latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencySummary":
+        if len(samples) == 0:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(samples, dtype=np.float64)
+        return LatencySummary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            maximum=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Immutable snapshot of a :class:`SelectionService`'s counters.
+
+    ``lookups`` counts individual shape queries (a batch of 100 shapes is
+    100 lookups); ``cache_hits`` the lookups answered from the LRU memo.
+    ``single_calls``/``batch_calls`` count API invocations.
+    """
+
+    lookups: int
+    cache_hits: int
+    single_calls: int
+    batch_calls: int
+    max_batch_size: int
+    mean_batch_size: float
+    evictions: int
+    cache_size: int
+    capacity: int
+    latency: LatencySummary
+
+    @property
+    def cache_misses(self) -> int:
+        return self.lookups - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.cache_hits / self.lookups
+
+    def render(self) -> str:
+        """Human-readable report for CLI/log output."""
+        lat = self.latency
+        lines = [
+            f"lookups          {self.lookups}",
+            f"cache hits       {self.cache_hits} "
+            f"({self.hit_rate * 100:.1f}% hit rate)",
+            f"cache misses     {self.cache_misses}",
+            f"calls            {self.single_calls} single, "
+            f"{self.batch_calls} batch",
+            f"batch size       max {self.max_batch_size}, "
+            f"mean {self.mean_batch_size:.1f}",
+            f"cache occupancy  {self.cache_size}/{self.capacity} "
+            f"({self.evictions} evictions)",
+            f"call latency     mean {lat.mean * 1e6:.1f}us, "
+            f"p50 {lat.p50 * 1e6:.1f}us, p95 {lat.p95 * 1e6:.1f}us "
+            f"over {lat.count} calls",
+        ]
+        return "\n".join(lines)

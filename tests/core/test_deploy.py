@@ -38,6 +38,11 @@ class TestTune:
         kernel = deployed.kernel_for(GemmShape(m=128, k=64, n=128))
         assert kernel.config in deployed.library.configs
 
+    def test_select_batch_matches_select(self, deployed, small_dataset):
+        shapes = tuple(small_dataset.shapes[:12])
+        batch = deployed.select_batch(shapes)
+        assert batch == tuple(deployed.select(s) for s in shapes)
+
 
 class TestEndToEndMatmul:
     def test_matmul_through_selector(self, deployed, rng):

@@ -78,3 +78,42 @@ class TestDynamicSelector:
     def test_invalid_trial_iterations(self, runner, pruned):
         with pytest.raises(ValueError):
             DynamicTrialSelector(runner, pruned, trial_iterations=0)
+
+    def test_empty_pruned_set_rejected(self, runner):
+        class _EmptySet:
+            def __len__(self):
+                return 0
+
+        with pytest.raises(ValueError, match="empty"):
+            DynamicTrialSelector(runner, _EmptySet())
+
+    def test_trial_iterations_is_applied(self, runner, pruned):
+        """The constructor argument must shrink the trial sweep cost."""
+        shape = GemmShape(m=300, k=300, n=300)
+        cheap = DynamicTrialSelector(runner, pruned, trial_iterations=1)
+        full = DynamicTrialSelector(runner, pruned)
+        cheap.select(shape)
+        full.select(shape)
+        # warmup + 1 run per config vs warmup + timed_iterations runs.
+        assert cheap.stats.trial_seconds < full.stats.trial_seconds
+
+    def test_trial_iterations_count_reaches_runner(self, runner, pruned):
+        shape = GemmShape(m=310, k=310, n=310)
+        summary = runner.bench_single(shape, pruned.configs[0], iterations=2)
+        assert summary.iterations == 2
+
+    def test_runner_config_is_public(self, runner):
+        assert runner.runner_config is runner._runner_config
+        assert runner.runner_config.warmup_iterations >= 0
+
+    def test_select_batch_matches_select_and_caches(self, runner, pruned):
+        selector = DynamicTrialSelector(runner, pruned)
+        shapes = [
+            GemmShape(m=128, k=64, n=128),
+            GemmShape(m=256, k=64, n=128),
+            GemmShape(m=128, k=64, n=128),  # repeat: must hit the cache
+        ]
+        configs = selector.select_batch(shapes)
+        assert selector.stats.trial_sweeps == 2  # two unique shapes
+        reference = DynamicTrialSelector(runner, pruned)
+        assert configs == tuple(reference.select(s) for s in shapes)

@@ -58,6 +58,32 @@ class TestSelector:
         with pytest.raises(ValueError, match="unknown classifier"):
             make_selector("GradientBoosting", pruned)
 
+
+class TestSelectBatch:
+    @pytest.mark.parametrize("name", TABLE1_CLASSIFIERS)
+    def test_batch_agrees_with_per_shape_select(self, split, pruned, name):
+        train, test = split
+        selector = make_selector(name, pruned, random_state=0).fit(train)
+        shapes = tuple(test.shapes)
+        batch = selector.select_batch(shapes)
+        assert batch == tuple(selector.select(s) for s in shapes)
+
+    def test_empty_batch(self, split, pruned):
+        selector = make_selector("DecisionTree", pruned).fit(split[0])
+        assert selector.select_batch(()) == ()
+
+    def test_unfitted_raises(self, pruned, split):
+        selector = make_selector("DecisionTree", pruned)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            selector.select_batch(tuple(split[1].shapes[:2]))
+
+    def test_batch_accepts_repeats(self, split, pruned):
+        train, test = split
+        selector = make_selector("DecisionTree", pruned).fit(train)
+        shape = test.shapes[0]
+        batch = selector.select_batch([shape] * 5)
+        assert batch == (selector.select(shape),) * 5
+
     def test_constant_labels_handled(self, split, small_dataset):
         # A pruned set where one config dominates every shape.
         train = split[0]

@@ -97,6 +97,41 @@ class TestSplitter:
         assert np.array_equal(split.left_mask, col <= split.threshold)
 
 
+class TestApplyVectorized:
+    """The vectorized descent must match the scalar walk exactly."""
+
+    def _fitted_tree(self, rng, n=300, d=5, classes=4):
+        X = rng.normal(size=(n, d))
+        y = rng.integers(0, classes, n)
+        return DecisionTreeClassifier(random_state=0).fit(X, y).tree_, X
+
+    def test_bit_identical_to_loop_on_random_inputs(self, rng):
+        tree, X_train = self._fitted_tree(rng)
+        for X in (X_train, rng.normal(size=(500, 5)), rng.normal(size=(1, 5))):
+            np.testing.assert_array_equal(tree.apply(X), tree.apply_loop(X))
+
+    def test_bit_identical_at_thresholds(self, rng):
+        # Samples exactly on split thresholds exercise the <= boundary.
+        tree, _ = self._fitted_tree(rng)
+        internal = tree.feature != -1
+        if not internal.any():
+            pytest.skip("degenerate tree with no splits")
+        X = np.zeros((int(internal.sum()), 5))
+        for row, node in enumerate(np.nonzero(internal)[0]):
+            X[row, tree.feature[node]] = tree.threshold[node]
+        np.testing.assert_array_equal(tree.apply(X), tree.apply_loop(X))
+
+    def test_empty_batch(self, rng):
+        tree, _ = self._fitted_tree(rng)
+        assert tree.apply(np.empty((0, 5))).shape == (0,)
+
+    def test_single_leaf_tree(self):
+        X = np.zeros((4, 2))
+        y = np.zeros(4, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y).tree_
+        np.testing.assert_array_equal(tree.apply(X), np.zeros(4, dtype=np.int64))
+
+
 class TestClassifier:
     def test_fits_xor_with_depth_2(self):
         X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 5, dtype=float)
