@@ -6,6 +6,7 @@ the performance model's noisy measurement interface — and records runtime
 and achieved FLOP rate, exactly the procedure described in Section II.A.
 """
 
+from repro.bench.failures import FailureLog, FailureRecord
 from repro.bench.runner import BenchmarkResult, BenchmarkRunner, RunnerConfig
 from repro.bench.stats import summarize_times, TimingSummary
 from repro.bench.cache import load_dataset, save_dataset
@@ -14,6 +15,8 @@ from repro.bench.parallel import parallel_map
 __all__ = [
     "BenchmarkResult",
     "BenchmarkRunner",
+    "FailureLog",
+    "FailureRecord",
     "RunnerConfig",
     "TimingSummary",
     "load_dataset",

@@ -33,6 +33,8 @@ def save_dataset(result: BenchmarkResult, path: Union[str, Path]) -> Path:
             "warmup_iterations": result.runner.warmup_iterations,
             "timed_iterations": result.runner.timed_iterations,
             "seed": result.runner.seed,
+            "max_retries": result.runner.max_retries,
+            "retry_backoff_s": result.runner.retry_backoff_s,
         },
     }
     np.savez_compressed(

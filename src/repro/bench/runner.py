@@ -13,12 +13,14 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bench.failures import FailureLog, FailureRecord
 from repro.bench.stats import TimingSummary, summarize_times
 from repro.bench.parallel import parallel_map
 from repro.kernels.params import KernelConfig, config_space
 from repro.perfmodel.model import GemmPerfModel
 from repro.perfmodel.params import PerfModelParams
 from repro.sycl.device import Device
+from repro.sycl.exceptions import SyclError
 from repro.workloads.gemm import GemmShape
 
 __all__ = ["BenchmarkResult", "BenchmarkRunner", "RunnerConfig"]
@@ -26,22 +28,40 @@ __all__ = ["BenchmarkResult", "BenchmarkRunner", "RunnerConfig"]
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Benchmark protocol parameters."""
+    """Benchmark protocol parameters.
+
+    ``max_retries`` re-attempts a (shape, config) measurement that raised
+    a :class:`~repro.sycl.exceptions.SyclError`; once the retries are
+    exhausted the cell is recorded as NaN in the result table instead of
+    aborting the sweep.  ``retry_backoff_s`` is the base of the simulated
+    exponential back-off (attempt ``i`` waits ``retry_backoff_s * 2**i``
+    device-seconds, charged to the failure log, never the wall clock).
+    """
 
     warmup_iterations: int = 2
     timed_iterations: int = 5
     seed: int = 2020
+    max_retries: int = 0
+    retry_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.warmup_iterations < 0:
             raise ValueError("warmup_iterations must be >= 0")
         if self.timed_iterations < 1:
             raise ValueError("timed_iterations must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
 
 
 @dataclass(frozen=True)
 class BenchmarkResult:
-    """The raw dataset: one GFLOP/s entry per (shape, config)."""
+    """The raw dataset: one GFLOP/s entry per (shape, config).
+
+    Cells that failed after exhausting their retries hold NaN in both
+    ``gflops`` and ``seconds``; ``failures`` records why.
+    """
 
     device_name: str
     shapes: Tuple[GemmShape, ...]
@@ -51,6 +71,8 @@ class BenchmarkResult:
     #: (n_shapes, n_configs) mean kernel time in seconds.
     seconds: np.ndarray
     runner: RunnerConfig = field(default_factory=RunnerConfig)
+    #: Per-run account of skipped/retried cells (empty for clean sweeps).
+    failures: FailureLog = field(default_factory=FailureLog)
 
     def __post_init__(self) -> None:
         expected = (len(self.shapes), len(self.configs))
@@ -60,6 +82,11 @@ class BenchmarkResult:
                 f"not match ({expected})"
             )
 
+    @property
+    def n_failed_cells(self) -> int:
+        """Cells abandoned as NaN after exhausting their retries."""
+        return int(np.isnan(self.gflops).sum())
+
 
 def _bench_one_shape(
     shape: GemmShape,
@@ -67,26 +94,52 @@ def _bench_one_shape(
     configs: Sequence[KernelConfig],
     model: GemmPerfModel,
     runner: RunnerConfig,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, Tuple[FailureRecord, ...]]:
     """All configs for one shape; module-level for process-pool pickling."""
     n = len(configs)
-    gflops = np.empty(n)
-    seconds = np.empty(n)
+    gflops = np.full(n, np.nan)
+    seconds = np.full(n, np.nan)
+    failures: list = []
     for ci, config in enumerate(configs):
-        # Warm-up iterations are discarded: they model JIT/cache warming.
-        times = model.measured_times_seconds(
-            shape,
-            config,
-            iterations=runner.timed_iterations,
-            start_iteration=runner.warmup_iterations,
-        )
+        times = None
+        for attempt in range(runner.max_retries + 1):
+            try:
+                # Warm-up iterations are discarded: they model JIT/cache
+                # warming.
+                times = model.measured_times_seconds(
+                    shape,
+                    config,
+                    iterations=runner.timed_iterations,
+                    start_iteration=runner.warmup_iterations,
+                )
+                break
+            except SyclError as exc:
+                fatal = attempt == runner.max_retries
+                failures.append(
+                    FailureRecord(
+                        kind=type(exc).__name__,
+                        message=str(exc),
+                        shape=shape,
+                        config=config,
+                        attempt=attempt,
+                        fatal=fatal,
+                        backoff_s=(
+                            0.0
+                            if fatal
+                            else runner.retry_backoff_s * 2**attempt
+                        ),
+                    )
+                )
+        if times is None:
+            # Retries exhausted: skip-and-record, the cell stays NaN.
+            continue
         # Only the mean enters the dataset; computing the full summary
         # here costs ~40% of the sweep (profiled), so it is reserved for
         # bench_single's detailed view.
         mean = float(times.mean())
         seconds[ci] = mean
         gflops[ci] = shape.flops / mean / 1e9
-    return gflops, seconds
+    return gflops, seconds, tuple(failures)
 
 
 class BenchmarkRunner:
@@ -141,6 +194,11 @@ class BenchmarkRunner:
         ``max_workers > 1`` distributes shapes over a process pool; the
         counter-based noise makes the result bit-identical regardless of
         worker count.
+
+        A cell whose measurement raises a
+        :class:`~repro.sycl.exceptions.SyclError` is retried up to
+        ``max_retries`` times and then recorded as NaN; the sweep always
+        completes, and every failure is listed in ``result.failures``.
         """
         shapes = tuple(shapes)
         if not shapes:
@@ -154,6 +212,9 @@ class BenchmarkRunner:
         rows = parallel_map(fn, shapes, max_workers=max_workers)
         gflops = np.vstack([r[0] for r in rows])
         seconds = np.vstack([r[1] for r in rows])
+        failures = FailureLog()
+        for row in rows:
+            failures.extend(row[2])
         return BenchmarkResult(
             device_name=self._device.name,
             shapes=shapes,
@@ -161,6 +222,7 @@ class BenchmarkRunner:
             gflops=gflops,
             seconds=seconds,
             runner=self._runner_config,
+            failures=failures,
         )
 
     def bench_single(

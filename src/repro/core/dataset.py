@@ -52,8 +52,16 @@ class PerformanceDataset:
             raise ValueError(
                 f"gflops shape {self.gflops.shape} does not match {expected}"
             )
-        if np.any(self.gflops <= 0) or not np.all(np.isfinite(self.gflops)):
-            raise ValueError("gflops must be positive and finite")
+        # NaN marks a cell whose benchmark failed after retries (see
+        # repro.bench.failures); everything measured must be positive.
+        if np.any(self.gflops <= 0) or np.any(np.isinf(self.gflops)):
+            raise ValueError(
+                "gflops must be positive (NaN marks a failed measurement)"
+            )
+        if not np.all(np.any(np.isfinite(self.gflops), axis=1)):
+            raise ValueError(
+                "every shape needs at least one successful measurement"
+            )
 
     # -- constructors -----------------------------------------------------
 
@@ -99,8 +107,15 @@ class PerformanceDataset:
 
         This is the paper's representation: "for each set of matrix sizes
         ... a vector of 640 normalized performance scores".
+
+        Failed (NaN) cells are masked to 0.0 — a configuration that could
+        not be measured achieves no relative performance, so it is never
+        the per-shape best and never survives pruning or selection.  All
+        downstream consumers (clustering, labels, geomeans) therefore see
+        a finite table.
         """
-        return self.gflops / self.gflops.max(axis=1, keepdims=True)
+        best = np.nanmax(self.gflops, axis=1, keepdims=True)
+        return np.nan_to_num(self.gflops / best, nan=0.0)
 
     def features(self) -> np.ndarray:
         """(n_shapes, 4) matrix-size feature matrix for the selectors."""
@@ -108,14 +123,23 @@ class PerformanceDataset:
 
     def best_config_indices(self) -> np.ndarray:
         """Index of the optimal configuration for every shape."""
-        return np.argmax(self.gflops, axis=1)
+        return np.argmax(np.nan_to_num(self.gflops, nan=-np.inf), axis=1)
 
     def win_counts(self) -> np.ndarray:
         """How often each configuration is optimal (Fig 2's data)."""
         return np.bincount(self.best_config_indices(), minlength=self.n_configs)
 
     def best_gflops(self) -> np.ndarray:
-        return self.gflops.max(axis=1)
+        return np.nanmax(self.gflops, axis=1)
+
+    @property
+    def failed_mask(self) -> np.ndarray:
+        """(n_shapes, n_configs) boolean mask of failed (NaN) cells."""
+        return np.isnan(self.gflops)
+
+    @property
+    def n_failed_cells(self) -> int:
+        return int(self.failed_mask.sum())
 
     def config_index(self, config: KernelConfig) -> int:
         try:

@@ -21,10 +21,12 @@ def selection_labels(
 
     Labels are positions within the pruned set (0..len(pruned)-1), not
     global config indices — the classifier only ever chooses among the
-    bundled kernels.
+    bundled kernels.  Failed (NaN) cells never label a shape: they rank
+    below every successful measurement.
     """
     cols = np.asarray(pruned.indices, dtype=np.int64)
-    return np.argmax(dataset.gflops[:, cols], axis=1)
+    in_set = np.nan_to_num(dataset.gflops[:, cols], nan=-np.inf)
+    return np.argmax(in_set, axis=1)
 
 
 class Selector:

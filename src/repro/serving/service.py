@@ -12,7 +12,11 @@ machinery a production dispatch path needs:
 * batch and single-query APIs, routing misses through the policy's
   vectorized ``select_batch`` when it has one;
 * observability counters (lookups, cache hits, batch sizes, per-call
-  latency) exposed as an immutable :meth:`stats` snapshot.
+  latency) exposed as an immutable :meth:`stats` snapshot;
+* graceful degradation: policy exceptions are counted, answered with the
+  last-known-good (or configured fallback) configuration, and a circuit
+  breaker stops hammering a persistently failing policy, probing it
+  periodically until it recovers.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.kernels.params import KernelConfig
 from repro.serving.stats import LatencySummary, ServiceStats
@@ -38,6 +42,16 @@ class SelectionService:
     vectorized ``select_batch(shapes)`` is used for batch misses when
     present.  ``capacity`` bounds the LRU memo; ``latency_window`` how
     many recent call latencies the :meth:`stats` summary covers.
+
+    ``fallback`` is the configuration served when the policy raises and
+    no last-known-good answer exists yet (a production deployment passes
+    one of its bundled kernels — "never worse than pick any shipped
+    kernel").  After ``breaker_threshold`` *consecutive* policy errors
+    the circuit breaker opens: cache misses are answered degraded
+    without touching the policy, except every
+    ``breaker_probe_interval``-th miss, which probes it (half-open); one
+    probe success closes the breaker.  With neither a fallback nor a
+    last-known-good config available, the policy's exception propagates.
     """
 
     def __init__(
@@ -46,6 +60,9 @@ class SelectionService:
         *,
         capacity: int = 4096,
         latency_window: int = 2048,
+        fallback: Optional[KernelConfig] = None,
+        breaker_threshold: int = 5,
+        breaker_probe_interval: int = 8,
     ):
         if not hasattr(policy, "select"):
             raise TypeError(
@@ -57,8 +74,20 @@ class SelectionService:
             raise ValueError(
                 f"latency_window must be >= 1, got {latency_window}"
             )
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_probe_interval < 1:
+            raise ValueError(
+                "breaker_probe_interval must be >= 1, "
+                f"got {breaker_probe_interval}"
+            )
         self._policy = policy
         self._capacity = capacity
+        self._fallback = fallback
+        self._breaker_threshold = breaker_threshold
+        self._probe_interval = breaker_probe_interval
         self._cache: "OrderedDict[_Key, KernelConfig]" = OrderedDict()
         self._lock = threading.Lock()
         self._lookups = 0
@@ -69,6 +98,13 @@ class SelectionService:
         self._max_batch_size = 0
         self._evictions = 0
         self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self._policy_errors = 0
+        self._fallback_serves = 0
+        self._breaker_trips = 0
+        self._breaker_open = False
+        self._consecutive_errors = 0
+        self._open_misses = 0
+        self._last_good: Optional[KernelConfig] = None
 
     @property
     def policy(self):
@@ -77,6 +113,10 @@ class SelectionService:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def fallback(self) -> Optional[KernelConfig]:
+        return self._fallback
 
     # -- serving APIs --------------------------------------------------------
 
@@ -93,8 +133,7 @@ class SelectionService:
                 self._cache.move_to_end(key)
                 config = cached
             else:
-                config = self._policy.select(shape)
-                self._insert(key, config)
+                config = self._resolve_miss(shape)
             self._latencies.append(time.perf_counter() - start)
         return config
 
@@ -137,15 +176,27 @@ class SelectionService:
             self._hits += len(shapes) - len(resolved)
 
             if miss_shapes:
+                configs = None
                 batch_fn = getattr(self._policy, "select_batch", None)
-                if batch_fn is not None:
-                    configs = batch_fn(miss_shapes)
-                else:
-                    configs = [self._policy.select(s) for s in miss_shapes]
+                if batch_fn is not None and not self._breaker_open:
+                    try:
+                        configs = tuple(batch_fn(miss_shapes))
+                    except Exception:
+                        # Degrade to the per-shape path, which applies
+                        # the fallback/breaker logic per query.
+                        self._note_policy_error()
+                        configs = None
+                    else:
+                        for shape, config in zip(miss_shapes, configs):
+                            self._note_policy_success(
+                                shape.as_tuple(), config
+                            )
+                if configs is None:
+                    configs = tuple(
+                        self._resolve_miss(s) for s in miss_shapes
+                    )
                 for shape, config in zip(miss_shapes, configs):
-                    key = shape.as_tuple()
-                    resolved[key] = config
-                    self._insert(key, config)
+                    resolved[shape.as_tuple()] = config
 
             out = tuple(resolved[shape.as_tuple()] for shape in shapes)
             self._latencies.append(time.perf_counter() - start)
@@ -172,6 +223,10 @@ class SelectionService:
                 cache_size=len(self._cache),
                 capacity=self._capacity,
                 latency=LatencySummary.from_samples(list(self._latencies)),
+                policy_errors=self._policy_errors,
+                fallback_serves=self._fallback_serves,
+                breaker_trips=self._breaker_trips,
+                breaker_open=self._breaker_open,
             )
 
     def clear(self) -> None:
@@ -186,8 +241,76 @@ class SelectionService:
             self._max_batch_size = 0
             self._evictions = 0
             self._latencies.clear()
+            self._policy_errors = 0
+            self._fallback_serves = 0
+            self._breaker_trips = 0
+            self._breaker_open = False
+            self._consecutive_errors = 0
+            self._open_misses = 0
+            self._last_good = None
+
+    def reset_breaker(self) -> None:
+        """Force the circuit closed (e.g. after redeploying the policy).
+
+        Error and trip counters are kept; only the breaker state and the
+        consecutive-error streak reset.
+        """
+        with self._lock:
+            self._breaker_open = False
+            self._consecutive_errors = 0
+            self._open_misses = 0
 
     # -- internals -----------------------------------------------------------
+
+    def _resolve_miss(self, shape: GemmShape) -> KernelConfig:
+        """Answer one cache miss, applying breaker/fallback semantics.
+
+        Caller holds the lock.  Degraded answers are *not* memoised: once
+        the policy recovers, the next miss for the shape consults it.
+        """
+        if self._breaker_open:
+            self._open_misses += 1
+            if self._open_misses % self._probe_interval != 0:
+                return self._serve_degraded(None)
+            # Fall through: this miss probes the policy (half-open).
+        try:
+            config = self._policy.select(shape)
+        except Exception as exc:
+            self._note_policy_error()
+            return self._serve_degraded(exc)
+        self._note_policy_success(shape.as_tuple(), config)
+        return config
+
+    def _note_policy_success(self, key: _Key, config: KernelConfig) -> None:
+        self._consecutive_errors = 0
+        if self._breaker_open:
+            self._breaker_open = False
+            self._open_misses = 0
+        self._last_good = config
+        self._insert(key, config)
+
+    def _note_policy_error(self) -> None:
+        self._policy_errors += 1
+        self._consecutive_errors += 1
+        if (
+            not self._breaker_open
+            and self._consecutive_errors >= self._breaker_threshold
+        ):
+            self._breaker_open = True
+            self._breaker_trips += 1
+            self._open_misses = 0
+
+    def _serve_degraded(self, exc: Optional[BaseException]) -> KernelConfig:
+        config = self._last_good if self._last_good is not None else self._fallback
+        if config is None:
+            if exc is not None:
+                raise exc
+            raise RuntimeError(
+                "selection circuit breaker is open and no fallback or "
+                "last-known-good configuration is available"
+            )
+        self._fallback_serves += 1
+        return config
 
     def _insert(self, key: _Key, config: KernelConfig) -> None:
         self._cache[key] = config

@@ -46,6 +46,12 @@ class ServiceStats:
     ``lookups`` counts individual shape queries (a batch of 100 shapes is
     100 lookups); ``cache_hits`` the lookups answered from the LRU memo.
     ``single_calls``/``batch_calls`` count API invocations.
+
+    ``policy_errors`` counts exceptions raised by the wrapped policy,
+    ``fallback_serves`` the queries answered with the last-known-good or
+    configured fallback configuration instead, and ``breaker_trips`` /
+    ``breaker_open`` describe the circuit breaker that stops hammering a
+    persistently failing policy.
     """
 
     lookups: int
@@ -58,6 +64,10 @@ class ServiceStats:
     cache_size: int
     capacity: int
     latency: LatencySummary
+    policy_errors: int = 0
+    fallback_serves: int = 0
+    breaker_trips: int = 0
+    breaker_open: bool = False
 
     @property
     def cache_misses(self) -> int:
@@ -83,6 +93,10 @@ class ServiceStats:
             f"mean {self.mean_batch_size:.1f}",
             f"cache occupancy  {self.cache_size}/{self.capacity} "
             f"({self.evictions} evictions)",
+            f"policy errors    {self.policy_errors} "
+            f"({self.fallback_serves} fallback serves)",
+            f"circuit breaker  {'OPEN' if self.breaker_open else 'closed'} "
+            f"({self.breaker_trips} trips)",
             f"call latency     mean {lat.mean * 1e6:.1f}us, "
             f"p50 {lat.p50 * 1e6:.1f}us, p95 {lat.p95 * 1e6:.1f}us "
             f"over {lat.count} calls",

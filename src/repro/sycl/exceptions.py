@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "AccessorError",
     "DeviceError",
+    "DeviceTimeoutError",
     "InvalidNDRangeError",
     "SyclError",
 ]
@@ -26,3 +27,11 @@ class AccessorError(SyclError):
 
 class DeviceError(SyclError):
     """Raised when a kernel requests resources the device cannot provide."""
+
+
+class DeviceTimeoutError(DeviceError):
+    """Raised when a submitted kernel exceeds its execution deadline.
+
+    Subclasses :class:`DeviceError` so any handler prepared for device
+    failure also covers timeouts; fault-injection harnesses raise it to
+    model watchdog resets and hung launches."""

@@ -38,6 +38,7 @@ class Queue:
         self._profiling = enable_profiling
         self._now_ns = 0
         self._submissions: List[Tuple[str, int, int]] = []
+        self._failed: List[Tuple[str, str]] = []
 
     @property
     def device(self) -> Device:
@@ -54,8 +55,19 @@ class Queue:
 
     @property
     def submission_log(self) -> List[Tuple[str, int, int]]:
-        """(kernel name, start_ns, end_ns) for every completed submission."""
+        """(kernel name, start_ns, end_ns) for every completed submission.
+
+        A failed submission never appears here, but it does not erase
+        earlier entries either: after a mid-stream exception the log
+        still surfaces every completed launch (see
+        :attr:`failed_submissions` for the failures).
+        """
         return list(self._submissions)
+
+    @property
+    def failed_submissions(self) -> List[Tuple[str, str]]:
+        """(kernel name, error) for every submission that raised."""
+        return list(self._failed)
 
     def submit(
         self,
@@ -69,8 +81,17 @@ class Queue:
 
         ``args`` may mix accessors and raw buffers; raw buffers are
         wrapped in ``READ_WRITE`` accessors for convenience.
+
+        A submission that fails — validation or execution — is recorded
+        in :attr:`failed_submissions` and re-raised with its accessors
+        released, so the queue stays usable and earlier completed work
+        remains visible in :attr:`submission_log`.
         """
-        self._validate(kernel, ndrange)
+        try:
+            self._validate(kernel, ndrange)
+        except Exception as exc:
+            self._record_failure(kernel, exc)
+            raise
         accessors = [self._as_accessor(a) for a in args]
         if depends_on:
             for dep in depends_on:
@@ -81,15 +102,23 @@ class Queue:
         event = Event(name=kernel.name, profiling_enabled=self._profiling)
         submit_ns = self._now_ns
 
-        kernel.run(self._device, ndrange, accessors)
+        try:
+            kernel.run(self._device, ndrange, accessors)
+        except Exception as exc:
+            self._record_failure(kernel, exc)
+            for acc in accessors:
+                acc.release()
+            raise
         for acc in accessors:
             acc.release()
 
         duration_s = kernel.estimate_seconds(self._device, ndrange, accessors)
         if duration_s < 0:
-            raise DeviceError(
+            error = DeviceError(
                 f"kernel {kernel.name!r} reported negative duration {duration_s}"
             )
+            self._record_failure(kernel, error)
+            raise error
         start_ns = submit_ns
         end_ns = start_ns + max(1, int(round(duration_s * 1e9)))
         self._now_ns = end_ns
@@ -112,6 +141,9 @@ class Queue:
         raise TypeError(
             f"kernel args must be Accessor or Buffer, got {type(arg).__name__}"
         )
+
+    def _record_failure(self, kernel: Kernel, exc: BaseException) -> None:
+        self._failed.append((kernel.name, f"{type(exc).__name__}: {exc}"))
 
     def _validate(self, kernel: Kernel, ndrange: NDRange) -> None:
         spec = self._device.spec

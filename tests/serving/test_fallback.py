@@ -1,0 +1,234 @@
+"""SelectionService degradation: fallback configs, error counters and
+the circuit breaker."""
+
+import pytest
+
+from repro.kernels.params import config_space
+from repro.serving import SelectionService
+from repro.sycl.exceptions import DeviceError
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = config_space(tile_sizes=(1, 2), work_groups=((8, 8),))
+FALLBACK = CONFIGS[0]
+GOOD = CONFIGS[1]
+
+
+class _ScriptedPolicy:
+    """Fails on demand: ``fail_next(n)`` poisons the next n selects."""
+
+    def __init__(self, answer=GOOD):
+        self.answer = answer
+        self.calls = 0
+        self.failures_left = 0
+
+    def fail_next(self, n):
+        self.failures_left += n
+        return self
+
+    def select(self, shape):
+        self.calls += 1
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise DeviceError("policy backend unavailable")
+        return self.answer
+
+
+class _ScriptedBatchPolicy(_ScriptedPolicy):
+    def select_batch(self, shapes):
+        return tuple(self.select(s) for s in shapes)
+
+
+def shape(i):
+    return GemmShape(m=8 * (i + 1), k=8, n=8)
+
+
+class TestFallbackServing:
+    def test_policy_error_served_from_fallback(self):
+        service = SelectionService(_ScriptedPolicy().fail_next(1), fallback=FALLBACK)
+        assert service.select(shape(0)) == FALLBACK
+        stats = service.stats()
+        assert stats.policy_errors == 1
+        assert stats.fallback_serves == 1
+        assert not stats.breaker_open
+
+    def test_last_known_good_preferred_over_fallback(self):
+        policy = _ScriptedPolicy()
+        service = SelectionService(policy, fallback=FALLBACK)
+        assert service.select(shape(0)) == GOOD
+        policy.fail_next(1)
+        assert service.select(shape(1)) == GOOD  # last-known-good, not FALLBACK
+        assert service.stats().fallback_serves == 1
+
+    def test_no_fallback_no_history_reraises(self):
+        service = SelectionService(_ScriptedPolicy().fail_next(1))
+        with pytest.raises(DeviceError):
+            service.select(shape(0))
+
+    def test_degraded_answers_are_not_memoised(self):
+        policy = _ScriptedPolicy().fail_next(1)
+        service = SelectionService(policy, fallback=FALLBACK)
+        assert service.select(shape(0)) == FALLBACK
+        # Policy recovered: the same shape re-consults it.
+        assert service.select(shape(0)) == GOOD
+        assert policy.calls == 2
+
+    def test_fallback_property(self):
+        service = SelectionService(_ScriptedPolicy(), fallback=FALLBACK)
+        assert service.fallback == FALLBACK
+
+
+class TestCircuitBreaker:
+    def make(self, policy, **kw):
+        kw.setdefault("fallback", FALLBACK)
+        kw.setdefault("breaker_threshold", 3)
+        kw.setdefault("breaker_probe_interval", 4)
+        return SelectionService(policy, **kw)
+
+    def test_breaker_opens_after_consecutive_errors(self):
+        policy = _ScriptedPolicy().fail_next(100)
+        service = self.make(policy)
+        for i in range(3):
+            service.select(shape(i))
+        stats = service.stats()
+        assert stats.breaker_open
+        assert stats.breaker_trips == 1
+        assert policy.calls == 3
+
+    def test_open_breaker_stops_hammering_the_policy(self):
+        policy = _ScriptedPolicy().fail_next(100)
+        service = self.make(policy)
+        for i in range(3):
+            service.select(shape(i))
+        calls_at_trip = policy.calls
+        # Three more misses: none is the 4th open miss, so no probes.
+        for i in range(3, 6):
+            assert service.select(shape(i)) == FALLBACK
+        assert policy.calls == calls_at_trip
+
+    def test_probe_closes_breaker_on_recovery(self):
+        policy = _ScriptedPolicy().fail_next(3)
+        service = self.make(policy)
+        for i in range(3):
+            service.select(shape(i))
+        assert service.stats().breaker_open
+        # Misses 1-3 while open are degraded; the 4th probes the (now
+        # recovered) policy and closes the circuit.
+        answers = [service.select(shape(10 + i)) for i in range(4)]
+        assert answers == [FALLBACK, FALLBACK, FALLBACK, GOOD]
+        stats = service.stats()
+        assert not stats.breaker_open
+        assert stats.breaker_trips == 1
+
+    def test_failed_probe_keeps_breaker_open(self):
+        policy = _ScriptedPolicy().fail_next(100)
+        service = self.make(policy)
+        for i in range(3):
+            service.select(shape(i))
+        for i in range(8):  # two probe cycles, both probes fail
+            service.select(shape(10 + i))
+        stats = service.stats()
+        assert stats.breaker_open
+        assert stats.breaker_trips == 1  # an open breaker does not re-trip
+        assert stats.policy_errors == 5  # 3 trips + 2 failed probes
+
+    def test_consecutive_resets_on_success(self):
+        policy = _ScriptedPolicy()
+        service = self.make(policy)
+        for round_ in range(4):
+            policy.fail_next(2)  # 2 < threshold of 3
+            service.select(shape(3 * round_))
+            service.select(shape(3 * round_ + 1))
+            service.select(shape(3 * round_ + 2))  # success resets streak
+        assert not service.stats().breaker_open
+        assert service.stats().policy_errors == 8
+
+    def test_reset_breaker_closes_but_keeps_counters(self):
+        policy = _ScriptedPolicy().fail_next(3)
+        service = self.make(policy)
+        for i in range(3):
+            service.select(shape(i))
+        service.reset_breaker()
+        stats = service.stats()
+        assert not stats.breaker_open
+        assert stats.policy_errors == 3
+        assert stats.breaker_trips == 1
+        assert service.select(shape(9)) == GOOD
+
+    def test_clear_resets_breaker_state_and_history(self):
+        policy = _ScriptedPolicy().fail_next(3)
+        service = self.make(policy)
+        service.select(shape(0))  # establishes nothing; first calls fail
+        for i in range(1, 3):
+            service.select(shape(i))
+        service.clear()
+        stats = service.stats()
+        assert stats.policy_errors == 0
+        assert stats.breaker_trips == 0
+        assert not stats.breaker_open
+        # last-known-good was dropped too: with the policy still broken
+        # the fallback is served, not a stale answer.
+        policy.fail_next(1)
+        assert service.select(shape(5)) == FALLBACK
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionService(_ScriptedPolicy(), breaker_threshold=0)
+        with pytest.raises(ValueError):
+            SelectionService(_ScriptedPolicy(), breaker_probe_interval=0)
+
+
+class TestBatchDegradation:
+    def test_batch_path_falls_back_per_item(self):
+        policy = _ScriptedBatchPolicy()
+        service = SelectionService(policy, fallback=FALLBACK)
+        service.select(shape(0))  # prime last-known-good
+        policy.fail_next(100)
+        out = service.select_batch([shape(1), shape(2), shape(3)])
+        assert out == (GOOD, GOOD, GOOD)  # last-known-good per item
+        # batch_fn failed once, then each miss failed individually.
+        assert service.stats().policy_errors == 4
+
+    def test_open_breaker_skips_policy_batch_api(self):
+        policy = _ScriptedBatchPolicy().fail_next(100)
+        service = SelectionService(
+            policy,
+            fallback=FALLBACK,
+            breaker_threshold=2,
+            breaker_probe_interval=100,
+        )
+        service.select(shape(0))
+        service.select(shape(1))
+        assert service.stats().breaker_open
+        calls = policy.calls
+        out = service.select_batch([shape(2), shape(3)])
+        assert out == (FALLBACK, FALLBACK)
+        assert policy.calls == calls  # breaker open: policy untouched
+
+    def test_batch_success_closes_breaker(self):
+        policy = _ScriptedPolicy().fail_next(2)  # scalar-only policy
+        service = SelectionService(
+            policy,
+            fallback=FALLBACK,
+            breaker_threshold=2,
+            breaker_probe_interval=1,  # every open miss probes
+        )
+        service.select(shape(0))
+        service.select(shape(1))
+        assert service.stats().breaker_open
+        out = service.select_batch([shape(2)])
+        assert out == (GOOD,)
+        assert not service.stats().breaker_open
+
+
+class TestStatsRendering:
+    def test_render_mentions_errors_and_breaker(self):
+        policy = _ScriptedPolicy().fail_next(3)
+        service = SelectionService(
+            policy, fallback=FALLBACK, breaker_threshold=3
+        )
+        for i in range(3):
+            service.select(shape(i))
+        text = service.stats().render()
+        assert "policy errors" in text
+        assert "circuit breaker" in text
+        assert "OPEN" in text

@@ -1,0 +1,176 @@
+"""Concurrency stress: many threads hammering one SelectionService.
+
+The service guards all state with one lock; these tests prove the
+counters stay consistent and the policy is consulted at most once per
+unique shape even under contention, including while the circuit breaker
+is tripping and recovering.
+"""
+
+import threading
+
+import pytest
+
+from repro.kernels.params import config_space
+from repro.serving import SelectionService
+from repro.sycl.exceptions import DeviceError
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = config_space(tile_sizes=(1, 2), work_groups=((8, 8),))
+N_THREADS = 8
+ROUNDS = 40
+SHAPES = tuple(GemmShape(m=8 * (i + 1), k=16, n=16) for i in range(16))
+
+
+class _CountingPolicy:
+    """Thread-safe policy that records every consultation."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.shapes_seen = set()
+
+    def select(self, shape):
+        with self._lock:
+            self.calls += 1
+            self.shapes_seen.add(shape)
+        return CONFIGS[shape.m % len(CONFIGS)]
+
+    def select_batch(self, shapes):
+        return tuple(self.select(s) for s in shapes)
+
+
+class _SometimesFailingPolicy(_CountingPolicy):
+    """Every third consultation raises."""
+
+    def select(self, shape):
+        with self._lock:
+            self.calls += 1
+            self.shapes_seen.add(shape)
+            fail = self.calls % 3 == 0
+        if fail:
+            raise DeviceError("intermittent backend error")
+        return CONFIGS[shape.m % len(CONFIGS)]
+
+
+def hammer(worker, n_threads=N_THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any error."""
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def body(tid):
+        try:
+            barrier.wait()
+            worker(tid)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=body, args=(tid,)) for tid in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentServing:
+    def test_counters_consistent_under_mixed_load(self):
+        policy = _CountingPolicy()
+        service = SelectionService(policy)
+        answers = [None] * N_THREADS
+
+        def worker(tid):
+            local = []
+            for r in range(ROUNDS):
+                s = SHAPES[(tid + r) % len(SHAPES)]
+                local.append(service.select(s))
+                if r % 5 == 0:
+                    local.extend(service.select_batch(SHAPES[:4]))
+                if r % 7 == 0:
+                    service.stats()  # snapshots interleave with writes
+            answers[tid] = local
+
+        hammer(worker)
+        stats = service.stats()
+        expected_lookups = N_THREADS * (ROUNDS + 4 * len(range(0, ROUNDS, 5)))
+        assert stats.lookups == expected_lookups
+        assert stats.cache_hits + policy.calls == stats.lookups
+        # Each unique shape consults the policy exactly once.
+        assert policy.calls == len(SHAPES)
+        assert policy.shapes_seen == set(SHAPES)
+        assert stats.cache_size == len(SHAPES)
+        assert stats.evictions == 0
+
+    def test_every_thread_sees_identical_answers(self):
+        policy = _CountingPolicy()
+        service = SelectionService(policy)
+        results = [None] * N_THREADS
+
+        def worker(tid):
+            results[tid] = tuple(service.select(s) for s in SHAPES)
+
+        hammer(worker)
+        assert len(set(results)) == 1
+        want = tuple(CONFIGS[s.m % len(CONFIGS)] for s in SHAPES)
+        assert results[0] == want
+
+    def test_tiny_cache_evictions_stay_consistent(self):
+        policy = _CountingPolicy()
+        service = SelectionService(policy, capacity=2)
+
+        def worker(tid):
+            for r in range(ROUNDS):
+                service.select(SHAPES[(tid * 3 + r) % len(SHAPES)])
+
+        hammer(worker)
+        stats = service.stats()
+        assert stats.cache_size <= 2
+        assert stats.lookups == N_THREADS * ROUNDS
+        assert stats.cache_hits + policy.calls == stats.lookups
+        assert stats.evictions == policy.calls - stats.cache_size
+
+    def test_degradation_under_concurrent_failures(self):
+        policy = _SometimesFailingPolicy()
+        service = SelectionService(
+            policy,
+            fallback=CONFIGS[0],
+            breaker_threshold=2,
+            breaker_probe_interval=3,
+        )
+
+        def worker(tid):
+            for r in range(ROUNDS):
+                config = service.select(SHAPES[(tid + r) % len(SHAPES)])
+                assert config in CONFIGS
+
+        hammer(worker)
+        stats = service.stats()
+        assert stats.lookups == N_THREADS * ROUNDS
+        # Every lookup was answered by exactly one of: cache, policy
+        # success, or a degraded serve.
+        policy_successes = policy.calls - stats.policy_errors
+        assert (
+            stats.cache_hits + policy_successes + stats.fallback_serves
+            == stats.lookups
+        )
+        assert stats.policy_errors > 0
+
+    def test_clear_during_traffic_never_corrupts(self):
+        policy = _CountingPolicy()
+        service = SelectionService(policy)
+
+        def worker(tid):
+            for r in range(ROUNDS):
+                if tid == 0 and r % 10 == 0:
+                    service.clear()
+                else:
+                    service.select(SHAPES[r % len(SHAPES)])
+
+        hammer(worker)
+        stats = service.stats()
+        assert stats.cache_hits <= stats.lookups
+        assert stats.cache_size <= len(SHAPES)
+        # Service still serves correctly after the dust settles.
+        assert service.select(SHAPES[0]) == CONFIGS[SHAPES[0].m % len(CONFIGS)]

@@ -1,0 +1,132 @@
+"""FaultPlan: deterministic decisions, poisoning, transient faults."""
+
+import pytest
+
+from repro.kernels.params import config_space
+from repro.sycl.exceptions import DeviceError, DeviceTimeoutError
+from repro.testing import FaultKind, FaultPlan, InjectedFault, raise_fault
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = config_space()
+SHAPE = GemmShape(m=128, k=64, n=256)
+
+
+class TestDecisions:
+    def test_zero_rate_plan_never_faults(self):
+        plan = FaultPlan(seed=3, rate=0.0)
+        assert all(
+            plan.fault_for(SHAPE, c) is None for c in CONFIGS[:50]
+        )
+        assert plan.fault_for_submission("matmul", 0) is None
+
+    def test_full_rate_plan_always_faults(self):
+        plan = FaultPlan(seed=3, rate=1.0)
+        assert all(
+            plan.fault_for(SHAPE, c) is not None for c in CONFIGS[:50]
+        )
+
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=11, rate=0.1)
+        b = FaultPlan(seed=11, rate=0.1)
+        assert [a.fault_for(SHAPE, c) for c in CONFIGS] == [
+            b.fault_for(SHAPE, c) for c in CONFIGS
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, rate=0.5)
+        b = FaultPlan(seed=2, rate=0.5)
+        assert [a.fault_for(SHAPE, c) for c in CONFIGS] != [
+            b.fault_for(SHAPE, c) for c in CONFIGS
+        ]
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=5, rate=0.2)
+        hits = sum(
+            plan.fault_for(s, c) is not None
+            for s in (SHAPE, GemmShape(m=64, k=64, n=64))
+            for c in CONFIGS
+        )
+        assert 0.1 < hits / (2 * len(CONFIGS)) < 0.3
+
+    def test_decision_is_order_independent(self):
+        plan = FaultPlan(seed=9, rate=0.3)
+        forward = [plan.fault_for(SHAPE, c) for c in CONFIGS]
+        backward = [plan.fault_for(SHAPE, c) for c in reversed(CONFIGS)]
+        assert forward == list(reversed(backward))
+
+    def test_mixed_kinds_both_occur(self):
+        plan = FaultPlan(seed=5, rate=1.0)
+        kinds = {plan.fault_for(SHAPE, c) for c in CONFIGS}
+        assert kinds == {FaultKind.DEVICE_ERROR, FaultKind.TIMEOUT}
+
+    def test_fixed_kind_is_honoured(self):
+        plan = FaultPlan(seed=5, rate=1.0, kind=FaultKind.TIMEOUT)
+        assert all(
+            plan.fault_for(SHAPE, c) is FaultKind.TIMEOUT
+            for c in CONFIGS[:20]
+        )
+
+
+class TestPoisoning:
+    def test_poisoned_cell_faults_and_others_do_not(self):
+        plan = FaultPlan().poison(SHAPE, CONFIGS[3])
+        assert plan.fault_for(SHAPE, CONFIGS[3]) is FaultKind.DEVICE_ERROR
+        assert plan.fault_for(SHAPE, CONFIGS[4]) is None
+
+    def test_transient_poison_recovers_after_attempts(self):
+        plan = FaultPlan().poison(SHAPE, CONFIGS[0], fail_attempts=2)
+        assert plan.fault_for(SHAPE, CONFIGS[0], attempt=0) is not None
+        assert plan.fault_for(SHAPE, CONFIGS[0], attempt=1) is not None
+        assert plan.fault_for(SHAPE, CONFIGS[0], attempt=2) is None
+
+    def test_hard_poison_never_recovers(self):
+        plan = FaultPlan().poison(SHAPE, CONFIGS[0])
+        assert plan.fault_for(SHAPE, CONFIGS[0], attempt=99) is not None
+
+    def test_poisoned_submission(self):
+        plan = FaultPlan().poison_submission("gemm", 2, kind=FaultKind.TIMEOUT)
+        assert plan.fault_for_submission("gemm", 0) is None
+        assert plan.fault_for_submission("gemm", 2) is FaultKind.TIMEOUT
+        assert plan.fault_for_submission("other", 2) is None
+
+    def test_poison_chains(self):
+        plan = (
+            FaultPlan()
+            .poison(SHAPE, CONFIGS[0])
+            .poison_submission("gemm", 0)
+        )
+        assert plan.fault_for(SHAPE, CONFIGS[0]) is not None
+        assert plan.fault_for_submission("gemm", 0) is not None
+
+
+class TestValidationAndRaising:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(rate=-0.1)
+
+    def test_invalid_fail_attempts(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_attempts=0)
+
+    def test_invalid_submission_index(self):
+        with pytest.raises(ValueError):
+            FaultPlan().poison_submission("gemm", -1)
+
+    def test_raise_fault_kinds(self):
+        with pytest.raises(DeviceError):
+            raise_fault(FaultKind.DEVICE_ERROR, "ctx")
+        with pytest.raises(DeviceTimeoutError):
+            raise_fault(FaultKind.TIMEOUT, "ctx")
+
+    def test_timeout_is_a_device_error(self):
+        # Handlers written for DeviceError must also catch timeouts.
+        with pytest.raises(DeviceError):
+            raise_fault(FaultKind.TIMEOUT, "ctx")
+
+    def test_injected_fault_fires_on(self):
+        assert InjectedFault(FaultKind.TIMEOUT).fires_on(1000)
+        transient = InjectedFault(FaultKind.TIMEOUT, fail_attempts=1)
+        assert transient.fires_on(0)
+        assert not transient.fires_on(1)
