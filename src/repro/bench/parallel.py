@@ -29,16 +29,22 @@ def parallel_map(
     *,
     max_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    min_parallel_items: Optional[int] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, in parallel when it pays off.
 
     Results are returned in input order regardless of completion order.
     ``fn`` must be picklable (module-level function or functools.partial)
-    when parallel execution kicks in.
+    when parallel execution kicks in.  ``min_parallel_items`` overrides
+    the serial-fallback threshold — callers whose items are individually
+    expensive (e.g. whole pipeline stages) set it low.
     """
     items = list(items)
     workers = max_workers if max_workers is not None else os.cpu_count() or 1
-    if workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS:
+    threshold = (
+        _MIN_PARALLEL_ITEMS if min_parallel_items is None else min_parallel_items
+    )
+    if workers <= 1 or len(items) < threshold:
         return [fn(item) for item in items]
     if chunksize is None:
         chunksize = max(1, len(items) // (workers * 4))

@@ -6,6 +6,8 @@ Subcommands
 * ``shapes``      — list the GEMM shapes extracted from the networks.
 * ``experiments`` — run figure/table reproductions and print them.
 * ``tune``        — run the full pipeline and export the selector source.
+* ``pipeline``    — staged pipeline: ``run`` / ``status`` / ``gc`` against
+  a content-addressed artifact store.
 * ``serve-stats`` — replay a serving workload, print service counters.
 * ``devices``     — list the simulated device presets.
 """
@@ -32,6 +34,12 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         default="r9-nano",
         help="device preset (see `repro devices`)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for the benchmark sweep (1 = serial)",
+    )
 
 
 def _load_or_generate(args):
@@ -43,6 +51,7 @@ def _load_or_generate(args):
     return generate_dataset(
         device=Device.from_preset(args.device),
         cache_path=args.dataset,
+        max_workers=getattr(args, "workers", 1),
     )
 
 
@@ -131,21 +140,131 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _build_pipeline_config(args):
+    from repro.pipeline import PaperPipelineConfig
+
+    kwargs = {
+        "device_preset": args.device,
+        "split_seed": args.split_seed,
+        "test_size": args.test_size,
+        "pruner": args.pruner,
+        "budget": args.budget,
+        "classifier": args.classifier,
+        "random_state": args.seed,
+    }
+    if args.networks:
+        kwargs["networks"] = tuple(args.networks)
+    return PaperPipelineConfig(**kwargs)
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.pipeline import ArtifactStore
+    from repro.pipeline.paper import paper_params, paper_pipeline
+
+    store = ArtifactStore(args.store)
+    config = _build_pipeline_config(args)
+    pipeline = paper_pipeline()
+
+    if args.action == "run":
+        from repro.pipeline import PipelineExecutor
+
+        executor = PipelineExecutor(store, max_workers=args.workers)
+        run = executor.run(pipeline, paper_params(config), force=args.force)
+        print(run.stats.render())
+        print()
+        for name in ("dataset", "train", "eval"):
+            print(f"{name:8s} -> {run.artifacts[name].artifact_id}")
+        if args.render:
+            from repro.experiments.run_all import AllResults
+
+            print()
+            print(
+                AllResults(
+                    dataset=run.value("dataset"),
+                    fig1=run.value("fig1"),
+                    fig2=run.value("fig2"),
+                    fig3=run.value("fig3"),
+                    fig4=run.value("fig4"),
+                    table1=run.value("table1"),
+                ).render()
+            )
+        if args.assert_all_cached and not run.stats.all_cached:
+            print(
+                "ERROR: expected a fully cached run but these stages "
+                f"executed: {', '.join(run.stats.executed_stages)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.action == "status":
+        manifests = store.ls()
+        if not manifests:
+            print(f"store {store.root}: empty")
+            return 0
+        print(f"store {store.root}: {len(manifests)} artifacts")
+        for p in manifests:
+            size_kb = store.size_bytes(p.fingerprint) / 1024
+            print(
+                f"  {p.stage:10s} {p.fingerprint[:12]}  "
+                f"{size_kb:9.1f} KiB  {p.runtime_s * 1e3:8.1f}ms"
+                f"{'  (failures: %d)' % len(p.failures) if p.failures else ''}"
+            )
+        return 0
+
+    if args.action == "gc":
+        keep = (
+            set()
+            if args.all
+            else set(pipeline.fingerprints(paper_params(config)).values())
+        )
+        removed = store.gc(keep)
+        print(
+            f"removed {len(removed)} artifacts, kept "
+            f"{sum(1 for _ in store.fingerprints())}"
+        )
+        return 0
+
+    raise ValueError(f"unknown pipeline action {args.action!r}")
+
+
 def _cmd_serve_stats(args) -> int:
     import numpy as np
 
-    from repro.core.deploy import tune
     from repro.serving import SelectionService
+
+    service = None
+    if args.store is not None:
+        from repro.pipeline import ArtifactStore
+
+        store = ArtifactStore(args.store)
+        artifact_id = args.artifact
+        if artifact_id is None:
+            latest = store.latest("train")
+            if latest is None:
+                print(
+                    f"no trained selector artifact in {store.root}; "
+                    "run `repro pipeline run` first",
+                    file=sys.stderr,
+                )
+                return 1
+            artifact_id = latest.fingerprint
+        service = SelectionService.from_artifact(
+            store, artifact_id, capacity=args.cache_capacity
+        )
 
     dataset = _load_or_generate(args)
     train, test = dataset.split(test_size=0.2, random_state=args.seed)
-    deployed = tune(
-        train,
-        n_configs=args.budget,
-        classifier=args.classifier,
-        random_state=args.seed,
-    )
-    service = SelectionService(deployed, capacity=args.cache_capacity)
+    if service is None:
+        from repro.core.deploy import tune
+
+        deployed = tune(
+            train,
+            n_configs=args.budget,
+            classifier=args.classifier,
+            random_state=args.seed,
+        )
+        service = SelectionService(deployed, capacity=args.cache_capacity)
 
     # Production-style traffic: a skewed distribution over the test
     # shapes (a few hot shapes dominate, a long tail of rare ones).
@@ -220,6 +339,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
+        "pipeline",
+        help="staged pipeline over the content-addressed artifact store",
+    )
+    p.add_argument("action", choices=("run", "status", "gc"))
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=Path(".repro-store"),
+        help="artifact store root directory",
+    )
+    p.add_argument("--device", default="r9-nano")
+    p.add_argument(
+        "--networks",
+        nargs="*",
+        default=None,
+        metavar="NET",
+        help="restrict the sweep to these networks (default: all three)",
+    )
+    p.add_argument("--split-seed", type=int, default=0)
+    p.add_argument("--test-size", type=float, default=0.2)
+    p.add_argument("--pruner", default="decision tree")
+    p.add_argument("--budget", type=int, default=8)
+    p.add_argument("--classifier", default="DecisionTree")
+    p.add_argument("--seed", type=int, default=0, help="random_state")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--force", action="store_true", help="re-run all stages (run)"
+    )
+    p.add_argument(
+        "--render", action="store_true", help="print the full report (run)"
+    )
+    p.add_argument(
+        "--assert-all-cached",
+        action="store_true",
+        help="exit 1 unless every stage was a cache hit (run; CI guard)",
+    )
+    p.add_argument(
+        "--all", action="store_true", help="gc: delete every artifact"
+    )
+    p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
         "serve-stats",
         help="replay a serving workload, print SelectionService counters",
     )
@@ -227,6 +388,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=8)
     p.add_argument("--classifier", default="DecisionTree")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="serve a selector artifact from this pipeline store",
+    )
+    p.add_argument(
+        "--artifact",
+        default=None,
+        help="artifact id/fingerprint prefix (default: latest train stage)",
+    )
     p.add_argument(
         "--requests", type=int, default=10000, help="total shape queries"
     )

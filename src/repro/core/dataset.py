@@ -8,12 +8,14 @@ train/test splitting — plus persistence and the one-call
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.bench.cache import CacheMismatchError
 from repro.bench.cache import load_dataset as _load_raw
 from repro.bench.cache import save_dataset as _save_raw
 from repro.bench.runner import BenchmarkResult, BenchmarkRunner, RunnerConfig
@@ -24,7 +26,16 @@ from repro.utils.rng import rng_from
 from repro.workloads.extract import extract_dataset_shapes
 from repro.workloads.gemm import GemmShape
 
-__all__ = ["PerformanceDataset", "generate_dataset"]
+__all__ = [
+    "DatasetSplit",
+    "PerformanceDataset",
+    "dataset_stage",
+    "generate_dataset",
+    "split_stage",
+    "sweep_stage",
+]
+
+DEFAULT_NETWORKS: Tuple[str, ...] = ("vgg16", "resnet50", "mobilenet_v2")
 
 
 @dataclass(frozen=True)
@@ -182,22 +193,85 @@ class PerformanceDataset:
         )
 
 
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A train/test pair produced by the pipeline's split stage."""
+
+    train: PerformanceDataset
+    test: PerformanceDataset
+
+
+def sweep_stage(inputs, params, options) -> BenchmarkResult:
+    """Pipeline stage: run the full benchmark sweep.
+
+    Fingerprinted parameters: ``device_spec`` (a
+    :class:`~repro.sycl.device.DeviceSpec`), ``networks``, ``runner``
+    (a :class:`RunnerConfig`), and optional ``model_params``.  Worker
+    count comes from ``options`` — it never affects the result.
+    """
+    device = Device(params["device_spec"])
+    shapes, _ = extract_dataset_shapes(networks=tuple(params["networks"]))
+    runner = BenchmarkRunner(
+        device,
+        runner_config=params["runner"],
+        model_params=params.get("model_params"),
+    )
+    return runner.run(shapes, max_workers=options.get("max_workers", 1))
+
+
+def dataset_stage(inputs, params, options) -> PerformanceDataset:
+    """Pipeline stage: normalise the raw sweep into the dataset view."""
+    return PerformanceDataset.from_benchmark(inputs["sweep"])
+
+
+def split_stage(inputs, params, options) -> DatasetSplit:
+    """Pipeline stage: deterministic train/test split of the dataset."""
+    train, test = inputs["dataset"].split(
+        test_size=params["test_size"], random_state=params["split_seed"]
+    )
+    return DatasetSplit(train=train, test=test)
+
+
 def generate_dataset(
     *,
     device: Optional[Device] = None,
     runner_config: Optional[RunnerConfig] = None,
     model_params: Optional[PerfModelParams] = None,
-    networks: Sequence[str] = ("vgg16", "resnet50", "mobilenet_v2"),
+    networks: Sequence[str] = DEFAULT_NETWORKS,
     cache_path: Optional[Union[str, Path]] = None,
     max_workers: Optional[int] = 1,
+    store=None,
 ) -> PerformanceDataset:
     """Regenerate the paper's dataset end to end.
 
     Extracts GEMM shapes from the three networks, benchmarks all 640
     configurations per shape on the simulated device and returns the
-    table.  With ``cache_path`` set, a previously saved dataset matching
-    on disk is reused, and fresh results are saved there.
+    table.  With ``cache_path`` set, a previously saved dataset on disk
+    is reused — but only if its recorded meta (runner protocol, device,
+    model constants) matches this request; a mismatch is treated as a
+    cache miss with a warning and the sweep is regenerated.
+
+    With ``store`` set to a
+    :class:`~repro.pipeline.store.ArtifactStore`, generation routes
+    through the content-addressed pipeline instead: the sweep and
+    dataset stages are fingerprinted and reused incrementally
+    (``cache_path`` is then ignored).
     """
+    device = device or Device.r9_nano()
+    effective_runner = runner_config or RunnerConfig()
+
+    if store is not None:
+        from repro.pipeline.paper import generate_dataset_stages
+
+        return generate_dataset_stages(
+            store,
+            device=device,
+            runner_config=effective_runner,
+            model_params=model_params,
+            networks=tuple(networks),
+            max_workers=max_workers or 1,
+        )
+
     if cache_path is not None:
         cache_path = Path(cache_path)
         effective = (
@@ -205,9 +279,21 @@ def generate_dataset(
             else cache_path.with_suffix(cache_path.suffix + ".npz")
         )
         if effective.exists():
-            return PerformanceDataset.load(effective)
+            try:
+                return PerformanceDataset.from_benchmark(
+                    _load_raw(
+                        effective,
+                        expected_runner=effective_runner,
+                        expected_device_name=device.name,
+                        expected_model_params=model_params,
+                    )
+                )
+            except CacheMismatchError as exc:
+                warnings.warn(
+                    f"ignoring stale dataset cache: {exc}; regenerating",
+                    stacklevel=2,
+                )
 
-    device = device or Device.r9_nano()
     shapes, _ = extract_dataset_shapes(networks=networks)
     runner = BenchmarkRunner(
         device,
@@ -216,5 +302,5 @@ def generate_dataset(
     )
     result = runner.run(shapes, max_workers=max_workers)
     if cache_path is not None:
-        _save_raw(result, cache_path)
+        _save_raw(result, cache_path, model_params=model_params)
     return PerformanceDataset.from_benchmark(result)

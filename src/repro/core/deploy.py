@@ -10,14 +10,16 @@ nested-``if`` implementation can be exported as Python or C++ source.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.dataset import PerformanceDataset
 from repro.core.pruning.base import PrunedSet, Pruner
 from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.pruning.evaluate import make_pruner
 from repro.core.selection.classifiers import make_selector
+from repro.core.selection.evaluate import evaluate_selector
 from repro.core.selection.selector import Selector
 from repro.kernels.matmul import TiledMatmulKernel, matmul
 from repro.kernels.params import KernelConfig
@@ -27,7 +29,13 @@ from repro.sycl.queue import Queue
 from repro.workloads.gemm import GemmShape
 from repro.workloads.sparse import SparseGemmShape
 
-__all__ = ["DeployedSelector", "tune"]
+__all__ = [
+    "DeployedSelector",
+    "eval_stage",
+    "prune_stage",
+    "train_stage",
+    "tune",
+]
 
 
 class DeployedSelector:
@@ -148,3 +156,35 @@ def tune(
     selector.fit(train)
     library = KernelLibrary(pruned.configs)
     return DeployedSelector(library, selector)
+
+
+# -- pipeline stages ----------------------------------------------------------
+
+
+def prune_stage(inputs, params, options) -> PrunedSet:
+    """Pipeline stage: prune the configuration space on the train split.
+
+    Parameters: ``pruner`` (technique name, see
+    :func:`~repro.core.pruning.evaluate.make_pruner`), ``budget``, and
+    ``random_state``.
+    """
+    pruner = make_pruner(
+        params["pruner"], random_state=params.get("random_state", 0)
+    )
+    return pruner.select(inputs["split"].train, params["budget"])
+
+
+def train_stage(inputs, params, options) -> DeployedSelector:
+    """Pipeline stage: fit the runtime selector, bundle the library."""
+    selector = make_selector(
+        params["classifier"],
+        inputs["prune"],
+        random_state=params.get("random_state", 0),
+    )
+    selector.fit(inputs["split"].train)
+    return DeployedSelector(KernelLibrary(inputs["prune"].configs), selector)
+
+
+def eval_stage(inputs, params, options):
+    """Pipeline stage: score the deployed selector on the test split."""
+    return evaluate_selector(inputs["train"].selector, inputs["split"].test)

@@ -26,6 +26,7 @@ from repro.core.pruning.decision_tree import DecisionTreePruner
 from repro.core.pruning.evaluate import (
     achievable_performance,
     default_pruners,
+    make_pruner,
     sweep_pruners,
 )
 
@@ -39,5 +40,6 @@ __all__ = [
     "TopNPruner",
     "achievable_performance",
     "default_pruners",
+    "make_pruner",
     "sweep_pruners",
 ]

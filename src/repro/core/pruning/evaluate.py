@@ -20,7 +20,12 @@ from repro.core.pruning.pca_kmeans import PCAKMeansPruner
 from repro.core.pruning.topn import TopNPruner
 from repro.utils.maths import geometric_mean
 
-__all__ = ["achievable_performance", "default_pruners", "sweep_pruners"]
+__all__ = [
+    "achievable_performance",
+    "default_pruners",
+    "make_pruner",
+    "sweep_pruners",
+]
 
 
 def achievable_performance(
@@ -46,6 +51,15 @@ def default_pruners(*, random_state: int = 0) -> List[Pruner]:
         HDBSCANPruner(),
         DecisionTreePruner(),
     ]
+
+
+def make_pruner(name: str, *, random_state: int = 0) -> Pruner:
+    """A pruner by its display name (the pipeline's by-name factory)."""
+    for pruner in default_pruners(random_state=random_state):
+        if pruner.name == name:
+            return pruner
+    known = [p.name for p in default_pruners()]
+    raise ValueError(f"unknown pruner {name!r}; known: {known}")
 
 
 def sweep_pruners(

@@ -17,7 +17,12 @@ import numpy as np
 from repro.core.dataset import PerformanceDataset, generate_dataset
 from repro.experiments.report import ascii_series, ascii_table
 
-__all__ = ["Fig1Result", "run_fig1"]
+__all__ = ["Fig1Result", "fig1_stage", "run_fig1"]
+
+
+def fig1_stage(inputs, params, options) -> "Fig1Result":
+    """Pipeline stage: Figure 1 from the shared dataset artifact."""
+    return run_fig1(inputs["dataset"])
 
 
 @dataclass(frozen=True)

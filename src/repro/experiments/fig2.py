@@ -16,7 +16,12 @@ from repro.core.dataset import PerformanceDataset, generate_dataset
 from repro.experiments.report import ascii_bars
 from repro.kernels.params import KernelConfig
 
-__all__ = ["Fig2Result", "run_fig2"]
+__all__ = ["Fig2Result", "fig2_stage", "run_fig2"]
+
+
+def fig2_stage(inputs, params, options) -> "Fig2Result":
+    """Pipeline stage: Figure 2 from the shared dataset artifact."""
+    return run_fig2(inputs["dataset"])
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,12 @@ from repro.core.dataset import PerformanceDataset, generate_dataset
 from repro.core.pca_analysis import analyze_dataset
 from repro.experiments.report import ascii_bars
 
-__all__ = ["Fig3Result", "run_fig3"]
+__all__ = ["Fig3Result", "fig3_stage", "run_fig3"]
+
+
+def fig3_stage(inputs, params, options) -> "Fig3Result":
+    """Pipeline stage: Figure 3 from the shared dataset artifact."""
+    return run_fig3(inputs["dataset"])
 
 
 @dataclass(frozen=True)

@@ -16,9 +16,25 @@ from repro.core.dataset import PerformanceDataset, generate_dataset
 from repro.core.pruning import default_pruners, sweep_pruners
 from repro.experiments.report import ascii_series, ascii_table
 
-__all__ = ["Fig4Result", "run_fig4"]
+__all__ = ["Fig4Result", "fig4_stage", "run_fig4"]
 
 DEFAULT_BUDGETS: Tuple[int, ...] = tuple(range(4, 16))
+
+
+def fig4_stage(inputs, params, options) -> "Fig4Result":
+    """Pipeline stage: the pruning sweep on the shared dataset.
+
+    Parameters: ``budgets``, ``test_size``, ``split_seed`` and
+    ``random_state`` — matching :func:`run_fig4`'s signature so pipeline
+    output is bit-identical to the direct path.
+    """
+    return run_fig4(
+        inputs["dataset"],
+        budgets=tuple(params.get("budgets", DEFAULT_BUDGETS)),
+        test_size=params.get("test_size", 0.2),
+        split_seed=params.get("split_seed", 0),
+        random_state=params.get("random_state", 0),
+    )
 
 
 @dataclass(frozen=True)

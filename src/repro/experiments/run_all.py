@@ -13,7 +13,7 @@ from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.table1 import Table1Result, run_table1
 
-__all__ = ["AllResults", "run_all"]
+__all__ = ["AllResults", "run_all", "run_all_pipeline"]
 
 
 @dataclass(frozen=True)
@@ -57,3 +57,26 @@ def run_all(
         fig4=run_fig4(dataset, split_seed=split_seed),
         table1=run_table1(dataset, split_seed=split_seed),
     )
+
+
+def run_all_pipeline(store, config=None, *, max_workers: int = 1):
+    """Every experiment via the staged pipeline, reusing cached artifacts.
+
+    ``store`` is a :class:`~repro.pipeline.store.ArtifactStore`;
+    ``config`` a :class:`~repro.pipeline.paper.PaperPipelineConfig`.
+    Returns ``(AllResults, PipelineRun)`` — the same report as
+    :func:`run_all` plus the per-stage cache/runtime account.  Results
+    are bit-identical to the direct path for the same parameters.
+    """
+    from repro.pipeline.paper import run_paper_pipeline
+
+    run = run_paper_pipeline(store, config, max_workers=max_workers)
+    results = AllResults(
+        dataset=run.value("dataset"),
+        fig1=run.value("fig1"),
+        fig2=run.value("fig2"),
+        fig3=run.value("fig3"),
+        fig4=run.value("fig4"),
+        table1=run.value("table1"),
+    )
+    return results, run

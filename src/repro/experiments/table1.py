@@ -18,9 +18,20 @@ from repro.core.selection.classifiers import TABLE1_CLASSIFIERS
 from repro.core.selection.evaluate import SelectorEvaluation, sweep_selectors
 from repro.experiments.report import ascii_table
 
-__all__ = ["Table1Result", "run_table1"]
+__all__ = ["Table1Result", "run_table1", "table1_stage"]
 
 DEFAULT_BUDGETS: Tuple[int, ...] = (5, 6, 8, 15)
+
+
+def table1_stage(inputs, params, options) -> "Table1Result":
+    """Pipeline stage: the classifier sweep on the shared dataset."""
+    return run_table1(
+        inputs["dataset"],
+        budgets=tuple(params.get("budgets", DEFAULT_BUDGETS)),
+        test_size=params.get("test_size", 0.2),
+        split_seed=params.get("split_seed", 0),
+        random_state=params.get("random_state", 0),
+    )
 
 
 @dataclass(frozen=True)

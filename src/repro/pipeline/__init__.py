@@ -1,0 +1,61 @@
+"""Staged pipeline subsystem with a content-addressed artifact store.
+
+The paper's deliverable is a chain of derived artifacts — benchmark
+sweep -> normalized dataset -> pruned config set -> trained selector ->
+deployable library.  This package makes that chain explicit:
+
+* :class:`~repro.pipeline.stage.Stage` / :class:`~repro.pipeline.stage.Pipeline`
+  — pure stage functions with declared inputs forming a DAG;
+* :class:`~repro.pipeline.artifact.Artifact` — a stage output plus its
+  :class:`~repro.pipeline.artifact.Provenance` manifest (fingerprint,
+  params, parents, failures, timings);
+* :class:`~repro.pipeline.store.ArtifactStore` — filesystem-backed,
+  content-addressed storage with atomic writes and ``gc``;
+* :class:`~repro.pipeline.executor.PipelineExecutor` — walks the DAG,
+  reuses fingerprint-matching artifacts, runs independent stages in
+  parallel, and reports :class:`~repro.pipeline.executor.ExecutorStats`;
+* :mod:`~repro.pipeline.paper` — the reproduction's concrete DAG.
+
+Incremental recomputation is the default: change ``split_seed`` and only
+the split/prune/train/eval stages re-run; the 640-config sweep is a
+cache hit.
+"""
+
+from repro.pipeline.artifact import Artifact, Provenance
+from repro.pipeline.codecs import Codec, get_codec, register_codec
+from repro.pipeline.executor import (
+    ExecutorStats,
+    PipelineExecutor,
+    PipelineRun,
+    StageExecution,
+)
+from repro.pipeline.fingerprint import fingerprint_stage, params_digest
+from repro.pipeline.paper import (
+    PaperPipelineConfig,
+    paper_params,
+    paper_pipeline,
+    run_paper_pipeline,
+)
+from repro.pipeline.stage import Pipeline, Stage
+from repro.pipeline.store import ArtifactStore
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "Codec",
+    "ExecutorStats",
+    "PaperPipelineConfig",
+    "Pipeline",
+    "PipelineExecutor",
+    "PipelineRun",
+    "Provenance",
+    "Stage",
+    "StageExecution",
+    "fingerprint_stage",
+    "get_codec",
+    "paper_params",
+    "paper_pipeline",
+    "params_digest",
+    "register_codec",
+    "run_paper_pipeline",
+]

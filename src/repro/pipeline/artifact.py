@@ -1,0 +1,112 @@
+"""Artifacts: stage outputs plus the provenance manifest describing them.
+
+Every value a pipeline stage produces is wrapped in an :class:`Artifact`
+carrying a :class:`Provenance` manifest — the full account of *how* the
+value came to be: which stage, with which parameters and code version,
+from which parent artifacts, how long it took, and what failed along the
+way.  The manifest is what the store persists next to the payload and
+what the serving layer reports for the selector it serves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.pipeline.serialize import from_jsonable, to_jsonable
+
+__all__ = ["Artifact", "Provenance"]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Manifest of one artifact: identity, lineage, and run account.
+
+    ``fingerprint`` is the content address (see
+    :mod:`repro.pipeline.fingerprint`); ``parents`` maps input names to
+    the fingerprints of the artifacts consumed.  ``failures`` records
+    per-stage failure summaries (e.g. benchmark cells abandoned as NaN)
+    so a degraded artifact is never silently indistinguishable from a
+    clean one.
+    """
+
+    stage: str
+    fingerprint: str
+    code_version: str
+    params: Any
+    parents: Dict[str, str]
+    codec: str
+    created_at: float = 0.0
+    runtime_s: float = 0.0
+    failures: Tuple[str, ...] = ()
+
+    @property
+    def artifact_id(self) -> str:
+        """Short display form: ``stage:fingerprint[:12]``."""
+        return f"{self.stage}:{self.fingerprint[:12]}"
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact provenance view for stats/observability endpoints."""
+        return {
+            "stage": self.stage,
+            "fingerprint": self.fingerprint,
+            "code_version": self.code_version,
+            "parents": dict(self.parents),
+            "created_at": self.created_at,
+            "runtime_s": self.runtime_s,
+            "n_failures": len(self.failures),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "stage": self.stage,
+                "fingerprint": self.fingerprint,
+                "code_version": self.code_version,
+                "params": to_jsonable(self.params),
+                "parents": dict(self.parents),
+                "codec": self.codec,
+                "created_at": self.created_at,
+                "runtime_s": self.runtime_s,
+                "failures": list(self.failures),
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Provenance":
+        body = json.loads(text)
+        return cls(
+            stage=body["stage"],
+            fingerprint=body["fingerprint"],
+            code_version=body["code_version"],
+            params=from_jsonable(body["params"]),
+            parents=dict(body["parents"]),
+            codec=body["codec"],
+            created_at=body.get("created_at", 0.0),
+            runtime_s=body.get("runtime_s", 0.0),
+            failures=tuple(body.get("failures", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A stage output value together with its provenance manifest."""
+
+    value: Any = field(repr=False)
+    provenance: Provenance
+
+    @property
+    def fingerprint(self) -> str:
+        return self.provenance.fingerprint
+
+    @property
+    def artifact_id(self) -> str:
+        return self.provenance.artifact_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Artifact({self.provenance.artifact_id}, "
+            f"value={type(self.value).__name__})"
+        )

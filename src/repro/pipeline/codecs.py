@@ -1,0 +1,199 @@
+"""Payload codecs: how each artifact type is laid out on disk.
+
+A codec maps a stage's in-memory value to files inside the artifact's
+payload directory and back.  Payloads are ``.npz`` (numeric tables) and
+tagged JSON (everything else) — never pickle.  The manifest records which
+codec wrote the payload, so the store can load any artifact without
+knowing the pipeline that produced it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.pipeline.serialize import dumps, loads
+
+__all__ = ["Codec", "get_codec", "register_codec"]
+
+
+class Codec:
+    """Base payload codec; subclasses define ``save``/``load``."""
+
+    name: str = "codec"
+
+    def save(self, value: Any, directory: Path) -> None:
+        raise NotImplementedError
+
+    def load(self, directory: Path) -> Any:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown payload codec {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+class JsonCodec(Codec):
+    """Generic tagged-JSON payload: any dataclass/ndarray/tuple tree."""
+
+    name = "json"
+
+    def save(self, value: Any, directory: Path) -> None:
+        (directory / "payload.json").write_text(dumps(value))
+
+    def load(self, directory: Path) -> Any:
+        return loads((directory / "payload.json").read_text())
+
+
+class BenchResultCodec(Codec):
+    """Raw benchmark sweep, in the ``bench.cache`` ``.npz`` format."""
+
+    name = "bench-result"
+
+    def save(self, value: Any, directory: Path) -> None:
+        from repro.bench.cache import save_dataset
+
+        save_dataset(value, directory / "sweep.npz")
+
+    def load(self, directory: Path) -> Any:
+        from repro.bench.cache import load_dataset
+
+        return load_dataset(directory / "sweep.npz")
+
+
+class DatasetCodec(Codec):
+    """A :class:`~repro.core.dataset.PerformanceDataset` as ``.npz``."""
+
+    name = "dataset"
+
+    def save(self, value: Any, directory: Path) -> None:
+        value.save(directory / "dataset.npz")
+
+    def load(self, directory: Path) -> Any:
+        from repro.core.dataset import PerformanceDataset
+
+        return PerformanceDataset.load(directory / "dataset.npz")
+
+
+class SplitCodec(Codec):
+    """A train/test :class:`~repro.core.dataset.DatasetSplit` pair."""
+
+    name = "split"
+
+    def save(self, value: Any, directory: Path) -> None:
+        value.train.save(directory / "train.npz")
+        value.test.save(directory / "test.npz")
+
+    def load(self, directory: Path) -> Any:
+        from repro.core.dataset import DatasetSplit, PerformanceDataset
+
+        return DatasetSplit(
+            train=PerformanceDataset.load(directory / "train.npz"),
+            test=PerformanceDataset.load(directory / "test.npz"),
+        )
+
+
+class SelectorCodec(Codec):
+    """A deployed selector: tree arrays as ``.npz`` plus JSON metadata.
+
+    Supports the paper's deployable artefact — a decision-tree selector
+    (or a degenerate constant selector) over a pruned set.  Other
+    estimator families have no array-only representation here and are
+    rejected at save time rather than silently mis-serialized.
+    """
+
+    name = "selector"
+
+    def save(self, value: Any, directory: Path) -> None:
+        selector = value.selector
+        constant = getattr(selector, "_constant", None)
+        tree = getattr(selector.estimator, "tree_", None)
+        meta = {
+            "classifier": selector.name,
+            "pruned": selector.pruned,
+            "constant": constant,
+            "n_features_in": getattr(
+                selector.estimator, "n_features_in_", None
+            ),
+            "classes": getattr(selector.estimator, "classes_", None),
+            "has_tree": tree is not None and constant is None,
+        }
+        if meta["has_tree"]:
+            from repro.ml.tree.structure import Tree
+
+            if not isinstance(tree, Tree) or selector.name != "DecisionTree":
+                raise TypeError(
+                    "selector codec can only persist decision-tree or "
+                    f"constant selectors, not {selector.name!r}"
+                )
+            np.savez_compressed(
+                directory / "tree.npz",
+                feature=tree.feature,
+                threshold=tree.threshold,
+                left=tree.left,
+                right=tree.right,
+                value=tree.value,
+                impurity=tree.impurity,
+                n_samples=tree.n_samples,
+            )
+        elif constant is None:
+            raise TypeError(
+                "selector codec requires a fitted decision-tree or "
+                "constant selector"
+            )
+        (directory / "selector.json").write_text(dumps(meta))
+
+    def load(self, directory: Path) -> Any:
+        from repro.core.deploy import DeployedSelector
+        from repro.core.selection.classifiers import make_selector
+        from repro.kernels.registry import KernelLibrary
+        from repro.ml.tree.structure import Tree
+
+        meta = loads((directory / "selector.json").read_text())
+        pruned = meta["pruned"]
+        selector = make_selector(meta["classifier"], pruned)
+        selector._constant = (
+            None if meta["constant"] is None else int(meta["constant"])
+        )
+        if meta["has_tree"]:
+            with np.load(directory / "tree.npz") as data:
+                selector.estimator.tree_ = Tree(
+                    feature=data["feature"],
+                    threshold=data["threshold"],
+                    left=data["left"],
+                    right=data["right"],
+                    value=data["value"],
+                    impurity=data["impurity"],
+                    n_samples=data["n_samples"],
+                )
+        if meta["classes"] is not None:
+            selector.estimator.classes_ = np.asarray(meta["classes"])
+        if meta["n_features_in"] is not None:
+            selector.estimator.n_features_in_ = int(meta["n_features_in"])
+        selector._fitted = True
+        return DeployedSelector(KernelLibrary(pruned.configs), selector)
+
+
+for _codec in (
+    JsonCodec(),
+    BenchResultCodec(),
+    DatasetCodec(),
+    SplitCodec(),
+    SelectorCodec(),
+):
+    register_codec(_codec)

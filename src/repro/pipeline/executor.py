@@ -1,0 +1,235 @@
+"""The pipeline executor: walk the DAG, reuse artifacts, run the rest.
+
+For every stage the executor computes the content-address fingerprint,
+probes the :class:`~repro.pipeline.store.ArtifactStore`, and either
+loads the stored artifact (cache hit) or runs the stage function and
+persists the result.  Independent stages at the same DAG depth execute
+through :func:`~repro.bench.parallel.parallel_map`, and every decision
+is recorded in :class:`ExecutorStats` — the observable contract the
+incremental-recomputation tests assert on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.bench.parallel import parallel_map
+from repro.pipeline.artifact import Artifact, Provenance
+from repro.pipeline.stage import Pipeline, Stage
+from repro.pipeline.store import ArtifactStore
+
+__all__ = ["ExecutorStats", "PipelineExecutor", "PipelineRun", "StageExecution"]
+
+#: Cap on per-stage failure entries copied into a manifest.
+_MAX_MANIFEST_FAILURES = 100
+
+
+@dataclass(frozen=True)
+class StageExecution:
+    """One stage's outcome in a run."""
+
+    stage: str
+    fingerprint: str
+    cache_hit: bool
+    runtime_s: float
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """Per-stage cache hit/miss and runtime account of one run."""
+
+    executions: Tuple[StageExecution, ...] = ()
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for e in self.executions if not e.cache_hit)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for e in self.executions if e.cache_hit)
+
+    @property
+    def all_cached(self) -> bool:
+        return bool(self.executions) and self.n_executed == 0
+
+    @property
+    def executed_stages(self) -> Tuple[str, ...]:
+        return tuple(e.stage for e in self.executions if not e.cache_hit)
+
+    @property
+    def cached_stages(self) -> Tuple[str, ...]:
+        return tuple(e.stage for e in self.executions if e.cache_hit)
+
+    def for_stage(self, name: str) -> StageExecution:
+        for execution in self.executions:
+            if execution.stage == name:
+                return execution
+        raise KeyError(f"no execution recorded for stage {name!r}")
+
+    def render(self) -> str:
+        lines = [
+            f"{'stage':10s} {'result':8s} {'runtime':>10s}  fingerprint"
+        ]
+        for e in self.executions:
+            lines.append(
+                f"{e.stage:10s} {'cached' if e.cache_hit else 'ran':8s} "
+                f"{e.runtime_s * 1e3:8.1f}ms  {e.fingerprint[:12]}"
+            )
+        lines.append(
+            f"{self.n_executed} executed, {self.n_cached} cached"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """Artifacts and stats of one executor invocation."""
+
+    artifacts: Dict[str, Artifact] = field(default_factory=dict)
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
+
+    def value(self, stage: str) -> Any:
+        return self.artifacts[stage].value
+
+
+def _collect_failures(value: Any) -> Tuple[str, ...]:
+    """Failure summaries a stage value carries (e.g. a sweep's NaN cells)."""
+    log = getattr(value, "failures", None)
+    if log is None:
+        return ()
+    try:
+        records = list(log)
+    except TypeError:
+        return ()
+    out = []
+    for record in records[:_MAX_MANIFEST_FAILURES]:
+        kind = getattr(record, "kind", type(record).__name__)
+        message = getattr(record, "message", str(record))
+        fatal = getattr(record, "fatal", True)
+        out.append(f"{kind}: {message} ({'fatal' if fatal else 'retried'})")
+    if len(records) > _MAX_MANIFEST_FAILURES:
+        out.append(f"... {len(records) - _MAX_MANIFEST_FAILURES} more")
+    return tuple(out)
+
+
+def _run_stage_job(job) -> Tuple[Any, float]:
+    """Execute one stage; module-level so process pools can pickle it."""
+    fn, inputs, params, options = job
+    start = time.perf_counter()
+    value = fn(inputs, params, options)
+    return value, time.perf_counter() - start
+
+
+class PipelineExecutor:
+    """Runs a :class:`Pipeline` against an :class:`ArtifactStore`.
+
+    ``max_workers`` bounds both stage-level parallelism (independent
+    stages at one DAG depth) and is forwarded to stages via
+    ``options["max_workers"]`` for their internal fan-out (e.g. the
+    benchmark sweep).  Worker counts never enter fingerprints: results
+    are bit-identical regardless of parallelism.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        max_workers: int = 1,
+        options: Optional[Mapping[str, Any]] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._store = store
+        self._max_workers = max_workers
+        self._options: Dict[str, Any] = {"max_workers": max_workers}
+        self._options.update(options or {})
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self._store
+
+    def run(
+        self,
+        pipeline: Pipeline,
+        params: Mapping[str, Any],
+        *,
+        force: bool = False,
+    ) -> PipelineRun:
+        """Execute the DAG; ``force`` re-runs every stage ignoring the cache."""
+        unknown = set(params) - {s.name for s in pipeline.stages}
+        if unknown:
+            raise ValueError(f"params for unknown stages: {sorted(unknown)}")
+        fingerprints = pipeline.fingerprints(params)
+        artifacts: Dict[str, Artifact] = {}
+        executions: List[StageExecution] = []
+
+        for level in pipeline.levels():
+            hits: List[Stage] = []
+            misses: List[Stage] = []
+            for stage in level:
+                if not force and fingerprints[stage.name] in self._store:
+                    hits.append(stage)
+                else:
+                    misses.append(stage)
+
+            for stage in hits:
+                start = time.perf_counter()
+                artifact = self._store.get(fingerprints[stage.name])
+                artifacts[stage.name] = artifact
+                executions.append(
+                    StageExecution(
+                        stage=stage.name,
+                        fingerprint=fingerprints[stage.name],
+                        cache_hit=True,
+                        runtime_s=time.perf_counter() - start,
+                    )
+                )
+
+            if not misses:
+                continue
+            jobs = [
+                (
+                    stage.fn,
+                    {p: artifacts[p].value for p in stage.inputs},
+                    params.get(stage.name),
+                    dict(self._options),
+                )
+                for stage in misses
+            ]
+            results = parallel_map(
+                _run_stage_job,
+                jobs,
+                max_workers=min(self._max_workers, len(jobs)),
+                min_parallel_items=2,
+            )
+            for stage, (value, runtime_s) in zip(misses, results):
+                provenance = Provenance(
+                    stage=stage.name,
+                    fingerprint=fingerprints[stage.name],
+                    code_version=stage.version,
+                    params=params.get(stage.name),
+                    parents={
+                        p: fingerprints[p] for p in stage.inputs
+                    },
+                    codec=stage.codec,
+                    created_at=time.time(),
+                    runtime_s=runtime_s,
+                    failures=_collect_failures(value),
+                )
+                artifacts[stage.name] = self._store.put(value, provenance)
+                executions.append(
+                    StageExecution(
+                        stage=stage.name,
+                        fingerprint=fingerprints[stage.name],
+                        cache_hit=False,
+                        runtime_s=runtime_s,
+                    )
+                )
+
+        order = {s.name: i for i, s in enumerate(pipeline.topo_order())}
+        executions.sort(key=lambda e: order[e.stage])
+        return PipelineRun(
+            artifacts=artifacts, stats=ExecutorStats(tuple(executions))
+        )

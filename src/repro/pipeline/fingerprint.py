@@ -1,0 +1,48 @@
+"""Content addressing for pipeline artifacts.
+
+An artifact's fingerprint is a SHA-256 over everything that determines
+its value: the stage name, the stage's declared code version, the stage
+parameters (canonical tagged-JSON), and the fingerprints of every parent
+artifact, in declared input order.  Two runs — in the same process or
+different ones — that agree on all four produce the same fingerprint, so
+the executor can reuse the stored payload instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping, Sequence
+
+from repro.pipeline.serialize import dumps
+
+__all__ = ["fingerprint_stage", "params_digest"]
+
+
+def params_digest(params: Any) -> str:
+    """Canonical digest of a parameter object (dict or dataclass)."""
+    return hashlib.sha256(
+        dumps(params, canonical=True).encode("utf-8")
+    ).hexdigest()
+
+
+def fingerprint_stage(
+    name: str,
+    code_version: str,
+    params: Any,
+    parents: Mapping[str, str] | Sequence[str] = (),
+) -> str:
+    """The content address of one stage's output artifact.
+
+    ``parents`` maps input names to parent fingerprints (or is an ordered
+    sequence of fingerprints); order is significant and must match the
+    stage's declared input order.
+    """
+    if isinstance(parents, Mapping):
+        parent_fps = [f"{k}={v}" for k, v in parents.items()]
+    else:
+        parent_fps = list(parents)
+    h = hashlib.sha256()
+    for part in (name, code_version, params_digest(params), *parent_fps):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()

@@ -1,0 +1,143 @@
+"""Tagged-JSON serialization for pipeline payloads and parameters.
+
+Artifacts and stage parameters must survive a disk round trip *exactly*
+(the differential tests compare pipeline output bit-for-bit against the
+direct path) and must hash identically across processes (fingerprints).
+JSON alone cannot express tuples, NumPy arrays, dataclasses, or dicts
+with non-string keys, so every container is encoded as a tagged object:
+
+* ``{"__tuple__": [...]}`` — tuples (distinct from lists);
+* ``{"__ndarray__": {"dtype": ..., "shape": ..., "data": ...}}`` — NumPy
+  arrays (``tolist`` round-trips float64 exactly via shortest-repr);
+* ``{"__npscalar__": {...}}`` — NumPy scalar types;
+* ``{"__dict__": [[k, v], ...]}`` — dicts, preserving key types/order;
+* ``{"__dataclass__": "module:QualName", "fields": {...}}`` — any
+  dataclass importable at decode time (decode verifies the target really
+  is a dataclass before instantiating it).
+
+The encoding is pure data — no pickle, no executable payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["from_jsonable", "to_jsonable", "dumps", "loads"]
+
+_SCALARS = (bool, int, float, str, type(None))
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Encode ``obj`` into the tagged-JSON representation."""
+    if isinstance(obj, enum.Enum):
+        cls = type(obj)
+        return {
+            "__enum__": f"{cls.__module__}:{cls.__qualname__}",
+            "name": obj.name,
+        }
+    if isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, np.generic):
+        return {
+            "__npscalar__": {"dtype": str(obj.dtype), "value": obj.item()}
+        }
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": {
+                "dtype": str(obj.dtype),
+                "shape": list(obj.shape),
+                "data": obj.tolist(),
+            }
+        }
+    if isinstance(obj, tuple):
+        return {"__tuple__": [to_jsonable(x) for x in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()]
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {
+            "__dataclass__": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": fields,
+        }
+    raise TypeError(
+        f"cannot serialize {type(obj).__name__} value {obj!r}; "
+        "supported: scalars, tuples, lists, dicts, ndarrays, dataclasses"
+    )
+
+
+def _resolve_dataclass(spec: str):
+    module_name, _, qualname = spec.partition(":")
+    module = importlib.import_module(module_name)
+    cls = module
+    for part in qualname.split("."):
+        cls = getattr(cls, part)
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{spec} is not a dataclass")
+    return cls
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Decode the tagged-JSON representation back into Python objects."""
+    if isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, list):
+        return [from_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        if "__enum__" in obj:
+            module_name, _, qualname = obj["__enum__"].partition(":")
+            cls = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                cls = getattr(cls, part)
+            if not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
+                raise TypeError(f"{obj['__enum__']} is not an Enum")
+            return cls[obj["name"]]
+        if "__npscalar__" in obj:
+            body = obj["__npscalar__"]
+            return np.dtype(body["dtype"]).type(body["value"])
+        if "__ndarray__" in obj:
+            body = obj["__ndarray__"]
+            return np.asarray(body["data"], dtype=body["dtype"]).reshape(
+                body["shape"]
+            )
+        if "__tuple__" in obj:
+            return tuple(from_jsonable(x) for x in obj["__tuple__"])
+        if "__dict__" in obj:
+            return {
+                from_jsonable(k): from_jsonable(v) for k, v in obj["__dict__"]
+            }
+        if "__dataclass__" in obj:
+            cls = _resolve_dataclass(obj["__dataclass__"])
+            fields = {
+                name: from_jsonable(value)
+                for name, value in obj["fields"].items()
+            }
+            return cls(**fields)
+    raise TypeError(f"malformed tagged-JSON node: {obj!r}")
+
+
+def dumps(obj: Any, *, canonical: bool = False) -> str:
+    """Serialize to a JSON string; ``canonical`` sorts keys (fingerprints)."""
+    return json.dumps(
+        to_jsonable(obj),
+        sort_keys=canonical,
+        separators=(",", ":") if canonical else None,
+        indent=None if canonical else 2,
+    )
+
+
+def loads(text: str) -> Any:
+    return from_jsonable(json.loads(text))

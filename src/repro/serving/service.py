@@ -52,6 +52,11 @@ class SelectionService:
     ``breaker_probe_interval``-th miss, which probes it (half-open); one
     probe success closes the breaker.  With neither a fallback nor a
     last-known-good config available, the policy's exception propagates.
+
+    ``provenance`` ties the served policy back to the pipeline artifact
+    it was loaded from (a :class:`~repro.pipeline.artifact.Provenance`);
+    :meth:`from_artifact` sets it automatically and :meth:`stats`
+    reports the artifact id and lineage.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class SelectionService:
         fallback: Optional[KernelConfig] = None,
         breaker_threshold: int = 5,
         breaker_probe_interval: int = 8,
+        provenance=None,
     ):
         if not hasattr(policy, "select"):
             raise TypeError(
@@ -84,6 +90,7 @@ class SelectionService:
                 f"got {breaker_probe_interval}"
             )
         self._policy = policy
+        self._provenance = provenance
         self._capacity = capacity
         self._fallback = fallback
         self._breaker_threshold = breaker_threshold
@@ -106,9 +113,32 @@ class SelectionService:
         self._open_misses = 0
         self._last_good: Optional[KernelConfig] = None
 
+    @classmethod
+    def from_artifact(cls, store, artifact_id: str, **kwargs) -> "SelectionService":
+        """Serve a deployed selector loaded from a pipeline artifact.
+
+        ``store`` is a :class:`~repro.pipeline.store.ArtifactStore`;
+        ``artifact_id`` a fingerprint, unambiguous prefix, or
+        ``stage:prefix`` display id.  The artifact's provenance is
+        attached so :meth:`stats` can report where the policy came from.
+        """
+        artifact = store.resolve(artifact_id)
+        if artifact is None:
+            raise KeyError(f"no artifact {artifact_id!r} in {store!r}")
+        if not hasattr(artifact.value, "select"):
+            raise TypeError(
+                f"artifact {artifact.artifact_id} holds "
+                f"{type(artifact.value).__name__}, not a selection policy"
+            )
+        return cls(artifact.value, provenance=artifact.provenance, **kwargs)
+
     @property
     def policy(self):
         return self._policy
+
+    @property
+    def provenance(self):
+        return self._provenance
 
     @property
     def capacity(self) -> int:
@@ -227,6 +257,16 @@ class SelectionService:
                 fallback_serves=self._fallback_serves,
                 breaker_trips=self._breaker_trips,
                 breaker_open=self._breaker_open,
+                artifact_id=(
+                    None
+                    if self._provenance is None
+                    else self._provenance.artifact_id
+                ),
+                provenance=(
+                    None
+                    if self._provenance is None
+                    else self._provenance.summary()
+                ),
             )
 
     def clear(self) -> None:

@@ -8,7 +8,7 @@ paid in full, and how long the decision path takes when it is paid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -68,6 +68,11 @@ class ServiceStats:
     fallback_serves: int = 0
     breaker_trips: int = 0
     breaker_open: bool = False
+    #: Content address of the pipeline artifact the served policy came
+    #: from (``stage:fingerprint[:12]``), when it has one.
+    artifact_id: Optional[str] = None
+    #: Provenance summary of that artifact (stage, parents, timings).
+    provenance: Optional[Dict[str, Any]] = None
 
     @property
     def cache_misses(self) -> int:
@@ -101,4 +106,12 @@ class ServiceStats:
             f"p50 {lat.p50 * 1e6:.1f}us, p95 {lat.p95 * 1e6:.1f}us "
             f"over {lat.count} calls",
         ]
+        if self.artifact_id is not None:
+            lines.append(f"policy artifact  {self.artifact_id}")
+            if self.provenance is not None:
+                parents = self.provenance.get("parents", {})
+                lineage = ", ".join(
+                    f"{name}:{fp[:12]}" for name, fp in parents.items()
+                )
+                lines.append(f"provenance       {lineage or '(root)'}")
         return "\n".join(lines)

@@ -1,12 +1,26 @@
 """Deterministic parallel map."""
 
 import math
+import time
 
-from repro.bench.parallel import parallel_map
+from repro.bench.parallel import _MIN_PARALLEL_ITEMS, parallel_map
 
 
 def square(x: int) -> int:
     return x * x
+
+
+def slow_when_small(x: int) -> int:
+    # Early items sleep longest, so completion order inverts input
+    # order unless results are reassembled by position.
+    time.sleep(0.002 * (40 - x) if x < 40 else 0.0)
+    return x * x
+
+
+def record_pid(x: int):
+    import os
+
+    return os.getpid()
 
 
 class TestParallelMap:
@@ -14,8 +28,41 @@ class TestParallelMap:
         items = list(range(100))
         assert parallel_map(square, items, max_workers=4) == [i * i for i in items]
 
+    def test_preserves_order_under_skewed_runtimes(self):
+        items = list(range(40))
+        out = parallel_map(slow_when_small, items, max_workers=4, chunksize=1)
+        assert out == [i * i for i in items]
+
     def test_serial_path_small_inputs(self):
         assert parallel_map(square, [1, 2, 3], max_workers=8) == [1, 4, 9]
+
+    def test_serial_fallback_below_threshold(self):
+        # One item short of the threshold must not spawn workers.
+        items = list(range(_MIN_PARALLEL_ITEMS - 1))
+        pids = parallel_map(record_pid, items, max_workers=4)
+        import os
+
+        assert set(pids) == {os.getpid()}
+
+    def test_min_parallel_items_override_lowers_threshold(self):
+        import os
+
+        pids = parallel_map(
+            record_pid, [1, 2], max_workers=2, min_parallel_items=2
+        )
+        assert os.getpid() not in pids
+
+    def test_min_parallel_items_override_raises_threshold(self):
+        import os
+
+        items = list(range(_MIN_PARALLEL_ITEMS * 2))
+        pids = parallel_map(
+            record_pid,
+            items,
+            max_workers=4,
+            min_parallel_items=len(items) + 1,
+        )
+        assert set(pids) == {os.getpid()}
 
     def test_single_worker(self):
         items = list(range(50))

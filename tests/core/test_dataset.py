@@ -1,9 +1,12 @@
 """PerformanceDataset."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.core.dataset import PerformanceDataset
+from repro.bench.runner import RunnerConfig
+from repro.core.dataset import PerformanceDataset, generate_dataset
 
 
 class TestViews:
@@ -77,6 +80,50 @@ class TestPersistence:
         assert loaded.shapes == small_dataset.shapes
         assert loaded.configs == small_dataset.configs
         np.testing.assert_allclose(loaded.gflops, small_dataset.gflops)
+
+
+class TestGenerateDatasetCache:
+    NETWORKS = ("mobilenet_v2",)
+    FAST = RunnerConfig(warmup_iterations=1, timed_iterations=2, seed=5)
+
+    def test_stale_cache_warned_and_regenerated(self, tmp_path):
+        cache = tmp_path / "cache.npz"
+        generate_dataset(
+            networks=self.NETWORKS, runner_config=self.FAST, cache_path=cache
+        )
+        reconfigured = RunnerConfig(
+            warmup_iterations=1, timed_iterations=2, seed=6
+        )
+        with pytest.warns(UserWarning, match="stale dataset cache"):
+            regenerated = generate_dataset(
+                networks=self.NETWORKS,
+                runner_config=reconfigured,
+                cache_path=cache,
+            )
+        # The cache now holds the new sweep: a matching reload is silent
+        # and identical.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reloaded = generate_dataset(
+                networks=self.NETWORKS,
+                runner_config=reconfigured,
+                cache_path=cache,
+            )
+        np.testing.assert_array_equal(reloaded.gflops, regenerated.gflops)
+
+    def test_matching_cache_reused_silently(self, tmp_path):
+        cache = tmp_path / "cache.npz"
+        first = generate_dataset(
+            networks=self.NETWORKS, runner_config=self.FAST, cache_path=cache
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = generate_dataset(
+                networks=self.NETWORKS,
+                runner_config=self.FAST,
+                cache_path=cache,
+            )
+        np.testing.assert_array_equal(first.gflops, second.gflops)
 
 
 class TestValidation:

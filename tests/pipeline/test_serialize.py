@@ -1,0 +1,124 @@
+"""Tagged-JSON serialization round trips."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import RunnerConfig
+from repro.pipeline.serialize import dumps, from_jsonable, loads, to_jsonable
+from repro.sycl.device import Device, DeviceType
+from repro.workloads.gemm import GemmShape
+
+
+def roundtrip(obj):
+    return loads(dumps(obj))
+
+
+class TestScalars:
+    def test_plain_scalars(self):
+        for obj in (None, True, False, 0, -3, 1.5, "text", ""):
+            assert roundtrip(obj) == obj
+
+    def test_bool_not_collapsed_to_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+    def test_numpy_scalar_keeps_dtype(self):
+        out = roundtrip(np.float32(1.25))
+        assert out == np.float32(1.25)
+        assert out.dtype == np.float32
+
+
+class TestContainers:
+    def test_tuple_distinct_from_list(self):
+        out = roundtrip({"a": (1, 2), "b": [1, 2]})
+        assert out["a"] == (1, 2) and isinstance(out["a"], tuple)
+        assert out["b"] == [1, 2] and isinstance(out["b"], list)
+
+    def test_nested_tuples(self):
+        obj = ((1, (2, 3)), ("x",), ())
+        assert roundtrip(obj) == obj
+
+    def test_dict_non_string_keys(self):
+        obj = {(1, 2): "tuple-key", 3: "int-key", "s": "str-key"}
+        out = roundtrip(obj)
+        assert out == obj
+        assert (1, 2) in out and 3 in out
+
+    def test_dict_order_preserved(self):
+        obj = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(obj)) == ["z", "a", "m"]
+
+
+class TestNdarrays:
+    @pytest.mark.parametrize("dtype", ["float64", "int64", "bool", "float32"])
+    def test_dtype_preserved(self, dtype, rng):
+        arr = (rng.random((3, 4)) * 10).astype(dtype)
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype
+        np.testing.assert_array_equal(out, arr)
+
+    def test_float64_exact_roundtrip(self, rng):
+        # Shortest-repr tolist must reproduce every bit of a float64.
+        arr = rng.random(100) * np.pi
+        np.testing.assert_array_equal(roundtrip(arr), arr)
+
+    def test_nan_and_inf_like_values(self):
+        arr = np.array([1.0, np.nan, -0.0])
+        out = roundtrip(arr)
+        assert np.isnan(out[1])
+        np.testing.assert_array_equal(np.signbit(out), np.signbit(arr))
+
+    def test_shape_preserved(self):
+        arr = np.zeros((2, 3, 4))
+        assert roundtrip(arr).shape == (2, 3, 4)
+
+
+class TestDataclassesAndEnums:
+    def test_dataclass_roundtrip(self):
+        cfg = RunnerConfig(seed=9, timed_iterations=7)
+        assert roundtrip(cfg) == cfg
+
+    def test_nested_dataclass_with_enum(self):
+        spec = Device.r9_nano().spec
+        out = roundtrip(spec)
+        assert out == spec
+        assert out.device_type is DeviceType.GPU
+
+    def test_enum_member_identity(self):
+        assert roundtrip(DeviceType.CPU) is DeviceType.CPU
+
+    def test_frozen_shape_dataclass(self):
+        shape = GemmShape(m=8, k=16, n=32, batch=2)
+        assert roundtrip(shape) == shape
+
+    def test_decode_rejects_non_dataclass_target(self):
+        node = {"__dataclass__": "os:getcwd", "fields": {}}
+        with pytest.raises(TypeError, match="not a dataclass"):
+            from_jsonable(node)
+
+    def test_decode_rejects_non_enum_target(self):
+        node = {"__enum__": "pathlib:Path", "name": "CPU"}
+        with pytest.raises(TypeError, match="not an Enum"):
+            from_jsonable(node)
+
+
+class TestErrors:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            to_jsonable(object())
+
+    def test_malformed_node_raises(self):
+        with pytest.raises(TypeError, match="malformed"):
+            from_jsonable({"plain": "dict without tag"})
+
+
+class TestCanonicalForm:
+    def test_canonical_is_deterministic(self):
+        a = dumps({"x": 1, "y": (2, 3)}, canonical=True)
+        b = dumps({"x": 1, "y": (2, 3)}, canonical=True)
+        assert a == b
+
+    def test_canonical_has_no_whitespace(self):
+        assert " " not in dumps({"a": [1, 2]}, canonical=True)

@@ -1,0 +1,149 @@
+"""The content-addressed artifact store."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.artifact import Provenance
+from repro.pipeline.store import ArtifactStore
+
+
+def prov(stage="s", fp="a" * 64, created_at=1.0, codec="json", **kwargs):
+    return Provenance(
+        stage=stage,
+        fingerprint=fp,
+        code_version="1",
+        params=kwargs.pop("params", None),
+        parents=kwargs.pop("parents", {}),
+        codec=codec,
+        created_at=created_at,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestPutGet:
+    def test_roundtrip_json_payload(self, store):
+        value = {"scores": np.arange(6.0).reshape(2, 3), "tag": (1, "x")}
+        store.put(value, prov())
+        loaded = store.get("a" * 64)
+        np.testing.assert_array_equal(loaded.value["scores"], value["scores"])
+        assert loaded.value["tag"] == (1, "x")
+        assert loaded.provenance.stage == "s"
+
+    def test_get_absent_returns_none(self, store):
+        assert store.get("f" * 64) is None
+        assert ("f" * 64) not in store
+
+    def test_contains(self, store):
+        store.put(1, prov())
+        assert ("a" * 64) in store
+
+    def test_manifest_fields_survive(self, store):
+        p = prov(
+            params={"budget": 8},
+            parents={"up": "b" * 64},
+            runtime_s=0.5,
+            failures=("oops: cell NaN (fatal)",),
+        )
+        store.put({"v": 1}, p)
+        m = store.manifest("a" * 64)
+        assert m.params == {"budget": 8}
+        assert m.parents == {"up": "b" * 64}
+        assert m.runtime_s == 0.5
+        assert m.failures == ("oops: cell NaN (fatal)",)
+        assert m.artifact_id == "s:" + "a" * 12
+
+    def test_manifest_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.manifest("0" * 64)
+
+    def test_same_fingerprint_put_twice_keeps_one(self, store):
+        store.put({"v": 1}, prov())
+        store.put({"v": 1}, prov())
+        assert list(store.fingerprints()) == ["a" * 64]
+
+    def test_no_tmp_dirs_left_behind(self, store):
+        store.put({"v": 1}, prov())
+        leftovers = [
+            p for p in (store.root / "objects").iterdir()
+            if p.name.startswith("tmp-")
+        ]
+        assert leftovers == []
+
+    def test_failed_put_leaves_no_artifact(self, store):
+        class Unserializable:
+            pass
+
+        with pytest.raises(TypeError):
+            store.put(Unserializable(), prov())
+        assert list(store.fingerprints()) == []
+        assert list((store.root / "objects").iterdir()) == []
+
+
+class TestResolve:
+    def test_by_full_fingerprint_and_prefix(self, store):
+        store.put({"v": 1}, prov())
+        assert store.resolve("a" * 64).value == {"v": 1}
+        assert store.resolve("aaaa").value == {"v": 1}
+
+    def test_by_artifact_id(self, store):
+        store.put({"v": 1}, prov())
+        assert store.resolve("s:" + "a" * 12).value == {"v": 1}
+
+    def test_ambiguous_prefix_raises(self, store):
+        store.put(1, prov(fp="ab" + "0" * 62))
+        store.put(2, prov(fp="ab" + "1" * 62))
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.resolve("ab")
+
+    def test_unknown_returns_none(self, store):
+        assert store.resolve("dead") is None
+
+
+class TestEnumeration:
+    def test_ls_newest_first(self, store):
+        store.put(1, prov(stage="old", fp="1" * 64, created_at=10.0))
+        store.put(2, prov(stage="new", fp="2" * 64, created_at=20.0))
+        assert [p.stage for p in store.ls()] == ["new", "old"]
+
+    def test_latest_by_stage(self, store):
+        store.put(1, prov(stage="train", fp="1" * 64, created_at=10.0))
+        store.put(2, prov(stage="train", fp="2" * 64, created_at=20.0))
+        store.put(3, prov(stage="eval", fp="3" * 64, created_at=30.0))
+        assert store.latest("train").fingerprint == "2" * 64
+        assert store.latest("nothing") is None
+
+    def test_size_bytes_positive(self, store):
+        store.put({"v": list(range(100))}, prov())
+        assert store.size_bytes("a" * 64) > 0
+
+
+class TestGc:
+    def test_removes_everything_not_kept(self, store):
+        store.put(1, prov(fp="1" * 64))
+        store.put(2, prov(fp="2" * 64))
+        store.put(3, prov(fp="3" * 64))
+        removed = store.gc({"2" * 64})
+        assert sorted(removed) == ["1" * 64, "3" * 64]
+        assert list(store.fingerprints()) == ["2" * 64]
+
+    def test_empty_keep_clears_store(self, store):
+        store.put(1, prov())
+        store.gc(set())
+        assert list(store.fingerprints()) == []
+
+    def test_sweeps_stale_tmp_dirs(self, store):
+        stale = store.root / "objects" / "tmp-stale"
+        stale.mkdir()
+        store.gc(set(), max_tmp_age_s=0.0)
+        assert not stale.exists()
+
+    def test_keeps_fresh_tmp_dirs(self, store):
+        fresh = store.root / "objects" / "tmp-fresh"
+        fresh.mkdir()
+        store.gc(set(), max_tmp_age_s=3600.0)
+        assert fresh.exists()
