@@ -8,6 +8,8 @@ Subcommands
 * ``tune``        — run the full pipeline and export the selector source.
 * ``pipeline``    — staged pipeline: ``run`` / ``status`` / ``gc`` against
   a content-addressed artifact store.
+* ``fleet``       — multi-device fleet: ``build`` / ``route`` / ``stats``
+  / ``devices`` over per-device selector artifacts and a routing layer.
 * ``serve-stats`` — replay a serving workload, print service counters.
 * ``devices``     — list the simulated device presets.
 """
@@ -282,6 +284,138 @@ def _cmd_serve_stats(args) -> int:
     return 0
 
 
+def _build_fleet_config(args):
+    from repro.bench.runner import RunnerConfig
+    from repro.fleet import FleetPipelineConfig
+
+    kwargs = {
+        "runner": RunnerConfig(seed=args.seed),
+        "split_seed": args.split_seed,
+        "test_size": args.test_size,
+        "pruner": args.pruner,
+        "budget": args.budget,
+        "classifier": args.classifier,
+        "random_state": args.seed,
+    }
+    if args.device_ids:
+        kwargs["device_ids"] = tuple(args.device_ids)
+    if args.networks:
+        kwargs["networks"] = tuple(args.networks)
+    return FleetPipelineConfig(**kwargs)
+
+
+def _cmd_fleet(args) -> int:
+    if args.action == "devices":
+        from repro.fleet import available_profiles, get_profile
+
+        for device_id in available_profiles():
+            profile = get_profile(device_id)
+            spec = profile.spec
+            print(
+                f"{device_id:16s} {spec.compute_units:3d} CU  "
+                f"{spec.peak_gflops:8.0f} GF  "
+                f"{spec.dram_bandwidth_gbps:6.1f} GB/s  "
+                f"{spec.kernel_launch_overhead_us:5.1f} us launch"
+                f"{'  -- ' + profile.description if profile.description else ''}"
+            )
+        return 0
+
+    from repro.fleet import (
+        FLEET_STAGES,
+        fleet_fingerprints,
+        run_fleet_pipeline,
+        stage_name,
+    )
+    from repro.pipeline import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    config = _build_fleet_config(args)
+    device_ids = [p.device_id for p in config.profiles()]
+
+    if args.action == "build":
+        run = run_fleet_pipeline(
+            store, config, max_workers=args.workers, force=args.force
+        )
+        print(run.stats.render())
+        print()
+        for device_id in device_ids:
+            artifact = run.artifact("train", device_id)
+            print(f"{stage_name('train', device_id):24s} -> {artifact.artifact_id}")
+        if args.assert_all_cached and not run.stats.all_cached:
+            print(
+                "ERROR: expected a fully cached fleet build but these stages "
+                f"executed: {', '.join(run.stats.executed_stages)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.action == "stats":
+        fingerprints = fleet_fingerprints(config)
+        missing = 0
+        for device_id in device_ids:
+            print(f"{device_id}:")
+            for stage in FLEET_STAGES:
+                name = stage_name(stage, device_id)
+                fingerprint = fingerprints[name]
+                cached = fingerprint in store
+                missing += not cached
+                status = "cached " if cached else "MISSING"
+                print(f"  {stage:8s} {status} {fingerprint[:12]}")
+        if missing:
+            print(
+                f"\n{missing} stage artifacts missing; "
+                "run `repro fleet build` to materialise them"
+            )
+        return 0
+
+    if args.action == "route":
+        import numpy as np
+
+        from repro.fleet import router_from_store
+
+        try:
+            router = router_from_store(
+                store, config, default_policy=args.policy
+            )
+        except KeyError as exc:
+            print(f"ERROR: {exc.args[0]}", file=sys.stderr)
+            return 1
+        # Mixed fleet traffic: shapes drawn (skewed) from each device's
+        # shipped library's training networks; half the requests target a
+        # specific device, half are device-agnostic.
+        from repro.workloads.extract import extract_network_shapes
+
+        shapes = []
+        for network in config.networks:
+            shapes.extend(extract_network_shapes(network).shapes)
+        rng = np.random.default_rng(args.seed)
+        weights = 1.0 / np.arange(1, len(shapes) + 1)
+        weights /= weights.sum()
+        picks = rng.choice(len(shapes), size=args.requests, p=weights)
+        targets = rng.choice([None, *device_ids], size=args.requests)
+        for start in range(0, args.requests, args.batch_size):
+            chunk = slice(start, start + args.batch_size)
+            agnostic = []
+            for i, target in zip(picks[chunk], targets[chunk]):
+                if target is None:
+                    agnostic.append(shapes[i])
+                else:
+                    router.select(shapes[i], device_id=target)
+            if agnostic:
+                router.select_batch(agnostic)
+            for device_id in device_ids:
+                router.complete(device_id, n=args.batch_size)
+        print(
+            f"routed {args.requests} requests "
+            f"(batches of {args.batch_size}, policy {args.policy})"
+        )
+        print(router.stats().render())
+        return 0
+
+    raise ValueError(f"unknown fleet action {args.action!r}")
+
+
 def _cmd_devices(args) -> int:
     from repro.sycl.device import Device
 
@@ -379,6 +513,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="gc: delete every artifact"
     )
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-device fleet: per-device selector artifacts + routing",
+    )
+    p.add_argument("action", choices=("build", "route", "stats", "devices"))
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=Path(".repro-store"),
+        help="artifact store root directory (shared with `repro pipeline`)",
+    )
+    p.add_argument(
+        "--device-ids",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="fleet device profiles (default: the builtin four; "
+        "see `repro fleet devices`)",
+    )
+    p.add_argument(
+        "--networks",
+        nargs="*",
+        default=None,
+        metavar="NET",
+        help="restrict the sweep to these networks (default: all three)",
+    )
+    p.add_argument("--split-seed", type=int, default=0)
+    p.add_argument("--test-size", type=float, default=0.2)
+    p.add_argument("--pruner", default="decision tree")
+    p.add_argument("--budget", type=int, default=8)
+    p.add_argument("--classifier", default="DecisionTree")
+    p.add_argument("--seed", type=int, default=0, help="random_state")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--force", action="store_true", help="re-run all stages (build)"
+    )
+    p.add_argument(
+        "--assert-all-cached",
+        action="store_true",
+        help="exit 1 unless every stage was a cache hit (build; CI guard)",
+    )
+    p.add_argument(
+        "--policy",
+        default="round-robin",
+        choices=("round-robin", "least-outstanding", "perf-aware"),
+        help="default routing policy for device-agnostic requests (route)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=10000, help="route: total queries"
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=256, help="route: queries per batch"
+    )
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "serve-stats",

@@ -1,0 +1,64 @@
+"""Heterogeneous multi-device selection fleet.
+
+The source paper trains one selector for one device; its follow-up
+("Performance portability through machine learning guided kernel
+selection in SYCL libraries") shows the pipeline must re-run per device
+to stay near-optimal.  This package automates that at fleet scale:
+
+* :mod:`~repro.fleet.profile` — the :class:`DeviceProfile` registry
+  binding fleet-wide device ids to a simulated
+  :class:`~repro.sycl.device.DeviceSpec` plus
+  :class:`~repro.perfmodel.params.PerfModelParams` calibration (R9 Nano
+  baseline + synthetic variants spanning compute, bandwidth and launch
+  overhead);
+* :mod:`~repro.fleet.pipeline` — the fleet DAG fanning the
+  sweep -> dataset -> split -> prune -> train -> eval chain out per
+  profile, each branch rooted at a content-addressed ``profile``
+  artifact so adding or editing one device re-runs only that branch;
+* :mod:`~repro.fleet.serve` — :func:`router_from_store`, assembling a
+  :class:`~repro.serving.router.FleetRouter` that serves every device's
+  selector artifact with cross-device fallback and perf-aware dispatch.
+
+``repro fleet build|route|stats|devices`` exposes the same flow on the
+command line.
+"""
+
+from repro.fleet.pipeline import (
+    FLEET_STAGES,
+    FleetPipelineConfig,
+    FleetRun,
+    fleet_fingerprints,
+    fleet_params,
+    fleet_pipeline,
+    parse_stage_name,
+    run_fleet_pipeline,
+    stage_name,
+)
+from repro.fleet.profile import (
+    DEFAULT_FLEET,
+    DeviceProfile,
+    available_profiles,
+    fleet_profiles,
+    get_profile,
+    register_profile,
+)
+from repro.fleet.serve import router_from_store
+
+__all__ = [
+    "DEFAULT_FLEET",
+    "DeviceProfile",
+    "FLEET_STAGES",
+    "FleetPipelineConfig",
+    "FleetRun",
+    "available_profiles",
+    "fleet_fingerprints",
+    "fleet_params",
+    "fleet_pipeline",
+    "fleet_profiles",
+    "get_profile",
+    "parse_stage_name",
+    "register_profile",
+    "router_from_store",
+    "run_fleet_pipeline",
+    "stage_name",
+]

@@ -1,0 +1,193 @@
+"""Device profiles: the fleet-wide identity of one selection target.
+
+A :class:`DeviceProfile` binds a fleet device id to everything the
+per-device pipeline needs to produce a selector for that device: the
+simulated :class:`~repro.sycl.device.DeviceSpec` and the
+:class:`~repro.perfmodel.params.PerfModelParams` calibration the
+benchmark sweep runs under.  The profile is itself a pipeline artifact
+(codec ``profile``), so every downstream artifact of a device — sweep,
+dataset, pruned set, trained selector — fingerprints through it: change
+a device's spec or model constants and exactly that device's branch of
+the fleet DAG re-runs.
+
+The built-in registry seeds the paper's R9 Nano baseline plus synthetic
+profiles that vary the three axes the routing layer cares about —
+compute-unit count, DRAM bandwidth, and kernel launch overhead — so a
+heterogeneous fleet exists out of the box (Lawson's follow-up shows the
+selection pipeline must re-run per device to stay near-optimal; the
+fleet DAG automates exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perfmodel.model import GemmPerfModel
+from repro.perfmodel.params import PerfModelParams
+from repro.sycl.device import Device, DeviceSpec
+
+__all__ = [
+    "DEFAULT_FLEET",
+    "DeviceProfile",
+    "available_profiles",
+    "fleet_profiles",
+    "get_profile",
+    "register_profile",
+]
+
+#: Characters that would collide with fleet stage names (``stage@id``)
+#: or artifact display ids (``stage:prefix``).
+_FORBIDDEN_ID_CHARS = "@:/ \t\n"
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One fleet device: id, simulated hardware, and model calibration."""
+
+    device_id: str
+    spec: DeviceSpec
+    model_params: PerfModelParams = field(default_factory=PerfModelParams)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+        bad = [c for c in _FORBIDDEN_ID_CHARS if c in self.device_id]
+        if bad:
+            raise ValueError(
+                f"device_id {self.device_id!r} contains reserved "
+                f"character(s) {bad} (ids appear in stage names and "
+                "artifact display ids)"
+            )
+
+    def device(self) -> Device:
+        """A :class:`~repro.sycl.device.Device` handle for the profile."""
+        return Device(self.spec)
+
+    def perf_model(self, *, seed: int = 2020) -> GemmPerfModel:
+        """The analytical model the routing layer estimates with."""
+        return GemmPerfModel(self.spec, params=self.model_params, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceProfile({self.device_id!r}, "
+            f"{self.spec.compute_units} CUs, "
+            f"{self.spec.dram_bandwidth_gbps:.0f} GB/s, "
+            f"launch {self.spec.kernel_launch_overhead_us:.0f}us)"
+        )
+
+
+_REGISTRY: Dict[str, DeviceProfile] = {}
+
+
+def register_profile(
+    profile: DeviceProfile, *, replace: bool = False
+) -> DeviceProfile:
+    """Add a profile to the fleet registry.
+
+    Re-registering an id is refused unless ``replace=True`` — silently
+    shadowing a profile would change every fingerprint derived from it.
+    """
+    if not replace and profile.device_id in _REGISTRY:
+        raise ValueError(
+            f"device profile {profile.device_id!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _REGISTRY[profile.device_id] = profile
+    return profile
+
+
+def get_profile(device_id: str) -> DeviceProfile:
+    try:
+        return _REGISTRY[device_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown device profile {device_id!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_profiles() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def fleet_profiles(
+    device_ids: Optional[Tuple[str, ...]] = None,
+) -> Tuple[DeviceProfile, ...]:
+    """Resolve device ids (default: the built-in fleet) to profiles."""
+    ids = DEFAULT_FLEET if device_ids is None else tuple(device_ids)
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate device ids in fleet: {list(ids)}")
+    return tuple(get_profile(device_id) for device_id in ids)
+
+
+def _register_builtin_profiles() -> None:
+    nano = Device.from_preset("r9-nano").spec
+    register_profile(
+        DeviceProfile(
+            device_id="r9-nano",
+            spec=nano,
+            description="The paper's benchmark platform (baseline).",
+        )
+    )
+    # Synthetic variants span the axes that change which kernel wins:
+    # raw compute, memory bandwidth, and per-launch fixed cost.
+    register_profile(
+        DeviceProfile(
+            device_id="compute-heavy",
+            spec=nano.with_overrides(
+                name="Synthetic compute-heavy GPU (simulated)",
+                compute_units=96,
+                clock_ghz=1.3,
+                dram_bandwidth_gbps=384.0,
+            ),
+            description=(
+                "1.5x the CUs at a higher clock on 3/4 the bandwidth: "
+                "compute-rich, bandwidth-starved."
+            ),
+        )
+    )
+    register_profile(
+        DeviceProfile(
+            device_id="bandwidth-lean",
+            spec=nano.with_overrides(
+                name="Synthetic bandwidth-lean GPU (simulated)",
+                compute_units=32,
+                dram_bandwidth_gbps=128.0,
+                l2_bytes=1024 * 1024,
+                sustained_bandwidth_efficiency=0.70,
+            ),
+            model_params=PerfModelParams(alignment_penalty=0.20),
+            description=(
+                "Half the CUs on a quarter of the bandwidth; stronger "
+                "alignment quirks."
+            ),
+        )
+    )
+    register_profile(
+        DeviceProfile(
+            device_id="latency-bound",
+            spec=nano.with_overrides(
+                name="Synthetic latency-bound GPU (simulated)",
+                compute_units=48,
+                kernel_launch_overhead_us=45.0,
+            ),
+            model_params=PerfModelParams(host_overhead_s=8.0e-6),
+            description=(
+                "Near-baseline throughput behind a 45us launch cost: "
+                "small shapes pay dearly."
+            ),
+        )
+    )
+
+
+_register_builtin_profiles()
+
+#: The device ids a fleet is built from when none are named.
+DEFAULT_FLEET: Tuple[str, ...] = (
+    "r9-nano",
+    "compute-heavy",
+    "bandwidth-lean",
+    "latency-bound",
+)

@@ -1,0 +1,70 @@
+"""Wiring a built fleet into a serving :class:`FleetRouter`.
+
+The fleet pipeline leaves one trained-selector artifact per device in
+the store; :func:`router_from_store` resolves each device's ``train``
+fingerprint for a :class:`FleetPipelineConfig`, fronts it with a
+:class:`~repro.serving.service.SelectionService` (provenance attached),
+and registers it on a router together with the device's performance
+model — so perf-aware dispatch estimates with exactly the calibration
+the device's dataset was generated under.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.fleet.pipeline import (
+    FleetPipelineConfig,
+    fleet_fingerprints,
+    stage_name,
+)
+from repro.pipeline.store import ArtifactStore
+from repro.serving.router import FleetRouter
+from repro.serving.service import SelectionService
+
+__all__ = ["router_from_store"]
+
+
+def router_from_store(
+    store: ArtifactStore,
+    config: Optional[FleetPipelineConfig] = None,
+    *,
+    default_policy: str = "round-robin",
+    service_kwargs: Optional[Dict[str, Any]] = None,
+) -> FleetRouter:
+    """A router serving every device selector a fleet build produced.
+
+    Each device's service gets the first configuration of the device's
+    own pruned library as its ``fallback`` (the "never worse than pick
+    any shipped kernel" guarantee), unless ``service_kwargs`` overrides
+    it.  Raises :class:`KeyError` naming the device and stage when a
+    selector artifact is missing — run the fleet build first.
+    """
+    config = config or FleetPipelineConfig()
+    fingerprints = fleet_fingerprints(config)
+    router = FleetRouter(default_policy=default_policy)
+    kwargs = dict(service_kwargs or {})
+    for profile in config.profiles():
+        did = profile.device_id
+        train_name = stage_name("train", did)
+        artifact = store.get(fingerprints[train_name])
+        if artifact is None:
+            raise KeyError(
+                f"no trained selector for device {did!r} (stage "
+                f"{train_name}, fingerprint "
+                f"{fingerprints[train_name][:12]}...) in {store!r}; "
+                "run the fleet build first"
+            )
+        deployed = artifact.value
+        service_args = dict(kwargs)
+        service_args.setdefault("fallback", deployed.library.configs[0])
+        service = SelectionService(
+            deployed, provenance=artifact.provenance, **service_args
+        )
+        router.add_device(
+            did,
+            service,
+            model=profile.perf_model(seed=config.runner.seed),
+            library=tuple(deployed.library.configs),
+        )
+    return router

@@ -37,10 +37,11 @@ from repro.pipeline.paper import (
     run_paper_pipeline,
 )
 from repro.pipeline.stage import Pipeline, Stage
-from repro.pipeline.store import ArtifactStore
+from repro.pipeline.store import ArtifactPayloadError, ArtifactStore
 
 __all__ = [
     "Artifact",
+    "ArtifactPayloadError",
     "ArtifactStore",
     "Codec",
     "ExecutorStats",

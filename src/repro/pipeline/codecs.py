@@ -189,11 +189,48 @@ class SelectorCodec(Codec):
         return DeployedSelector(KernelLibrary(pruned.configs), selector)
 
 
+class ProfileCodec(Codec):
+    """A device profile (or bare model/device parameters) as tagged JSON.
+
+    The payload for fleet ``profile`` stages and any provenance record
+    carrying :class:`~repro.perfmodel.params.PerfModelParams` or a
+    :class:`~repro.sycl.device.DeviceSpec` (e.g. the paper pipeline's
+    sweep parameters).  Stricter than :class:`JsonCodec`: anything that
+    is not one of those device-describing types is rejected at save
+    time, so a mis-wired stage cannot silently persist an arbitrary
+    object under the ``profile`` codec name.
+    """
+
+    name = "profile"
+
+    @staticmethod
+    def _check(value: Any) -> None:
+        from repro.fleet.profile import DeviceProfile
+        from repro.perfmodel.params import PerfModelParams
+        from repro.sycl.device import DeviceSpec
+
+        if not isinstance(value, (DeviceProfile, DeviceSpec, PerfModelParams)):
+            raise TypeError(
+                "profile codec persists DeviceProfile, DeviceSpec or "
+                f"PerfModelParams values, not {type(value).__name__}"
+            )
+
+    def save(self, value: Any, directory: Path) -> None:
+        self._check(value)
+        (directory / "profile.json").write_text(dumps(value))
+
+    def load(self, directory: Path) -> Any:
+        value = loads((directory / "profile.json").read_text())
+        self._check(value)
+        return value
+
+
 for _codec in (
     JsonCodec(),
     BenchResultCodec(),
     DatasetCodec(),
     SplitCodec(),
     SelectorCodec(),
+    ProfileCodec(),
 ):
     register_codec(_codec)

@@ -28,7 +28,18 @@ from typing import Iterator, List, Optional, Set, Union
 from repro.pipeline.artifact import Artifact, Provenance
 from repro.pipeline.codecs import get_codec
 
-__all__ = ["ArtifactStore"]
+__all__ = ["ArtifactPayloadError", "ArtifactStore"]
+
+
+class ArtifactPayloadError(RuntimeError):
+    """A stored artifact's payload failed to decode.
+
+    Raised by :meth:`ArtifactStore.get` when the manifest is readable
+    but the codec cannot reconstruct the payload (truncated/corrupted
+    files, missing payload members) — a clear signal that the object
+    directory is damaged, instead of a raw ``KeyError``/decode error
+    surfacing from deep inside a codec.
+    """
 
 _MANIFEST = "manifest.json"
 _PAYLOAD = "payload"
@@ -88,7 +99,14 @@ class ArtifactStore:
             return None
         provenance = self.manifest(fingerprint)
         payload_dir = self._object_dir(fingerprint) / _PAYLOAD
-        value = get_codec(provenance.codec).load(payload_dir)
+        try:
+            value = get_codec(provenance.codec).load(payload_dir)
+        except Exception as exc:
+            raise ArtifactPayloadError(
+                f"artifact {provenance.artifact_id} (codec "
+                f"{provenance.codec!r}) has an unreadable payload under "
+                f"{payload_dir}: {exc}"
+            ) from exc
         return Artifact(value=value, provenance=provenance)
 
     def resolve(self, artifact_id: str) -> Optional[Artifact]:

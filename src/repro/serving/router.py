@@ -1,0 +1,511 @@
+"""Fleet routing: dispatch selection traffic across many devices.
+
+A :class:`FleetRouter` owns one :class:`SelectionService` per fleet
+device and answers ``(device_id, shape)`` lookups:
+
+* **targeted** requests name a device and are served by its service —
+  unless that device's circuit breaker is open, in which case the
+  request falls over to a healthy device (cross-device fallback);
+* **device-agnostic** requests (``device_id=None``) are placed by a
+  dispatch policy: ``round-robin`` (cycle the healthy devices),
+  ``least-outstanding`` (fewest in-flight requests, see
+  :meth:`FleetRouter.complete`), or ``perf-aware`` (the device whose
+  performance model predicts the lowest runtime for the shape across
+  its shipped kernel library).
+
+Service exceptions never escape a routed lookup while any device is
+healthy: the router catches, counts a reroute, and retries the next
+candidate.  :meth:`FleetRouter.stats` aggregates the per-device service
+snapshots with the router's own dispatch counters into a
+:class:`~repro.serving.stats.FleetStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.params import KernelConfig
+from repro.serving.service import SelectionService
+from repro.serving.stats import FleetStats
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["FleetRouter", "ROUTING_POLICIES", "RoutedDecision"]
+
+#: Dispatch policies for device-agnostic requests.
+ROUTING_POLICIES: Tuple[str, ...] = (
+    "round-robin",
+    "least-outstanding",
+    "perf-aware",
+)
+
+
+@dataclass(frozen=True)
+class RoutedDecision:
+    """One routed lookup: which device answered, with what.
+
+    ``rerouted`` is True when the answering device is not the one the
+    request targeted (or the policy's first choice) — i.e. cross-device
+    fallback happened.
+    """
+
+    device_id: str
+    config: KernelConfig
+    rerouted: bool = False
+
+
+class _DeviceEntry:
+    """Router-side bookkeeping for one fleet device."""
+
+    def __init__(self, service: SelectionService, model, library):
+        self.service = service
+        self.model = model
+        self.library = library
+        self.outstanding = 0
+        self.dispatched = 0
+
+
+class FleetRouter:
+    """Routes selection traffic over a heterogeneous device fleet.
+
+    Devices are added with :meth:`add_device`; each brings its
+    :class:`SelectionService` and optionally the device's performance
+    model (anything with ``time_seconds(shape, config)``) plus the
+    kernel-config library the perf-aware policy estimates over.  When
+    the service fronts a :class:`~repro.core.deploy.DeployedSelector`,
+    the library defaults to the selector's bundled configurations.
+    """
+
+    def __init__(self, *, default_policy: str = "round-robin"):
+        self._check_policy(default_policy)
+        self._default_policy = default_policy
+        self._devices: "OrderedDict[str, _DeviceEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._rr_cursor = 0
+        self._targeted = 0
+        self._agnostic = 0
+        self._rerouted = 0
+        self._policy_counts: Dict[str, int] = {}
+        # (device_id, shape tuple) -> predicted best seconds on device.
+        self._estimates: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+
+    @staticmethod
+    def _check_policy(policy: str) -> None:
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; "
+                f"known: {list(ROUTING_POLICIES)}"
+            )
+
+    # -- fleet membership ----------------------------------------------------
+
+    def add_device(
+        self,
+        device_id: str,
+        service: SelectionService,
+        *,
+        model=None,
+        library: Optional[Sequence[KernelConfig]] = None,
+    ) -> "FleetRouter":
+        """Register one device; returns self for chaining."""
+        if not device_id:
+            raise ValueError("device_id must be non-empty")
+        with self._lock:
+            if device_id in self._devices:
+                raise ValueError(f"device {device_id!r} is already routed")
+            if library is None:
+                bundled = getattr(service.policy, "library", None)
+                if bundled is not None:
+                    library = tuple(bundled.configs)
+            self._devices[device_id] = _DeviceEntry(
+                service, model, tuple(library) if library else None
+            )
+        return self
+
+    @property
+    def device_ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._devices)
+
+    @property
+    def default_policy(self) -> str:
+        return self._default_policy
+
+    def service(self, device_id: str) -> SelectionService:
+        with self._lock:
+            return self._entry(device_id).service
+
+    def healthy_ids(self) -> Tuple[str, ...]:
+        """Devices whose circuit breaker is currently closed."""
+        with self._lock:
+            ids = tuple(self._devices)
+        return tuple(
+            did for did in ids if not self._devices[did].service.breaker_open
+        )
+
+    def _entry(self, device_id: str) -> _DeviceEntry:
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise KeyError(
+                f"no device {device_id!r} in fleet; "
+                f"routed: {list(self._devices)}"
+            ) from None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def select(
+        self,
+        shape: GemmShape,
+        *,
+        device_id: Optional[str] = None,
+        policy: Optional[str] = None,
+    ) -> RoutedDecision:
+        """Route one lookup; never raises while a healthy device answers."""
+        candidates, targeted = self._candidates(shape, device_id, policy)
+        last_exc: Optional[BaseException] = None
+        for position, did in enumerate(candidates):
+            entry = self._devices[did]
+            try:
+                config = entry.service.select(shape)
+            except Exception as exc:
+                last_exc = exc
+                with self._lock:
+                    self._rerouted += 1
+                continue
+            rerouted = position > 0 or (
+                targeted is not None and did != targeted
+            )
+            with self._lock:
+                entry.dispatched += 1
+                entry.outstanding += 1
+                if rerouted and position == 0:
+                    # Targeted at an open breaker: the fallback device
+                    # answered first try, but it is still a reroute.
+                    self._rerouted += 1
+            return RoutedDecision(
+                device_id=did, config=config, rerouted=rerouted
+            )
+        assert last_exc is not None
+        raise last_exc
+
+    def select_batch(
+        self,
+        shapes: Sequence[GemmShape],
+        *,
+        device_id: Optional[str] = None,
+        policy: Optional[str] = None,
+    ) -> Tuple[RoutedDecision, ...]:
+        """Route many lookups, one ``select_batch`` per chosen device.
+
+        Shapes are partitioned across devices by the policy (or pinned
+        by ``device_id``), then each device answers its partition in a
+        single vectorized service call.  A device whose call fails has
+        its partition rerouted wholesale to the next healthy device.
+        """
+        shapes = tuple(shapes)
+        if not shapes:
+            return ()
+        if device_id is not None:
+            # Fast path: every shape of a targeted batch shares one
+            # candidate order, so the policy work is paid once, not per
+            # shape.  A dead target falls through to per-shape dispatch.
+            with self._lock:
+                entry = self._entry(device_id)
+                healthy = not entry.service.breaker_open
+                if healthy:
+                    self._targeted += len(shapes)
+                    ids = list(self._devices)
+            if healthy:
+                order = (
+                    device_id,
+                    *[d for d in ids if d != device_id],
+                )
+                indices = list(range(len(shapes)))
+                targets = {i: (order, device_id) for i in indices}
+                decisions: Dict[int, RoutedDecision] = {}
+                self._serve_partition(
+                    device_id, indices, shapes, targets, decisions, depth=0
+                )
+                return tuple(decisions[i] for i in indices)
+        # Partition: shape index -> ordered candidate devices.
+        targets = self._batch_candidates(shapes, device_id, policy)
+        partitions: Dict[str, List[int]] = {}
+        for i in range(len(shapes)):
+            partitions.setdefault(targets[i][0][0], []).append(i)
+
+        decisions: Dict[int, RoutedDecision] = {}
+        for did, indices in partitions.items():
+            self._serve_partition(
+                did, indices, shapes, targets, decisions, depth=0
+            )
+        return tuple(decisions[i] for i in range(len(shapes)))
+
+    def _serve_partition(
+        self,
+        did: str,
+        indices: List[int],
+        shapes: Tuple[GemmShape, ...],
+        targets: Dict[int, Tuple[Tuple[str, ...], Optional[str]]],
+        decisions: Dict[int, RoutedDecision],
+        *,
+        depth: int,
+    ) -> None:
+        """Answer one device's partition, rerouting it on failure."""
+        entry = self._devices[did]
+        try:
+            configs = entry.service.select_batch(
+                [shapes[i] for i in indices]
+            )
+        except Exception:
+            with self._lock:
+                self._rerouted += len(indices)
+            # Redistribute to each shape's next candidate(s).
+            regrouped: Dict[str, List[int]] = {}
+            for i in indices:
+                candidates, _ = targets[i]
+                remaining = [c for c in candidates if c != did]
+                if not remaining:
+                    raise
+                regrouped.setdefault(remaining[0], []).append(i)
+            for next_did, next_indices in regrouped.items():
+                self._serve_partition(
+                    next_did,
+                    next_indices,
+                    shapes,
+                    targets,
+                    decisions,
+                    depth=depth + 1,
+                )
+            return
+        with self._lock:
+            entry.dispatched += len(indices)
+            entry.outstanding += len(indices)
+        for i, config in zip(indices, configs):
+            _, targeted = targets[i]
+            rerouted = depth > 0 or (targeted is not None and did != targeted)
+            if rerouted and depth == 0:
+                with self._lock:
+                    self._rerouted += 1
+            decisions[i] = RoutedDecision(
+                device_id=did, config=config, rerouted=rerouted
+            )
+
+    def complete(self, device_id: str, n: int = 1) -> None:
+        """Mark ``n`` routed requests on a device as finished.
+
+        Feeds the ``least-outstanding`` policy: callers report
+        completion when the launched kernel retires, so the policy
+        tracks true in-flight load rather than total dispatch counts.
+        """
+        with self._lock:
+            entry = self._entry(device_id)
+            entry.outstanding = max(0, entry.outstanding - n)
+
+    # -- policy internals ----------------------------------------------------
+
+    def _candidates(
+        self,
+        shape: GemmShape,
+        device_id: Optional[str],
+        policy: Optional[str],
+    ) -> Tuple[Tuple[str, ...], Optional[str]]:
+        """Ordered devices to try for one lookup, plus the targeted id.
+
+        The first candidate is the dispatch choice; the rest are the
+        cross-device fallback order.  Open-breaker devices sort last so
+        they are only consulted when every healthy device has failed.
+        """
+        with self._lock:
+            if not self._devices:
+                raise RuntimeError("no devices routed; call add_device first")
+            ids = list(self._devices)
+            if device_id is not None:
+                target = self._entry(device_id)
+                self._targeted += 1
+                if not target.service.breaker_open:
+                    order = [device_id]
+                    order += [d for d in ids if d != device_id]
+                    return tuple(order), device_id
+                # Breaker open: fall over to the policy order, keeping
+                # the dead device as the candidate of last resort.
+                chosen_policy = policy or self._default_policy
+            else:
+                self._agnostic += 1
+                chosen_policy = policy or self._default_policy
+            self._check_policy(chosen_policy)
+            self._policy_counts[chosen_policy] = (
+                self._policy_counts.get(chosen_policy, 0) + 1
+            )
+            healthy = [
+                d for d in ids if not self._devices[d].service.breaker_open
+            ]
+            open_ids = [d for d in ids if d not in healthy]
+            pool = healthy if healthy else ids
+
+            if chosen_policy == "round-robin":
+                start = self._rr_cursor % len(pool)
+                self._rr_cursor += 1
+                ordered = pool[start:] + pool[:start]
+            elif chosen_policy == "least-outstanding":
+                ordered = sorted(
+                    pool, key=lambda d: self._devices[d].outstanding
+                )
+            else:  # perf-aware
+                ordered = sorted(
+                    pool, key=lambda d: self._estimate_locked(d, shape)
+                )
+            if healthy:
+                ordered = ordered + open_ids
+            if device_id is not None:
+                # The dead target goes last; everything healthy first.
+                ordered = [d for d in ordered if d != device_id] + [device_id]
+                return tuple(ordered), device_id
+            return tuple(ordered), None
+
+    def _batch_candidates(
+        self,
+        shapes: Tuple[GemmShape, ...],
+        device_id: Optional[str],
+        policy: Optional[str],
+    ) -> Dict[int, Tuple[Tuple[str, ...], Optional[str]]]:
+        """Candidate orders for a whole batch under one lock acquisition.
+
+        Same ordering rules as :meth:`_candidates`, with the batch-wide
+        invariants (fleet membership, breaker health, outstanding
+        counts) snapshotted once instead of per shape — breaker flips
+        mid-batch are handled by the reroute path, not the planner.
+        """
+        with self._lock:
+            if not self._devices:
+                raise RuntimeError("no devices routed; call add_device first")
+            ids = list(self._devices)
+            if device_id is not None:
+                self._entry(device_id)
+                self._targeted += len(shapes)
+            else:
+                self._agnostic += len(shapes)
+            chosen_policy = policy or self._default_policy
+            self._check_policy(chosen_policy)
+            self._policy_counts[chosen_policy] = (
+                self._policy_counts.get(chosen_policy, 0) + len(shapes)
+            )
+            healthy = [
+                d for d in ids if not self._devices[d].service.breaker_open
+            ]
+            open_ids = [d for d in ids if d not in healthy]
+            pool = healthy if healthy else ids
+            outstanding = {d: self._devices[d].outstanding for d in pool}
+
+            targets: Dict[int, Tuple[Tuple[str, ...], Optional[str]]] = {}
+            pending: Dict[str, int] = {}
+            for i, shape in enumerate(shapes):
+                if chosen_policy == "round-robin":
+                    start = self._rr_cursor % len(pool)
+                    self._rr_cursor += 1
+                    ordered = pool[start:] + pool[:start]
+                elif chosen_policy == "least-outstanding":
+                    ordered = sorted(
+                        pool,
+                        key=lambda d: outstanding[d] + pending.get(d, 0),
+                    )
+                else:  # perf-aware
+                    ordered = sorted(
+                        pool, key=lambda d: self._estimate_locked(d, shape)
+                    )
+                if healthy:
+                    ordered = ordered + open_ids
+                if device_id is not None:
+                    ordered = [d for d in ordered if d != device_id]
+                    ordered.append(device_id)
+                targets[i] = (tuple(ordered), device_id)
+                first = ordered[0]
+                pending[first] = pending.get(first, 0) + 1
+            return targets
+
+    def estimate(self, device_id: str, shape: GemmShape) -> float:
+        """Predicted best-case seconds for ``shape`` on one device.
+
+        The minimum of the device's performance model over its shipped
+        kernel library — the quantity the ``perf-aware`` policy ranks
+        devices by.  Memoised per (device, shape).
+        """
+        with self._lock:
+            self._entry(device_id)
+            return self._estimate_locked(device_id, shape)
+
+    def _estimate_locked(self, device_id: str, shape: GemmShape) -> float:
+        key = (device_id, shape.as_tuple())
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        entry = self._devices[device_id]
+        if entry.model is None or not entry.library:
+            raise RuntimeError(
+                f"device {device_id!r} has no performance model/library; "
+                "perf-aware routing needs both (pass model= and library= "
+                "to add_device)"
+            )
+        best = float("inf")
+        for config in entry.library:
+            try:
+                seconds = entry.model.time_seconds(shape, config)
+            except ValueError:
+                continue  # config cannot launch on this device
+            if seconds < best:
+                best = seconds
+        self._estimates[key] = best
+        return best
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> FleetStats:
+        """Aggregated fleet snapshot: router counters + per-device stats."""
+        with self._lock:
+            ids = tuple(self._devices)
+            dispatched = {d: self._devices[d].dispatched for d in ids}
+            outstanding = {d: self._devices[d].outstanding for d in ids}
+            targeted = self._targeted
+            agnostic = self._agnostic
+            rerouted = self._rerouted
+            policy_counts = dict(self._policy_counts)
+        # Per-device snapshots are taken outside the router lock: each
+        # service has its own lock and stats() never calls back in.
+        devices = {d: self._devices[d].service.stats() for d in ids}
+        return FleetStats(
+            devices=devices,
+            dispatched=dispatched,
+            outstanding=outstanding,
+            targeted=targeted,
+            agnostic=agnostic,
+            rerouted=rerouted,
+            policy_counts=policy_counts,
+            default_policy=self._default_policy,
+        )
+
+    def reset_breaker(self, device_id: str) -> None:
+        """Force one device's circuit closed (e.g. after redeploy)."""
+        self.service(device_id).reset_breaker()
+
+    def clear(self) -> None:
+        """Zero router counters and estimate memo; services are kept."""
+        with self._lock:
+            self._rr_cursor = 0
+            self._targeted = 0
+            self._agnostic = 0
+            self._rerouted = 0
+            self._policy_counts.clear()
+            self._estimates.clear()
+            for entry in self._devices.values():
+                entry.outstanding = 0
+                entry.dispatched = 0
+
+    def __repr__(self) -> str:
+        with self._lock:
+            ids = list(self._devices)
+        return (
+            f"FleetRouter({len(ids)} devices {ids}, "
+            f"default_policy={self._default_policy!r})"
+        )

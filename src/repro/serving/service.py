@@ -122,13 +122,21 @@ class SelectionService:
         ``stage:prefix`` display id.  The artifact's provenance is
         attached so :meth:`stats` can report where the policy came from.
         """
-        artifact = store.resolve(artifact_id)
+        try:
+            artifact = store.resolve(artifact_id)
+        except KeyError as exc:
+            # resolve() raises on ambiguous prefixes; keep the artifact
+            # id front and center instead of a bare store internal.
+            raise KeyError(
+                f"cannot resolve artifact {artifact_id!r}: {exc.args[0]}"
+            ) from exc
         if artifact is None:
             raise KeyError(f"no artifact {artifact_id!r} in {store!r}")
         if not hasattr(artifact.value, "select"):
             raise TypeError(
                 f"artifact {artifact.artifact_id} holds "
-                f"{type(artifact.value).__name__}, not a selection policy"
+                f"{type(artifact.value).__name__} (stage "
+                f"{artifact.provenance.stage!r}), not a selection policy"
             )
         return cls(artifact.value, provenance=artifact.provenance, **kwargs)
 
@@ -147,6 +155,16 @@ class SelectionService:
     @property
     def fallback(self) -> Optional[KernelConfig]:
         return self._fallback
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the circuit breaker is currently open.
+
+        A cheap health probe for routing layers — unlike :meth:`stats`
+        it does not build a full snapshot.
+        """
+        with self._lock:
+            return self._breaker_open
 
     # -- serving APIs --------------------------------------------------------
 

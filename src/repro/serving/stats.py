@@ -12,7 +12,7 @@ from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["LatencySummary", "ServiceStats"]
+__all__ = ["FleetStats", "LatencySummary", "ServiceStats"]
 
 
 @dataclass(frozen=True)
@@ -114,4 +114,87 @@ class ServiceStats:
                     f"{name}:{fp[:12]}" for name, fp in parents.items()
                 )
                 lines.append(f"provenance       {lineage or '(root)'}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregated snapshot of a :class:`~repro.serving.router.FleetRouter`.
+
+    ``devices`` holds each device's :class:`ServiceStats`; ``dispatched``
+    / ``outstanding`` the router-side per-device load accounting.
+    ``rerouted`` counts lookups answered by a device other than the one
+    requested or first chosen (cross-device fallback), and
+    ``policy_counts`` how often each dispatch policy placed a request.
+    """
+
+    devices: Dict[str, "ServiceStats"]
+    dispatched: Dict[str, int]
+    outstanding: Dict[str, int]
+    targeted: int
+    agnostic: int
+    rerouted: int
+    policy_counts: Dict[str, int]
+    default_policy: str = "round-robin"
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_lookups(self) -> int:
+        return sum(s.lookups for s in self.devices.values())
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.devices.values())
+
+    @property
+    def total_policy_errors(self) -> int:
+        return sum(s.policy_errors for s in self.devices.values())
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.total_lookups
+        return self.total_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def open_breakers(self) -> tuple:
+        """Device ids whose circuit breaker is currently open."""
+        return tuple(
+            did for did, s in sorted(self.devices.items()) if s.breaker_open
+        )
+
+    def render(self) -> str:
+        """Human-readable fleet report for CLI/log output."""
+        lines = [
+            f"fleet            {self.n_devices} devices, "
+            f"default policy {self.default_policy}",
+            f"requests         {self.targeted} targeted, "
+            f"{self.agnostic} device-agnostic, {self.rerouted} rerouted",
+            f"lookups          {self.total_lookups} total "
+            f"({self.hit_rate * 100:.1f}% memo hit rate)",
+            f"policy errors    {self.total_policy_errors} fleet-wide",
+        ]
+        if self.policy_counts:
+            placed = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.policy_counts.items())
+            )
+            lines.append(f"policy placements {placed}")
+        if self.open_breakers:
+            lines.append(f"open breakers    {', '.join(self.open_breakers)}")
+        for did in sorted(self.devices):
+            stats = self.devices[did]
+            breaker = "OPEN" if stats.breaker_open else "closed"
+            artifact = (
+                f"  <- {stats.artifact_id}" if stats.artifact_id else ""
+            )
+            lines.append(
+                f"  {did:16s} dispatched {self.dispatched.get(did, 0):8d}  "
+                f"outstanding {self.outstanding.get(did, 0):6d}  "
+                f"hits {stats.cache_hits:8d}/{stats.lookups:<8d} "
+                f"errors {stats.policy_errors:5d}  breaker {breaker}"
+                f"{artifact}"
+            )
         return "\n".join(lines)

@@ -12,6 +12,7 @@ from repro.bench.failures import FailureLog, FailureRecord
 from repro.testing.faulty import (
     FaultyDevice,
     FaultyModel,
+    FaultyPolicy,
     FaultyQueue,
     faulty_runner,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "FaultPlan",
     "FaultyDevice",
     "FaultyModel",
+    "FaultyPolicy",
     "FaultyQueue",
     "InjectedFault",
     "OracleReport",

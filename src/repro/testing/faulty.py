@@ -37,7 +37,13 @@ from repro.sycl.queue import Queue
 from repro.testing.plan import FaultPlan, raise_fault
 from repro.workloads.gemm import GemmShape
 
-__all__ = ["FaultyDevice", "FaultyModel", "FaultyQueue", "faulty_runner"]
+__all__ = [
+    "FaultyDevice",
+    "FaultyModel",
+    "FaultyPolicy",
+    "FaultyQueue",
+    "faulty_runner",
+]
 
 
 class FaultyModel:
@@ -111,6 +117,77 @@ class FaultyModel:
 
     def __repr__(self) -> str:
         return f"FaultyModel({self._model!r}, {self._plan!r})"
+
+
+class FaultyPolicy:
+    """Selection-policy wrapper raising planned per-device lookup faults.
+
+    Wraps anything with ``select(shape)`` (and optionally
+    ``select_batch``) behind a :class:`~repro.serving.service.SelectionService`
+    or a fleet router.  Every shape queried consumes one *query index*
+    on the wrapper's ``device_id``; the plan decides per index, so
+    :meth:`FaultPlan.kill_device` turns the device off mid-traffic and
+    :meth:`FaultPlan.poison_selection` hits one exact lookup.  Batch
+    queries consume one index per shape and raise on the first faulted
+    coordinate — matching a vectorized policy pass dying wholesale.
+    """
+
+    def __init__(self, policy, plan: FaultPlan, *, device_id: str):
+        self._policy = policy
+        self._plan = plan
+        self._device_id = device_id
+        self._count = 0
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def device_id(self) -> str:
+        return self._device_id
+
+    @property
+    def wrapped(self):
+        return self._policy
+
+    @property
+    def selections(self) -> int:
+        """Query indices consumed so far (including faulted ones)."""
+        return self._count
+
+    def _next_index(self) -> None:
+        index = self._count
+        self._count = index + 1
+        kind = self._plan.fault_for_selection(self._device_id, index)
+        if kind is not None:
+            raise_fault(
+                kind, f"selection #{index} on device {self._device_id}"
+            )
+
+    def select(self, shape: GemmShape):
+        self._next_index()
+        return self._policy.select(shape)
+
+    def select_batch(self, shapes: Sequence[GemmShape]):
+        batch_fn = getattr(self._policy, "select_batch", None)
+        if batch_fn is None:
+            raise AttributeError("wrapped policy has no select_batch")
+        for _ in shapes:
+            self._next_index()
+        return batch_fn(shapes)
+
+    def __getattr__(self, name):
+        # Everything else (library, selector, ...) passes through; see
+        # FaultyModel for why underscored lookups are refused.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._policy, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyPolicy({self._policy!r}, {self._plan!r}, "
+            f"device_id={self._device_id!r})"
+        )
 
 
 class FaultyQueue:

@@ -14,7 +14,11 @@ Two coordinate systems are served:
   :class:`~repro.testing.faulty.FaultyModel` inside a
   :class:`~repro.bench.runner.BenchmarkRunner` sweep;
 * **queue submissions** — ``(kernel name, submission index)``, consumed
-  by :class:`~repro.testing.faulty.FaultyQueue`.
+  by :class:`~repro.testing.faulty.FaultyQueue`;
+* **selection lookups** — ``(device id, query index)``, consumed by
+  :class:`~repro.testing.faulty.FaultyPolicy` behind a
+  :class:`~repro.serving.service.SelectionService` (fleet degradation
+  tests kill a whole device with :meth:`FaultPlan.kill_device`).
 
 ``fail_attempts`` distinguishes hard failures from transient ones: with
 ``fail_attempts=None`` a faulty coordinate fails every attempt (retries
@@ -96,6 +100,10 @@ class FaultPlan:
         self._fail_attempts = fail_attempts
         self._cells: Dict[Tuple[Tuple[int, ...], int], InjectedFault] = {}
         self._submissions: Dict[Tuple[str, int], InjectedFault] = {}
+        self._selections: Dict[Tuple[str, int], InjectedFault] = {}
+        #: device id -> (first failing query index, fault) for devices
+        #: killed outright.
+        self._killed: Dict[str, Tuple[int, InjectedFault]] = {}
 
     @property
     def seed(self) -> int:
@@ -133,6 +141,43 @@ class FaultPlan:
         self._submissions[(kernel_name, index)] = InjectedFault(kind=kind)
         return self
 
+    def poison_selection(
+        self,
+        device_id: str,
+        index: int = 0,
+        *,
+        kind: FaultKind = FaultKind.DEVICE_ERROR,
+    ) -> "FaultPlan":
+        """Fault the ``index``-th selection lookup on one device."""
+        if index < 0:
+            raise ValueError(f"selection index must be >= 0, got {index}")
+        self._selections[(device_id, index)] = InjectedFault(kind=kind)
+        return self
+
+    def kill_device(
+        self,
+        device_id: str,
+        *,
+        after: int = 0,
+        kind: FaultKind = FaultKind.DEVICE_ERROR,
+    ) -> "FaultPlan":
+        """Fail every selection on a device from query ``after`` onward.
+
+        Models a device dropping out of the fleet mid-traffic: the
+        degradation tests assert the router trips the device's breaker
+        and reroutes without a single failed lookup.  Reversible with
+        :meth:`revive_device`.
+        """
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        self._killed[device_id] = (after, InjectedFault(kind=kind))
+        return self
+
+    def revive_device(self, device_id: str) -> "FaultPlan":
+        """Undo :meth:`kill_device` (the device starts answering again)."""
+        self._killed.pop(device_id, None)
+        return self
+
     # -- decisions ---------------------------------------------------------
 
     def fault_for(
@@ -154,6 +199,20 @@ class FaultPlan:
         planned = self._submissions.get((kernel_name, index))
         if planned is None:
             planned = self._drawn_fault("fault-submit", kernel_name, index)
+        if planned is not None and planned.fires_on(0):
+            return planned.kind
+        return None
+
+    def fault_for_selection(
+        self, device_id: str, index: int
+    ) -> Optional[FaultKind]:
+        """The fault (if any) for one selection lookup on a device."""
+        killed = self._killed.get(device_id)
+        if killed is not None and index >= killed[0]:
+            return killed[1].kind
+        planned = self._selections.get((device_id, index))
+        if planned is None:
+            planned = self._drawn_fault("fault-select", device_id, index)
         if planned is not None and planned.fires_on(0):
             return planned.kind
         return None
@@ -180,5 +239,7 @@ class FaultPlan:
         return (
             f"FaultPlan(seed={self._seed}, rate={self._rate}, "
             f"{len(self._cells)} poisoned cells, "
-            f"{len(self._submissions)} poisoned submissions)"
+            f"{len(self._submissions)} poisoned submissions, "
+            f"{len(self._selections)} poisoned selections, "
+            f"{len(self._killed)} killed devices)"
         )

@@ -1,0 +1,46 @@
+"""Fleet fixtures: one small two-device build shared across the module.
+
+The build uses the reduced configuration space and a single network so
+the per-device sweeps stay well under a second; the store and run are
+session-scoped (the fleet pipeline is deterministic, so sharing them is
+safe), while routers are function-scoped — they carry mutable counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import RunnerConfig
+from repro.fleet import (
+    FleetPipelineConfig,
+    router_from_store,
+    run_fleet_pipeline,
+)
+from repro.pipeline import ArtifactStore
+
+SMALL_FLEET = ("r9-nano", "compute-heavy", "bandwidth-lean", "latency-bound")
+
+
+@pytest.fixture(scope="session")
+def fleet_config(small_configs) -> FleetPipelineConfig:
+    return FleetPipelineConfig(
+        device_ids=SMALL_FLEET,
+        networks=("mobilenet_v2",),
+        runner=RunnerConfig(warmup_iterations=1, timed_iterations=3),
+        configs=small_configs,
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_store(tmp_path_factory) -> ArtifactStore:
+    return ArtifactStore(tmp_path_factory.mktemp("fleet") / "store")
+
+
+@pytest.fixture(scope="session")
+def fleet_run(fleet_store, fleet_config):
+    return run_fleet_pipeline(fleet_store, fleet_config)
+
+
+@pytest.fixture
+def fleet_router(fleet_store, fleet_config, fleet_run):
+    return router_from_store(fleet_store, fleet_config)

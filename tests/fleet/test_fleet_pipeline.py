@@ -1,0 +1,160 @@
+"""The fleet DAG: per-device branches, incremental rebuilds, serving.
+
+Uses the shared session-scoped four-device build from ``conftest`` and
+asserts the issue's core guarantees: every device owns an independent
+content-addressed branch, rebuilding is a 100% cache hit, and adding a
+fifth profile re-runs exactly that profile's stages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import (
+    DeviceProfile,
+    FleetPipelineConfig,
+    fleet_fingerprints,
+    get_profile,
+    register_profile,
+    parse_stage_name,
+    router_from_store,
+    run_fleet_pipeline,
+    stage_name,
+)
+from repro.fleet.pipeline import FLEET_STAGES
+from repro.fleet.profile import _REGISTRY
+from tests.fleet.conftest import SMALL_FLEET
+
+
+def _small_config(base: FleetPipelineConfig, device_ids) -> FleetPipelineConfig:
+    return dataclasses.replace(base, device_ids=tuple(device_ids))
+
+
+class TestFirstBuild:
+    def test_runs_every_stage_of_every_device(self, fleet_run):
+        executed = set(fleet_run.stats.executed_stages)
+        expected = {
+            stage_name(stage, did)
+            for stage in FLEET_STAGES
+            for did in SMALL_FLEET
+        }
+        assert expected <= executed
+
+    def test_branches_share_no_fingerprints(self, fleet_config):
+        fingerprints = fleet_fingerprints(fleet_config)
+        assert len(set(fingerprints.values())) == len(fingerprints)
+
+    def test_stage_names_parse_back(self, fleet_config):
+        for name in fleet_fingerprints(fleet_config):
+            stage, did = parse_stage_name(name)
+            assert stage in FLEET_STAGES
+            assert did in SMALL_FLEET
+
+    def test_selectors_differ_across_devices(self, fleet_run):
+        selectors = fleet_run.selectors()
+        assert set(selectors) == set(SMALL_FLEET)
+        # Heterogeneous hardware should not all agree on every decision:
+        # at least two devices ship different pruned libraries or trees.
+        exported = {did: s.export_python() for did, s in selectors.items()}
+        assert len(set(exported.values())) > 1
+
+    def test_eval_scores_are_sane(self, fleet_run):
+        for did in SMALL_FLEET:
+            evaluation = fleet_run.value("eval", did)
+            assert 0.5 < evaluation.score <= 1.0
+
+
+class TestIncrementalRebuild:
+    def test_rebuild_is_fully_cached(self, fleet_store, fleet_config, fleet_run):
+        again = run_fleet_pipeline(fleet_store, fleet_config)
+        assert again.stats.all_cached
+        for did in SMALL_FLEET:
+            assert (
+                again.artifact("train", did).artifact_id
+                == fleet_run.artifact("train", did).artifact_id
+            )
+
+    def test_adding_fifth_profile_runs_only_its_branch(
+        self, fleet_store, fleet_config, fleet_run
+    ):
+        nano = get_profile("r9-nano")
+        fifth = DeviceProfile(
+            device_id="hotfix-gpu",
+            spec=nano.spec.with_overrides(
+                name="Hotfix GPU (simulated)", compute_units=80
+            ),
+            description="Added after the initial fleet build.",
+        )
+        register_profile(fifth)
+        try:
+            config = _small_config(fleet_config, SMALL_FLEET + ("hotfix-gpu",))
+            run = run_fleet_pipeline(fleet_store, config)
+            executed = set(run.stats.executed_stages)
+            assert executed == {
+                stage_name(stage, "hotfix-gpu") for stage in FLEET_STAGES
+            }
+            # The original branches are bit-identical cache hits.
+            for did in SMALL_FLEET:
+                assert stage_name("train", did) in run.stats.cached_stages
+                assert (
+                    run.artifact("train", did).artifact_id
+                    == fleet_run.artifact("train", did).artifact_id
+                )
+        finally:
+            _REGISTRY.pop("hotfix-gpu", None)
+
+    def test_editing_a_profile_refingerprints_only_its_branch(
+        self, fleet_config
+    ):
+        before = fleet_fingerprints(fleet_config)
+        original = get_profile("bandwidth-lean")
+        edited = dataclasses.replace(
+            original,
+            spec=original.spec.with_overrides(dram_bandwidth_gbps=96.0),
+        )
+        register_profile(edited, replace=True)
+        try:
+            after = fleet_fingerprints(fleet_config)
+        finally:
+            register_profile(original, replace=True)
+        for name in before:
+            _, did = parse_stage_name(name)
+            if did == "bandwidth-lean":
+                assert after[name] != before[name]
+            else:
+                assert after[name] == before[name]
+
+    def test_split_seed_change_keeps_sweeps_cached(
+        self, fleet_store, fleet_config
+    ):
+        config = dataclasses.replace(fleet_config, split_seed=123)
+        run = run_fleet_pipeline(fleet_store, config)
+        for did in SMALL_FLEET:
+            assert stage_name("sweep", did) in run.stats.cached_stages
+            assert stage_name("dataset", did) in run.stats.cached_stages
+            assert stage_name("split", did) in run.stats.executed_stages
+
+
+class TestServingFromStore:
+    def test_router_serves_every_device(self, fleet_router):
+        assert set(fleet_router.device_ids) == set(SMALL_FLEET)
+        assert fleet_router.healthy_ids() == fleet_router.device_ids
+
+    def test_targeted_answers_match_the_device_selector(
+        self, fleet_router, fleet_run, all_shapes
+    ):
+        for did in SMALL_FLEET:
+            deployed = fleet_run.value("train", did)
+            for shape in all_shapes[::9]:
+                decision = fleet_router.select(shape, device_id=did)
+                assert decision.device_id == did
+                assert not decision.rerouted
+                assert decision.config == deployed.select(shape)
+
+    def test_missing_build_raises_keyerror(self, tmp_path, fleet_config):
+        from repro.pipeline import ArtifactStore
+
+        with pytest.raises(KeyError, match="run the fleet build first"):
+            router_from_store(ArtifactStore(tmp_path / "empty"), fleet_config)

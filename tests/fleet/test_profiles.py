@@ -1,0 +1,94 @@
+"""The device-profile registry and the profile artifact codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    DEFAULT_FLEET,
+    DeviceProfile,
+    available_profiles,
+    fleet_profiles,
+    get_profile,
+    register_profile,
+)
+from repro.fleet.profile import _REGISTRY
+from repro.perfmodel.params import PerfModelParams
+from repro.pipeline.codecs import get_codec
+from repro.sycl.device import Device
+
+
+@pytest.fixture
+def scratch_registry():
+    """Snapshot/restore the global registry around a mutating test."""
+    saved = dict(_REGISTRY)
+    yield
+    _REGISTRY.clear()
+    _REGISTRY.update(saved)
+
+
+class TestRegistry:
+    def test_default_fleet_is_registered(self):
+        for device_id in DEFAULT_FLEET:
+            assert get_profile(device_id).device_id == device_id
+
+    def test_baseline_matches_paper_device(self):
+        assert get_profile("r9-nano").spec == Device.from_preset("r9-nano").spec
+
+    def test_profiles_span_the_three_axes(self):
+        nano = get_profile("r9-nano").spec
+        assert get_profile("compute-heavy").spec.compute_units > nano.compute_units
+        assert (
+            get_profile("bandwidth-lean").spec.dram_bandwidth_gbps
+            < nano.dram_bandwidth_gbps
+        )
+        assert (
+            get_profile("latency-bound").spec.kernel_launch_overhead_us
+            > nano.kernel_launch_overhead_us
+        )
+
+    def test_unknown_id_names_known_profiles(self):
+        with pytest.raises(ValueError, match="r9-nano"):
+            get_profile("not-a-device")
+
+    def test_duplicate_registration_refused(self, scratch_registry):
+        profile = get_profile("r9-nano")
+        with pytest.raises(ValueError, match="already registered"):
+            register_profile(profile)
+        register_profile(profile, replace=True)  # explicit replace is fine
+
+    def test_fleet_profiles_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            fleet_profiles(("r9-nano", "r9-nano"))
+
+    def test_available_profiles_sorted(self):
+        names = available_profiles()
+        assert names == sorted(names)
+        assert set(DEFAULT_FLEET) <= set(names)
+
+
+class TestDeviceProfile:
+    def test_reserved_id_characters_rejected(self):
+        spec = Device.from_preset("r9-nano").spec
+        for bad in ("a@b", "a:b", "a/b", "a b", ""):
+            with pytest.raises(ValueError):
+                DeviceProfile(device_id=bad, spec=spec)
+
+    def test_device_and_model_derive_from_profile(self):
+        profile = get_profile("bandwidth-lean")
+        assert profile.device().spec == profile.spec
+        model = profile.perf_model(seed=7)
+        assert model.params == PerfModelParams(alignment_penalty=0.20)
+
+
+class TestProfileCodec:
+    def test_round_trip(self, tmp_path):
+        codec = get_codec("profile")
+        profile = get_profile("latency-bound")
+        codec.save(profile, tmp_path)
+        loaded = codec.load(tmp_path)
+        assert loaded == profile
+
+    def test_rejects_non_profile_values(self, tmp_path):
+        with pytest.raises(TypeError):
+            get_codec("profile").save({"not": "a profile"}, tmp_path)

@@ -1,0 +1,233 @@
+"""FleetRouter dispatch: policies, breaker-driven fallback, degradation.
+
+The degradation tests build their routers by hand from the session
+build's trained selectors so a :class:`FaultyPolicy` can sit between one
+device's service and its selector — the router never sees the fault
+plan, only the failing service.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import get_profile
+from repro.serving import FleetRouter, ROUTING_POLICIES, SelectionService
+from repro.testing import FaultPlan, FaultyPolicy
+from tests.fleet.conftest import SMALL_FLEET
+
+VICTIM = "compute-heavy"
+
+
+def _faulty_router(fleet_run, plan, *, fallback=True, **service_kwargs):
+    """A four-device router whose VICTIM device hits ``plan``'s faults."""
+    service_kwargs.setdefault("breaker_threshold", 2)
+    router = FleetRouter()
+    for did in SMALL_FLEET:
+        deployed = fleet_run.value("train", did)
+        policy = (
+            FaultyPolicy(deployed, plan, device_id=did)
+            if did == VICTIM
+            else deployed
+        )
+        kwargs = dict(service_kwargs)
+        if fallback:
+            kwargs.setdefault("fallback", deployed.library.configs[0])
+        router.add_device(
+            did,
+            SelectionService(policy, **kwargs),
+            model=get_profile(did).perf_model(),
+            library=tuple(deployed.library.configs),
+        )
+    return router
+
+
+class TestDispatch:
+    def test_targeted_requests_stay_on_their_device(
+        self, fleet_router, all_shapes
+    ):
+        for i, shape in enumerate(all_shapes[:12]):
+            did = SMALL_FLEET[i % len(SMALL_FLEET)]
+            decision = fleet_router.select(shape, device_id=did)
+            assert decision.device_id == did
+            assert not decision.rerouted
+
+    def test_unknown_device_raises(self, fleet_router, all_shapes):
+        with pytest.raises(KeyError, match="no device"):
+            fleet_router.select(all_shapes[0], device_id="mystery-gpu")
+
+    def test_unknown_policy_raises(self, fleet_router, all_shapes):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            fleet_router.select(all_shapes[0], policy="fastest-first")
+
+    def test_round_robin_cycles_the_fleet(self, fleet_router, all_shapes):
+        placed = [
+            fleet_router.select(shape, policy="round-robin").device_id
+            for shape in all_shapes[: 2 * len(SMALL_FLEET)]
+        ]
+        assert placed == list(SMALL_FLEET) * 2
+
+    def test_least_outstanding_tracks_completion(
+        self, fleet_router, all_shapes
+    ):
+        # Load every device once; the ordering then follows insertion.
+        for shape in all_shapes[: len(SMALL_FLEET)]:
+            fleet_router.select(shape, policy="least-outstanding")
+        # Retire r9-nano's request: it becomes the unique least-loaded.
+        fleet_router.complete("r9-nano")
+        decision = fleet_router.select(
+            all_shapes[len(SMALL_FLEET)], policy="least-outstanding"
+        )
+        assert decision.device_id == "r9-nano"
+
+    def test_perf_aware_picks_the_predicted_fastest_device(
+        self, fleet_router, all_shapes
+    ):
+        for shape in all_shapes[::5]:
+            expected = min(
+                fleet_router.device_ids,
+                key=lambda did: fleet_router.estimate(did, shape),
+            )
+            decision = fleet_router.select(shape, policy="perf-aware")
+            assert decision.device_id == expected
+
+    def test_perf_aware_is_shape_sensitive(self, fleet_router, all_shapes):
+        # Across the workload the predicted-fastest device is not a
+        # constant: heterogeneity must show up in placement.
+        winners = {
+            fleet_router.select(shape, policy="perf-aware").device_id
+            for shape in all_shapes
+        }
+        assert len(winners) > 1
+
+    def test_estimate_requires_a_model(self, all_shapes):
+        class _Stub:
+            def select(self, shape):
+                return None
+
+        router = FleetRouter().add_device("bare", SelectionService(_Stub()))
+        with pytest.raises(RuntimeError, match="perf-aware"):
+            router.estimate("bare", all_shapes[0])
+
+    def test_batch_routing_matches_single_routing(
+        self, fleet_router, all_shapes
+    ):
+        shapes = list(all_shapes[:10])
+        batched = fleet_router.select_batch(shapes, policy="perf-aware")
+        for shape, decision in zip(shapes, batched):
+            single = fleet_router.select(shape, policy="perf-aware")
+            assert single.device_id == decision.device_id
+            assert single.config == decision.config
+
+
+class TestPolicyRegistry:
+    def test_known_policies(self):
+        assert set(ROUTING_POLICIES) == {
+            "round-robin",
+            "least-outstanding",
+            "perf-aware",
+        }
+
+    def test_default_policy_validated(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            FleetRouter(default_policy="warp-speed")
+
+
+class TestDegradation:
+    def test_killed_device_trips_breaker_and_reroutes(
+        self, fleet_run, all_shapes
+    ):
+        # The issue's acceptance scenario: kill one device mid-traffic,
+        # keep targeting it, and demand zero failed lookups end to end.
+        plan = FaultPlan().kill_device(VICTIM, after=0)
+        router = _faulty_router(fleet_run, plan)
+        decisions = [
+            router.select(shape, device_id=VICTIM) for shape in all_shapes
+        ]
+        assert all(d.config is not None for d in decisions)
+        assert router.service(VICTIM).breaker_open
+        assert VICTIM not in router.healthy_ids()
+        # Once the breaker opened, traffic flows to healthy devices.
+        rerouted = [d for d in decisions if d.rerouted]
+        assert rerouted
+        assert {d.device_id for d in rerouted} <= set(SMALL_FLEET) - {VICTIM}
+        assert router.stats().rerouted == len(rerouted)
+
+    def test_reroute_without_fallback_never_raises(
+        self, fleet_run, all_shapes
+    ):
+        # Without a configured fallback the victim's service re-raises;
+        # the router must catch it and try the next candidate.
+        plan = FaultPlan().kill_device(VICTIM, after=0)
+        router = _faulty_router(fleet_run, plan, fallback=False)
+        for shape in all_shapes[:8]:
+            decision = router.select(shape, device_id=VICTIM)
+            assert decision.rerouted
+            assert decision.device_id != VICTIM
+
+    def test_batch_partition_reroutes_wholesale(self, fleet_run, all_shapes):
+        plan = FaultPlan().kill_device(VICTIM, after=0)
+        router = _faulty_router(fleet_run, plan, fallback=False)
+        decisions = router.select_batch(
+            list(all_shapes[:12]), device_id=VICTIM
+        )
+        assert len(decisions) == 12
+        assert all(d.rerouted for d in decisions)
+        assert all(d.device_id != VICTIM for d in decisions)
+
+    def test_agnostic_traffic_avoids_the_open_breaker(
+        self, fleet_run, all_shapes
+    ):
+        plan = FaultPlan().kill_device(VICTIM, after=0)
+        router = _faulty_router(fleet_run, plan, fallback=False)
+        # Trip the breaker with two targeted lookups...
+        for shape in all_shapes[:2]:
+            router.select(shape, device_id=VICTIM)
+        assert router.service(VICTIM).breaker_open
+        # ...then device-agnostic round-robin must skip it entirely.
+        placed = {
+            router.select(shape).device_id for shape in all_shapes[2:14]
+        }
+        assert VICTIM not in placed
+        assert placed == set(SMALL_FLEET) - {VICTIM}
+
+    def test_revived_device_rejoins_after_breaker_reset(
+        self, fleet_run, all_shapes
+    ):
+        plan = FaultPlan().kill_device(VICTIM, after=0)
+        router = _faulty_router(fleet_run, plan)
+        for shape in all_shapes[:4]:
+            router.select(shape, device_id=VICTIM)
+        assert router.service(VICTIM).breaker_open
+        plan.revive_device(VICTIM)
+        router.reset_breaker(VICTIM)
+        decision = router.select(all_shapes[20], device_id=VICTIM)
+        assert decision.device_id == VICTIM
+        assert not decision.rerouted
+
+    def test_poisoned_single_lookup_degrades_only_that_query(
+        self, fleet_run, all_shapes
+    ):
+        plan = FaultPlan().poison_selection(VICTIM, index=0)
+        router = _faulty_router(fleet_run, plan)
+        first = router.select(all_shapes[0], device_id=VICTIM)
+        # Fallback answer, served by the victim itself (breaker needs
+        # two consecutive errors to trip).
+        assert first.device_id == VICTIM
+        second = router.select(all_shapes[1], device_id=VICTIM)
+        assert second.device_id == VICTIM
+        assert not router.service(VICTIM).breaker_open
+
+    def test_fleet_stats_aggregate_the_outage(self, fleet_run, all_shapes):
+        plan = FaultPlan().kill_device(VICTIM, after=0)
+        router = _faulty_router(fleet_run, plan)
+        for shape in all_shapes[:10]:
+            router.select(shape, device_id=VICTIM)
+        stats = router.stats()
+        assert stats.n_devices == len(SMALL_FLEET)
+        assert stats.targeted == 10
+        assert stats.open_breakers == (VICTIM,)
+        assert stats.devices[VICTIM].policy_errors >= 2
+        assert stats.total_policy_errors >= 2
+        rendered = stats.render()
+        assert "breaker OPEN" in rendered
+        assert VICTIM in rendered
