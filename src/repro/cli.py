@@ -370,6 +370,8 @@ def _cmd_fleet(args) -> int:
         return 0
 
     if args.action == "route":
+        from collections import Counter
+
         import numpy as np
 
         from repro.fleet import router_from_store
@@ -397,15 +399,21 @@ def _cmd_fleet(args) -> int:
         for start in range(0, args.requests, args.batch_size):
             chunk = slice(start, start + args.batch_size)
             agnostic = []
+            decisions = []
             for i, target in zip(picks[chunk], targets[chunk]):
                 if target is None:
                     agnostic.append(shapes[i])
                 else:
-                    router.select(shapes[i], device_id=target)
+                    decisions.append(
+                        router.select(shapes[i], device_id=target)
+                    )
             if agnostic:
-                router.select_batch(agnostic)
-            for device_id in device_ids:
-                router.complete(device_id, n=args.batch_size)
+                decisions.extend(router.select_batch(agnostic))
+            # Retire exactly what each device was dispatched this batch,
+            # so the least-outstanding policy sees true in-flight load.
+            served = Counter(d.device_id for d in decisions)
+            for device_id, n in served.items():
+                router.complete(device_id, n=n)
         print(
             f"routed {args.requests} requests "
             f"(batches of {args.batch_size}, policy {args.policy})"

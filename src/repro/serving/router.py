@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.kernels.params import KernelConfig
 from repro.serving.service import SelectionService
@@ -217,17 +217,20 @@ class FleetRouter:
                 healthy = not entry.service.breaker_open
                 if healthy:
                     self._targeted += len(shapes)
-                    ids = list(self._devices)
+                    # Fallback order mirrors _candidates: healthy
+                    # devices first, open-breaker devices last (stable
+                    # sort keeps insertion order within each group).
+                    fallback = sorted(
+                        (d for d in self._devices if d != device_id),
+                        key=lambda d: self._devices[d].service.breaker_open,
+                    )
             if healthy:
-                order = (
-                    device_id,
-                    *[d for d in ids if d != device_id],
-                )
+                order = (device_id, *fallback)
                 indices = list(range(len(shapes)))
                 targets = {i: (order, device_id) for i in indices}
                 decisions: Dict[int, RoutedDecision] = {}
                 self._serve_partition(
-                    device_id, indices, shapes, targets, decisions, depth=0
+                    device_id, indices, shapes, targets, decisions
                 )
                 return tuple(decisions[i] for i in indices)
         # Partition: shape index -> ordered candidate devices.
@@ -238,9 +241,7 @@ class FleetRouter:
 
         decisions: Dict[int, RoutedDecision] = {}
         for did, indices in partitions.items():
-            self._serve_partition(
-                did, indices, shapes, targets, decisions, depth=0
-            )
+            self._serve_partition(did, indices, shapes, targets, decisions)
         return tuple(decisions[i] for i in range(len(shapes)))
 
     def _serve_partition(
@@ -251,9 +252,16 @@ class FleetRouter:
         targets: Dict[int, Tuple[Tuple[str, ...], Optional[str]]],
         decisions: Dict[int, RoutedDecision],
         *,
-        depth: int,
+        tried: FrozenSet[str] = frozenset(),
     ) -> None:
-        """Answer one device's partition, rerouting it on failure."""
+        """Answer one device's partition, rerouting it on failure.
+
+        ``tried`` carries the devices that already failed for these
+        indices, so a multi-device outage walks each shape's candidate
+        list at most once — the recursion depth is bounded by the fleet
+        size and never revisits a device that failed earlier in the
+        chain.
+        """
         entry = self._devices[did]
         try:
             configs = entry.service.select_batch(
@@ -262,11 +270,12 @@ class FleetRouter:
         except Exception:
             with self._lock:
                 self._rerouted += len(indices)
-            # Redistribute to each shape's next candidate(s).
+            tried = tried | {did}
+            # Redistribute to each shape's next untried candidate.
             regrouped: Dict[str, List[int]] = {}
             for i in indices:
                 candidates, _ = targets[i]
-                remaining = [c for c in candidates if c != did]
+                remaining = [c for c in candidates if c not in tried]
                 if not remaining:
                     raise
                 regrouped.setdefault(remaining[0], []).append(i)
@@ -277,7 +286,7 @@ class FleetRouter:
                     shapes,
                     targets,
                     decisions,
-                    depth=depth + 1,
+                    tried=tried,
                 )
             return
         with self._lock:
@@ -285,8 +294,10 @@ class FleetRouter:
             entry.outstanding += len(indices)
         for i, config in zip(indices, configs):
             _, targeted = targets[i]
-            rerouted = depth > 0 or (targeted is not None and did != targeted)
-            if rerouted and depth == 0:
+            rerouted = bool(tried) or (
+                targeted is not None and did != targeted
+            )
+            if rerouted and not tried:
                 with self._lock:
                     self._rerouted += 1
             decisions[i] = RoutedDecision(

@@ -18,15 +18,17 @@ from tests.fleet.conftest import SMALL_FLEET
 VICTIM = "compute-heavy"
 
 
-def _faulty_router(fleet_run, plan, *, fallback=True, **service_kwargs):
-    """A four-device router whose VICTIM device hits ``plan``'s faults."""
+def _faulty_router(
+    fleet_run, plan, *, fallback=True, victims=(VICTIM,), **service_kwargs
+):
+    """A four-device router whose ``victims`` hit ``plan``'s faults."""
     service_kwargs.setdefault("breaker_threshold", 2)
     router = FleetRouter()
     for did in SMALL_FLEET:
         deployed = fleet_run.value("train", did)
         policy = (
             FaultyPolicy(deployed, plan, device_id=did)
-            if did == VICTIM
+            if did in victims
             else deployed
         )
         kwargs = dict(service_kwargs)
@@ -173,6 +175,53 @@ class TestDegradation:
         assert len(decisions) == 12
         assert all(d.rerouted for d in decisions)
         assert all(d.device_id != VICTIM for d in decisions)
+
+    def test_batch_survives_two_dead_devices(self, fleet_run, all_shapes):
+        # Two devices die at once, mid breaker warm-up, no fallback: the
+        # reroute must walk each shape's candidate list once (no
+        # ping-pong between the two dead devices, no RecursionError) and
+        # land every shape on one of the two healthy devices.
+        victims = ("compute-heavy", "bandwidth-lean")
+        plan = FaultPlan()
+        for did in victims:
+            plan.kill_device(did, after=0)
+        router = _faulty_router(
+            fleet_run, plan, fallback=False, victims=victims
+        )
+        shapes = list(all_shapes[:8])
+        decisions = router.select_batch(shapes, policy="round-robin")
+        assert len(decisions) == len(shapes)
+        assert all(d.device_id not in victims for d in decisions)
+        assert all(d.config is not None for d in decisions)
+        # Bounded reroutes: at most one count per (shape, dead device).
+        assert router.stats().rerouted <= len(shapes) * len(victims)
+
+    def test_targeted_batch_fallback_prefers_healthy_devices(
+        self, fleet_run, all_shapes
+    ):
+        # Trip the breaker of the fleet's first device, then kill the
+        # batch's (still healthy-looking) target: the wholesale reroute
+        # must try the remaining healthy devices before the open-breaker
+        # one, so exactly one reroute hop happens per shape.
+        victims = ("r9-nano", "bandwidth-lean")
+        plan = FaultPlan().kill_device("r9-nano", after=0)
+        router = _faulty_router(
+            fleet_run, plan, fallback=False, victims=victims
+        )
+        for shape in all_shapes[:2]:
+            router.select(shape, device_id="r9-nano")
+        assert router.service("r9-nano").breaker_open
+        router.clear()
+        plan.kill_device("bandwidth-lean", after=0)
+        shapes = list(all_shapes[:6])
+        decisions = router.select_batch(shapes, device_id="bandwidth-lean")
+        assert all(d.rerouted for d in decisions)
+        assert all(
+            d.device_id in ("compute-heavy", "latency-bound")
+            for d in decisions
+        )
+        # One failed device per shape — the open breaker was never tried.
+        assert router.stats().rerouted == len(shapes)
 
     def test_agnostic_traffic_avoids_the_open_breaker(
         self, fleet_run, all_shapes
