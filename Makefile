@@ -1,15 +1,44 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test deep lint bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+# Mirrors the CI deep job: integration/fault/oracle suites plus the
+# cross-process pipeline and fleet cache round trips.
+deep:
+	PYTHONPATH=src python -m pytest \
+		tests/integration tests/testing tests/serving tests/pipeline \
+		tests/fleet tests/obs -q -p no:randomly
+	PYTHONPATH=src python -m repro.cli pipeline run \
+		--store /tmp/repro-store --networks mobilenet_v2
+	PYTHONPATH=src python -m repro.cli pipeline run \
+		--store /tmp/repro-store --networks mobilenet_v2 --assert-all-cached
+	PYTHONPATH=src python -m repro.cli fleet build \
+		--store /tmp/repro-fleet-store --networks mobilenet_v2 \
+		--device-ids r9-nano compute-heavy latency-bound
+	PYTHONPATH=src python -m repro.cli fleet build \
+		--store /tmp/repro-fleet-store --networks mobilenet_v2 \
+		--device-ids r9-nano compute-heavy latency-bound --assert-all-cached
+
+# Mirrors the CI lint job (requires ruff + mypy on PATH).
+lint:
+	ruff check src/repro/obs src/repro/serving
+	ruff format --check src/repro/obs src/repro/serving
+	mypy src/repro/obs src/repro/serving
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+
+# Mirrors the CI bench-smoke job: throughput + obs-overhead gates.
+bench-smoke:
+	PYTHONPATH=src python -m pytest \
+		benchmarks/test_bench_serving.py benchmarks/test_bench_obs.py \
+		-q -p no:randomly --benchmark-json=bench-results.json
 
 report:
 	python examples/reproduce_paper.py

@@ -1,0 +1,134 @@
+"""Instrumentation overhead: obs-metered serving vs the null registry.
+
+The whole point of :mod:`repro.obs` is that metering the serving hot
+path is effectively free — otherwise "negligible overhead" selection
+would be negated by its own observability.  This benchmark serves the
+same warm 10k-query replay through two identically configured services,
+one writing into a real :class:`MetricsRegistry` and one into
+:data:`NULL_REGISTRY` (whose metrics are all no-ops), interleaving
+best-of-N timings so machine noise hits both sides equally, and asserts
+the instrumented batch path costs < 5% extra.
+"""
+
+import time
+
+import pytest
+
+from repro.core.deploy import tune
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.serving import SelectionService
+
+N_QUERIES = 10_000
+ROUNDS = 22
+MAX_OVERHEAD = 0.05
+
+
+@pytest.fixture(scope="module")
+def deployed(split):
+    train, _ = split
+    return tune(train, n_configs=8, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def query_shapes(split):
+    _, test = split
+    shapes = list(test.shapes)
+    reps = -(-N_QUERIES // len(shapes))
+    return tuple((shapes * reps)[:N_QUERIES])
+
+
+def _best_of_interleaved(fn_a, fn_b, rounds):
+    """Best-of-``rounds`` wall time for each callable, interleaved.
+
+    The pair order alternates every round so neither side consistently
+    enjoys (or pays for) whatever the other left in the caches.
+    """
+    best_a = best_b = float("inf")
+    for round_index in range(rounds):
+        pair = ((fn_a, "a"), (fn_b, "b"))
+        if round_index % 2:
+            pair = tuple(reversed(pair))
+        for fn, side in pair:
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if side == "a":
+                best_a = min(best_a, elapsed)
+            else:
+                best_b = min(best_b, elapsed)
+    return best_a, best_b
+
+
+def test_bench_obs_overhead_on_select_batch(benchmark, deployed, query_shapes):
+    """Instrumented warm select_batch within 5% of the null-registry one."""
+    instrumented = SelectionService(
+        deployed, capacity=16384, registry=MetricsRegistry(), name="bench"
+    )
+    baseline = SelectionService(
+        deployed, capacity=16384, registry=NULL_REGISTRY, name="bench"
+    )
+    # Warm both memo caches: the measured path is pure hits, which is
+    # where per-query instrumentation cost would show up undiluted.
+    expected = instrumented.select_batch(query_shapes)
+    assert baseline.select_batch(query_shapes) == expected
+
+    instrumented_s, baseline_s = _best_of_interleaved(
+        lambda: instrumented.select_batch(query_shapes),
+        lambda: baseline.select_batch(query_shapes),
+        ROUNDS,
+    )
+
+    benchmark.pedantic(
+        instrumented.select_batch, args=(query_shapes,), rounds=3, iterations=1
+    )
+
+    overhead = instrumented_s / baseline_s - 1.0
+    print(
+        f"\n{N_QUERIES} warm queries: instrumented "
+        f"{instrumented_s * 1e3:7.2f} ms, null-registry "
+        f"{baseline_s * 1e3:7.2f} ms -> {overhead * 100:+.2f}% overhead"
+    )
+    assert overhead < MAX_OVERHEAD
+
+    # The instrumented service actually metered the workload: one warm
+    # pass, ROUNDS interleaved passes, 3 benchmark rounds.
+    stats = instrumented.stats()
+    assert stats.lookups == (1 + ROUNDS + 3) * N_QUERIES
+    assert stats.latency.count == stats.batch_calls
+    # ...while the null registry recorded nothing at all.
+    null_stats = baseline.stats()
+    assert null_stats.lookups == 0
+    assert null_stats.latency.count == 0
+
+
+def test_bench_obs_overhead_on_single_select(benchmark, deployed, query_shapes):
+    """Per-call select() metering stays in the same latency bucket."""
+    instrumented = SelectionService(deployed, registry=MetricsRegistry())
+    baseline = SelectionService(deployed, registry=NULL_REGISTRY)
+    shape = query_shapes[0]
+    instrumented.select(shape)
+    baseline.select(shape)
+
+    def hot_loop(service):
+        def run():
+            for _ in range(1000):
+                service.select(shape)
+
+        return run
+
+    instrumented_s, baseline_s = _best_of_interleaved(
+        hot_loop(instrumented), hot_loop(baseline), ROUNDS
+    )
+    benchmark.pedantic(hot_loop(instrumented), rounds=3, iterations=1)
+
+    added_us = (instrumented_s - baseline_s) / 1000 * 1e6
+    print(
+        f"\n1000 single hits: instrumented {instrumented_s * 1e3:7.2f} ms, "
+        f"null-registry {baseline_s * 1e3:7.2f} ms "
+        f"-> +{added_us:.2f} us per call"
+    )
+    # Single-call metering observes two histograms and three counters
+    # per hit, so relative overhead on a sub-microsecond memo lookup is
+    # the wrong yardstick; the claim that matters is that the *absolute*
+    # added latency stays far below a kernel launch (~5 us and up).
+    assert added_us < 10.0

@@ -11,6 +11,8 @@ Subcommands
 * ``fleet``       — multi-device fleet: ``build`` / ``route`` / ``stats``
   / ``devices`` over per-device selector artifacts and a routing layer.
 * ``serve-stats`` — replay a serving workload, print service counters.
+* ``obs``         — render an observability snapshot: ``dump`` /
+  ``summary`` over metrics + spans exported with ``--obs-export``.
 * ``devices``     — list the simulated device presets.
 """
 
@@ -55,6 +57,17 @@ def _load_or_generate(args):
         cache_path=args.dataset,
         max_workers=getattr(args, "workers", 1),
     )
+
+
+def _export_obs(path: Path, registry, tracer=None) -> None:
+    """Write a ``repro.obs`` JSON document for ``repro obs`` to read back."""
+    import json
+
+    from repro.obs import obs_doc
+
+    doc = obs_doc(registry, tracer)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    print(f"obs snapshot written to {path}")
 
 
 def _cmd_dataset(args) -> int:
@@ -168,11 +181,18 @@ def _cmd_pipeline(args) -> int:
     pipeline = paper_pipeline()
 
     if args.action == "run":
+        from repro.obs import Tracer, default_registry
         from repro.pipeline import PipelineExecutor
 
-        executor = PipelineExecutor(store, max_workers=args.workers)
+        registry = default_registry()
+        tracer = Tracer()
+        executor = PipelineExecutor(
+            store, max_workers=args.workers, registry=registry, tracer=tracer
+        )
         run = executor.run(pipeline, paper_params(config), force=args.force)
         print(run.stats.render())
+        if args.obs_export is not None:
+            _export_obs(args.obs_export, registry, tracer)
         print()
         for name in ("dataset", "train", "eval"):
             print(f"{name:8s} -> {run.artifacts[name].artifact_id}")
@@ -233,8 +253,10 @@ def _cmd_pipeline(args) -> int:
 def _cmd_serve_stats(args) -> int:
     import numpy as np
 
+    from repro.obs import default_registry
     from repro.serving import SelectionService
 
+    registry = default_registry()
     service = None
     if args.store is not None:
         from repro.pipeline import ArtifactStore
@@ -252,7 +274,11 @@ def _cmd_serve_stats(args) -> int:
                 return 1
             artifact_id = latest.fingerprint
         service = SelectionService.from_artifact(
-            store, artifact_id, capacity=args.cache_capacity
+            store,
+            artifact_id,
+            capacity=args.cache_capacity,
+            registry=registry,
+            name="serve",
         )
 
     dataset = _load_or_generate(args)
@@ -266,7 +292,12 @@ def _cmd_serve_stats(args) -> int:
             classifier=args.classifier,
             random_state=args.seed,
         )
-        service = SelectionService(deployed, capacity=args.cache_capacity)
+        service = SelectionService(
+            deployed,
+            capacity=args.cache_capacity,
+            registry=registry,
+            name="serve",
+        )
 
     # Production-style traffic: a skewed distribution over the test
     # shapes (a few hot shapes dominate, a long tail of rare ones).
@@ -281,6 +312,8 @@ def _cmd_serve_stats(args) -> int:
 
     print(f"served {args.requests} requests in batches of {args.batch_size}")
     print(service.stats().render())
+    if args.obs_export is not None:
+        _export_obs(args.obs_export, registry)
     return 0
 
 
@@ -375,10 +408,37 @@ def _cmd_fleet(args) -> int:
         import numpy as np
 
         from repro.fleet import router_from_store
+        from repro.obs import Tracer, default_registry
+
+        registry = default_registry()
+        tracer = Tracer()
+        policy_wrapper = None
+        if args.kill:
+            unknown_kills = set(args.kill) - set(device_ids)
+            if unknown_kills:
+                print(
+                    f"ERROR: --kill names unknown devices "
+                    f"{sorted(unknown_kills)}; fleet: {device_ids}",
+                    file=sys.stderr,
+                )
+                return 1
+            from repro.testing import FaultPlan, FaultyPolicy
+
+            plan = FaultPlan()
+            for device_id in args.kill:
+                plan.kill_device(device_id)
+
+            def policy_wrapper(device_id, policy):
+                return FaultyPolicy(policy, plan, device_id=device_id)
 
         try:
             router = router_from_store(
-                store, config, default_policy=args.policy
+                store,
+                config,
+                default_policy=args.policy,
+                registry=registry,
+                tracer=tracer,
+                policy_wrapper=policy_wrapper,
             )
         except KeyError as exc:
             print(f"ERROR: {exc.args[0]}", file=sys.stderr)
@@ -418,10 +478,46 @@ def _cmd_fleet(args) -> int:
             f"routed {args.requests} requests "
             f"(batches of {args.batch_size}, policy {args.policy})"
         )
+        if args.kill:
+            print(f"killed devices: {', '.join(args.kill)}")
         print(router.stats().render())
+        if args.obs_export is not None:
+            _export_obs(args.obs_export, registry, tracer)
         return 0
 
     raise ValueError(f"unknown fleet action {args.action!r}")
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from repro.obs import default_registry, obs_doc, render_dump, render_summary
+
+    if args.snapshot is not None:
+        try:
+            doc = json.loads(Path(args.snapshot).read_text())
+        except FileNotFoundError:
+            print(
+                f"no obs snapshot at {args.snapshot}; export one with "
+                "`repro fleet route --obs-export PATH` (or serve-stats / "
+                "pipeline run)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        # In-process registry: only useful right after a command in the
+        # same interpreter; the snapshot path is the normal workflow.
+        doc = obs_doc(default_registry())
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    try:
+        render = render_dump if args.action == "dump" else render_summary
+        print(render(doc))
+    except ValueError as exc:
+        print(f"ERROR: {exc.args[0]}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_devices(args) -> int:
@@ -520,6 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--all", action="store_true", help="gc: delete every artifact"
     )
+    p.add_argument(
+        "--obs-export",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run: write a repro.obs JSON snapshot (see `repro obs`)",
+    )
     p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser(
@@ -575,6 +678,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--batch-size", type=int, default=256, help="route: queries per batch"
     )
+    p.add_argument(
+        "--kill",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="route: inject faults into these devices' policies, forcing "
+        "breaker trips and cross-device reroutes (demo/obs)",
+    )
+    p.add_argument(
+        "--obs-export",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="route: write a repro.obs JSON snapshot (see `repro obs`)",
+    )
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
@@ -605,7 +723,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-capacity", type=int, default=4096, help="LRU memo capacity"
     )
+    p.add_argument(
+        "--obs-export",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a repro.obs JSON snapshot (see `repro obs`)",
+    )
     p.set_defaults(func=_cmd_serve_stats)
+
+    p = sub.add_parser(
+        "obs",
+        help="render an exported observability snapshot (metrics + spans)",
+    )
+    p.add_argument("action", choices=("dump", "summary"))
+    p.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="JSON snapshot written by --obs-export "
+        "(default: the in-process registry)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON document instead of rendering it",
+    )
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("devices", help="list simulated device presets")
     p.set_defaults(func=_cmd_devices)

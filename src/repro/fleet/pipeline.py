@@ -281,10 +281,19 @@ def run_fleet_pipeline(
     *,
     max_workers: int = 1,
     force: bool = False,
+    registry=None,
+    tracer=None,
 ) -> FleetRun:
-    """Build (or incrementally resume) every device's selector artifact."""
+    """Build (or incrementally resume) every device's selector artifact.
+
+    ``registry``/``tracer`` are forwarded to the underlying
+    :class:`PipelineExecutor`, so the build's per-stage spans and cache
+    counters land in the same obs snapshot as later serving traffic.
+    """
     config = config or FleetPipelineConfig()
-    executor = PipelineExecutor(store, max_workers=max_workers)
+    executor = PipelineExecutor(
+        store, max_workers=max_workers, registry=registry, tracer=tracer
+    )
     run = executor.run(
         fleet_pipeline(config), fleet_params(config), force=force
     )

@@ -11,13 +11,15 @@ the device's dataset was generated under.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.fleet.pipeline import (
     FleetPipelineConfig,
     fleet_fingerprints,
     stage_name,
 )
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.pipeline.store import ArtifactStore
 from repro.serving.router import FleetRouter
 from repro.serving.service import SelectionService
@@ -31,6 +33,9 @@ def router_from_store(
     *,
     default_policy: str = "round-robin",
     service_kwargs: Optional[Dict[str, Any]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    policy_wrapper: Optional[Callable[[str, Any], Any]] = None,
 ) -> FleetRouter:
     """A router serving every device selector a fleet build produced.
 
@@ -39,11 +44,22 @@ def router_from_store(
     any shipped kernel" guarantee), unless ``service_kwargs`` overrides
     it.  Raises :class:`KeyError` naming the device and stage when a
     selector artifact is missing — run the fleet build first.
+
+    ``registry``/``tracer`` are shared by the router and every device
+    service (each labelled ``service=<device_id>``), so one obs snapshot
+    covers the whole fleet.  ``policy_wrapper`` — called as
+    ``policy_wrapper(device_id, policy)`` — may replace each device's
+    policy before it is served; fault-injection demos wrap policies in a
+    :class:`~repro.testing.faulty.FaultyPolicy` this way.
     """
     config = config or FleetPipelineConfig()
     fingerprints = fleet_fingerprints(config)
-    router = FleetRouter(default_policy=default_policy)
+    router = FleetRouter(
+        default_policy=default_policy, registry=registry, tracer=tracer
+    )
     kwargs = dict(service_kwargs or {})
+    if registry is not None:
+        kwargs.setdefault("registry", registry)
     for profile in config.profiles():
         did = profile.device_id
         train_name = stage_name("train", did)
@@ -56,10 +72,14 @@ def router_from_store(
                 "run the fleet build first"
             )
         deployed = artifact.value
+        policy = deployed
+        if policy_wrapper is not None:
+            policy = policy_wrapper(did, deployed)
         service_args = dict(kwargs)
         service_args.setdefault("fallback", deployed.library.configs[0])
+        service_args.setdefault("name", did)
         service = SelectionService(
-            deployed, provenance=artifact.provenance, **service_args
+            policy, provenance=artifact.provenance, **service_args
         )
         router.add_device(
             did,

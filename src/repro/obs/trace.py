@@ -1,0 +1,200 @@
+"""Lightweight span tracing: nested timed spans with tags.
+
+``with tracer.trace("pipeline.stage", stage="sweep"):`` times a block;
+spans opened inside it become children, so a fleet reroute that cascades
+across devices shows up as a nested tree.  Finished root spans land in a
+bounded ring buffer and export as plain JSON-able dicts
+(:meth:`Tracer.export` / :meth:`SpanRecord.from_dict` round-trip).
+
+Each thread has its own active-span stack, so concurrent request paths
+never interleave their trees; completed roots from every thread share
+one buffer.  :data:`NULL_TRACER` drops everything — the zero-overhead
+default for hot paths that only want tracing when a demo or test asks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["NullTracer", "NULL_TRACER", "SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named, tagged duration with child spans.
+
+    ``start_s`` is a monotonic (``perf_counter``) timestamp, so only
+    differences between spans of one process are meaningful.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    tags: Mapping[str, Any] = field(default_factory=dict)
+    children: Tuple["SpanRecord", ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "SpanRecord":
+        return SpanRecord(
+            name=str(doc["name"]),
+            start_s=float(doc["start_s"]),
+            duration_s=float(doc["duration_s"]),
+            tags=dict(doc.get("tags", {})),
+            children=tuple(
+                SpanRecord.from_dict(child) for child in doc.get("children", ())
+            ),
+        )
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, {self.duration_s * 1e3:.2f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _ActiveSpan:
+    """Mutable in-flight span; frozen into a SpanRecord on exit."""
+
+    __slots__ = ("name", "tags", "start", "children")
+
+    def __init__(self, name: str, tags: Dict[str, Any], start: float) -> None:
+        self.name = name
+        self.tags = tags
+        self.start = start
+        self.children: List[SpanRecord] = []
+
+
+class Tracer:
+    """Produces nested :class:`SpanRecord` trees from timed blocks.
+
+    ``max_spans`` bounds the retained ring of finished *root* spans
+    (children live inside their root); the oldest roots fall off first.
+    """
+
+    def __init__(self, max_spans: int = 4096) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self._max_spans = max_spans
+        self._finished: Deque[SpanRecord] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def max_spans(self) -> int:
+        return self._max_spans
+
+    def _stack(self) -> List[_ActiveSpan]:
+        stack: Optional[List[_ActiveSpan]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def trace(self, name: str, **tags: Any) -> Iterator[_ActiveSpan]:
+        """Time a block as a span; nested calls become child spans.
+
+        The yielded handle's ``tags`` dict may be updated inside the
+        block (e.g. to tag an outcome discovered mid-span).
+        """
+        stack = self._stack()
+        active = _ActiveSpan(name, dict(tags), time.perf_counter())
+        stack.append(active)
+        try:
+            yield active
+        finally:
+            duration = time.perf_counter() - active.start
+            stack.pop()
+            record = SpanRecord(
+                name=active.name,
+                start_s=active.start,
+                duration_s=duration,
+                tags=dict(active.tags),
+                children=tuple(active.children),
+            )
+            self._attach(record, stack)
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        *,
+        tags: Optional[Mapping[str, Any]] = None,
+        start_s: Optional[float] = None,
+    ) -> SpanRecord:
+        """Add an already-timed span (e.g. measured in a worker process).
+
+        Attaches to the calling thread's current open span, or to the
+        root buffer when none is open.  Returns the record so callers
+        can build thin views over exactly the spans they emitted.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        start = time.perf_counter() - duration_s if start_s is None else start_s
+        record = SpanRecord(
+            name=name,
+            start_s=start,
+            duration_s=duration_s,
+            tags=dict(tags or {}),
+            children=(),
+        )
+        self._attach(record, self._stack())
+        return record
+
+    def _attach(self, record: SpanRecord, stack: List[_ActiveSpan]) -> None:
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            with self._lock:
+                self._finished.append(record)
+
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def find(self, name: str) -> Tuple[SpanRecord, ...]:
+        """Every retained span (at any depth) with the given name."""
+        return tuple(s for root in self.spans() for s in root.walk() if s.name == name)
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Finished root spans as JSON-able dicts."""
+        return [span.to_dict() for span in self.spans()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans())}/{self._max_spans} root spans)"
+
+
+class NullTracer(Tracer):
+    """A tracer that drops every span (still times, never retains)."""
+
+    def _attach(self, record: SpanRecord, stack: List[_ActiveSpan]) -> None:
+        pass
+
+
+#: Shared drop-everything tracer.
+NULL_TRACER = NullTracer()

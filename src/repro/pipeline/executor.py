@@ -4,9 +4,15 @@ For every stage the executor computes the content-address fingerprint,
 probes the :class:`~repro.pipeline.store.ArtifactStore`, and either
 loads the stored artifact (cache hit) or runs the stage function and
 persists the result.  Independent stages at the same DAG depth execute
-through :func:`~repro.bench.parallel.parallel_map`, and every decision
-is recorded in :class:`ExecutorStats` — the observable contract the
-incremental-recomputation tests assert on.
+through :func:`~repro.bench.parallel.parallel_map`.
+
+Every decision is emitted as a ``pipeline.stage`` span (tagged with the
+stage name, fingerprint, and cache-hit outcome) nested under one
+``pipeline.run`` root span on the executor's :mod:`repro.obs` tracer,
+plus ``pipeline.stages{result=...}`` counters in its registry.
+:class:`ExecutorStats` — the observable contract the incremental-
+recomputation tests assert on — is assembled from those span records
+rather than kept as separate bespoke accounting.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.bench.parallel import parallel_map
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 from repro.pipeline.artifact import Artifact, Provenance
 from repro.pipeline.stage import Pipeline, Stage
 from repro.pipeline.store import ArtifactStore
@@ -130,6 +138,13 @@ class PipelineExecutor:
     ``options["max_workers"]`` for their internal fan-out (e.g. the
     benchmark sweep).  Worker counts never enter fingerprints: results
     are bit-identical regardless of parallelism.
+
+    ``registry`` receives ``pipeline.stages{result=ran|cached}``
+    counters (a private :class:`~repro.obs.MetricsRegistry` when
+    omitted); ``tracer`` receives the ``pipeline.run`` /
+    ``pipeline.stage`` span trees (dropped by default).  Stage runtimes
+    in the spans are worker-measured, so process-pool execution reports
+    true stage cost, not round-trip overhead.
     """
 
     def __init__(
@@ -138,6 +153,8 @@ class PipelineExecutor:
         *,
         max_workers: int = 1,
         options: Optional[Mapping[str, Any]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -145,10 +162,42 @@ class PipelineExecutor:
         self._max_workers = max_workers
         self._options: Dict[str, Any] = {"max_workers": max_workers}
         self._options.update(options or {})
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._c_ran = self._registry.counter("pipeline.stages", {"result": "ran"})
+        self._c_cached = self._registry.counter(
+            "pipeline.stages", {"result": "cached"}
+        )
+        self._c_runs = self._registry.counter("pipeline.runs")
 
     @property
     def store(self) -> ArtifactStore:
         return self._store
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry the executor's counters live in."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer receiving ``pipeline.run``/``pipeline.stage`` spans."""
+        return self._tracer
+
+    def _stage_span(
+        self, stage: str, fingerprint: str, cache_hit: bool, runtime_s: float
+    ) -> SpanRecord:
+        """Emit one stage's span and bump the outcome counter."""
+        (self._c_cached if cache_hit else self._c_ran).inc()
+        return self._tracer.record(
+            "pipeline.stage",
+            runtime_s,
+            tags={
+                "stage": stage,
+                "fingerprint": fingerprint,
+                "cache_hit": cache_hit,
+            },
+        )
 
     def run(
         self,
@@ -163,71 +212,85 @@ class PipelineExecutor:
             raise ValueError(f"params for unknown stages: {sorted(unknown)}")
         fingerprints = pipeline.fingerprints(params)
         artifacts: Dict[str, Artifact] = {}
-        executions: List[StageExecution] = []
+        spans: List[SpanRecord] = []
+        self._c_runs.inc()
 
-        for level in pipeline.levels():
-            hits: List[Stage] = []
-            misses: List[Stage] = []
-            for stage in level:
-                if not force and fingerprints[stage.name] in self._store:
-                    hits.append(stage)
-                else:
-                    misses.append(stage)
+        with self._tracer.trace(
+            "pipeline.run", stages=len(pipeline.stages), force=force
+        ):
+            for level in pipeline.levels():
+                hits: List[Stage] = []
+                misses: List[Stage] = []
+                for stage in level:
+                    if not force and fingerprints[stage.name] in self._store:
+                        hits.append(stage)
+                    else:
+                        misses.append(stage)
 
-            for stage in hits:
-                start = time.perf_counter()
-                artifact = self._store.get(fingerprints[stage.name])
-                artifacts[stage.name] = artifact
-                executions.append(
-                    StageExecution(
-                        stage=stage.name,
-                        fingerprint=fingerprints[stage.name],
-                        cache_hit=True,
-                        runtime_s=time.perf_counter() - start,
+                for stage in hits:
+                    start = time.perf_counter()
+                    artifact = self._store.get(fingerprints[stage.name])
+                    artifacts[stage.name] = artifact
+                    spans.append(
+                        self._stage_span(
+                            stage.name,
+                            fingerprints[stage.name],
+                            True,
+                            time.perf_counter() - start,
+                        )
                     )
-                )
 
-            if not misses:
-                continue
-            jobs = [
-                (
-                    stage.fn,
-                    {p: artifacts[p].value for p in stage.inputs},
-                    params.get(stage.name),
-                    dict(self._options),
+                if not misses:
+                    continue
+                jobs = [
+                    (
+                        stage.fn,
+                        {p: artifacts[p].value for p in stage.inputs},
+                        params.get(stage.name),
+                        dict(self._options),
+                    )
+                    for stage in misses
+                ]
+                results = parallel_map(
+                    _run_stage_job,
+                    jobs,
+                    max_workers=min(self._max_workers, len(jobs)),
+                    min_parallel_items=2,
                 )
-                for stage in misses
-            ]
-            results = parallel_map(
-                _run_stage_job,
-                jobs,
-                max_workers=min(self._max_workers, len(jobs)),
-                min_parallel_items=2,
-            )
-            for stage, (value, runtime_s) in zip(misses, results):
-                provenance = Provenance(
-                    stage=stage.name,
-                    fingerprint=fingerprints[stage.name],
-                    code_version=stage.version,
-                    params=params.get(stage.name),
-                    parents={
-                        p: fingerprints[p] for p in stage.inputs
-                    },
-                    codec=stage.codec,
-                    created_at=time.time(),
-                    runtime_s=runtime_s,
-                    failures=_collect_failures(value),
-                )
-                artifacts[stage.name] = self._store.put(value, provenance)
-                executions.append(
-                    StageExecution(
+                for stage, (value, runtime_s) in zip(misses, results):
+                    provenance = Provenance(
                         stage=stage.name,
                         fingerprint=fingerprints[stage.name],
-                        cache_hit=False,
+                        code_version=stage.version,
+                        params=params.get(stage.name),
+                        parents={
+                            p: fingerprints[p] for p in stage.inputs
+                        },
+                        codec=stage.codec,
+                        created_at=time.time(),
                         runtime_s=runtime_s,
+                        failures=_collect_failures(value),
                     )
-                )
+                    artifacts[stage.name] = self._store.put(value, provenance)
+                    spans.append(
+                        self._stage_span(
+                            stage.name,
+                            fingerprints[stage.name],
+                            False,
+                            runtime_s,
+                        )
+                    )
 
+        # The stats snapshot is a thin view over the emitted spans.
+        executions = [
+            StageExecution(
+                stage=str(span.tags["stage"]),
+                fingerprint=str(span.tags["fingerprint"]),
+                cache_hit=bool(span.tags["cache_hit"]),
+                runtime_s=span.duration_s,
+            )
+            for span in spans
+        ]
         order = {s.name: i for i, s in enumerate(pipeline.topo_order())}
         executions.sort(key=lambda e: order[e.stage])
         return PipelineRun(

@@ -15,19 +15,25 @@ device and answers ``(device_id, shape)`` lookups:
 
 Service exceptions never escape a routed lookup while any device is
 healthy: the router catches, counts a reroute, and retries the next
-candidate.  :meth:`FleetRouter.stats` aggregates the per-device service
-snapshots with the router's own dispatch counters into a
-:class:`~repro.serving.stats.FleetStats`.
+candidate.  Dispatch accounting lives in a :mod:`repro.obs` registry
+(per-device ``fleet.dispatched``/``fleet.outstanding``, per-policy
+``fleet.placements``) and cross-device fallbacks emit ``fleet.reroute``
+spans on the router's tracer; :meth:`FleetRouter.stats` stays a thin
+view assembling the legacy :class:`~repro.serving.stats.FleetStats`
+shape from those metrics and the per-device service snapshots.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.kernels.params import KernelConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.service import SelectionService
 from repro.serving.stats import FleetStats
 from repro.workloads.gemm import GemmShape
@@ -57,14 +63,35 @@ class RoutedDecision:
 
 
 class _DeviceEntry:
-    """Router-side bookkeeping for one fleet device."""
+    """Router-side bookkeeping for one fleet device.
 
-    def __init__(self, service: SelectionService, model, library):
+    Load accounting lives in registry metrics so a fleet-wide obs
+    snapshot carries per-device dispatch counts without a separate
+    stats pass; the router mutates them under its own lock.
+    """
+
+    def __init__(
+        self,
+        service: SelectionService,
+        model,
+        library,
+        registry: MetricsRegistry,
+        device_id: str,
+    ):
         self.service = service
         self.model = model
         self.library = library
-        self.outstanding = 0
-        self.dispatched = 0
+        labels = {"device": device_id}
+        self.c_dispatched = registry.counter("fleet.dispatched", labels)
+        self.g_outstanding = registry.gauge("fleet.outstanding", labels)
+
+    @property
+    def outstanding(self) -> int:
+        return int(self.g_outstanding.value)
+
+    @property
+    def dispatched(self) -> int:
+        return self.c_dispatched.value
 
 
 class FleetRouter:
@@ -76,20 +103,48 @@ class FleetRouter:
     kernel-config library the perf-aware policy estimates over.  When
     the service fronts a :class:`~repro.core.deploy.DeployedSelector`,
     the library defaults to the selector's bundled configurations.
+
+    ``registry`` is where the router's dispatch metrics live (a private
+    :class:`~repro.obs.MetricsRegistry` when omitted); share one with
+    the devices' services to export the whole fleet as one snapshot.
+    ``tracer`` receives ``fleet.reroute`` spans on cross-device
+    fallback (dropped by default).
     """
 
-    def __init__(self, *, default_policy: str = "round-robin"):
+    def __init__(
+        self,
+        *,
+        default_policy: str = "round-robin",
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self._check_policy(default_policy)
         self._default_policy = default_policy
         self._devices: "OrderedDict[str, _DeviceEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        reg = self._registry
+        self._c_targeted = reg.counter("fleet.requests", {"kind": "targeted"})
+        self._c_agnostic = reg.counter("fleet.requests", {"kind": "agnostic"})
+        self._c_rerouted = reg.counter("fleet.rerouted")
+        self._c_placements = {
+            policy: reg.counter("fleet.placements", {"policy": policy})
+            for policy in ROUTING_POLICIES
+        }
         self._rr_cursor = 0
-        self._targeted = 0
-        self._agnostic = 0
-        self._rerouted = 0
-        self._policy_counts: Dict[str, int] = {}
         # (device_id, shape tuple) -> predicted best seconds on device.
         self._estimates: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry the router's dispatch counters live in."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer receiving ``fleet.reroute`` spans."""
+        return self._tracer
 
     @staticmethod
     def _check_policy(policy: str) -> None:
@@ -120,7 +175,11 @@ class FleetRouter:
                 if bundled is not None:
                     library = tuple(bundled.configs)
             self._devices[device_id] = _DeviceEntry(
-                service, model, tuple(library) if library else None
+                service,
+                model,
+                tuple(library) if library else None,
+                self._registry,
+                device_id,
             )
         return self
 
@@ -141,9 +200,7 @@ class FleetRouter:
         """Devices whose circuit breaker is currently closed."""
         with self._lock:
             ids = tuple(self._devices)
-        return tuple(
-            did for did in ids if not self._devices[did].service.breaker_open
-        )
+        return tuple(did for did in ids if not self._devices[did].service.breaker_open)
 
     def _entry(self, device_id: str) -> _DeviceEntry:
         try:
@@ -164,6 +221,7 @@ class FleetRouter:
         policy: Optional[str] = None,
     ) -> RoutedDecision:
         """Route one lookup; never raises while a healthy device answers."""
+        start = time.perf_counter()
         candidates, targeted = self._candidates(shape, device_id, policy)
         last_exc: Optional[BaseException] = None
         for position, did in enumerate(candidates):
@@ -172,22 +230,30 @@ class FleetRouter:
                 config = entry.service.select(shape)
             except Exception as exc:
                 last_exc = exc
-                with self._lock:
-                    self._rerouted += 1
+                self._c_rerouted.inc()
                 continue
-            rerouted = position > 0 or (
-                targeted is not None and did != targeted
-            )
+            rerouted = position > 0 or (targeted is not None and did != targeted)
             with self._lock:
-                entry.dispatched += 1
-                entry.outstanding += 1
+                entry.c_dispatched.inc()
+                entry.g_outstanding.inc()
                 if rerouted and position == 0:
                     # Targeted at an open breaker: the fallback device
                     # answered first try, but it is still a reroute.
-                    self._rerouted += 1
-            return RoutedDecision(
-                device_id=did, config=config, rerouted=rerouted
-            )
+                    self._c_rerouted.inc()
+            if rerouted:
+                requested = targeted if targeted is not None else candidates[0]
+                self._tracer.record(
+                    "fleet.reroute",
+                    time.perf_counter() - start,
+                    tags={
+                        "from": requested,
+                        "to": did,
+                        "reason": (
+                            "exception" if position > 0 else "breaker-open"
+                        ),
+                    },
+                )
+            return RoutedDecision(device_id=did, config=config, rerouted=rerouted)
         assert last_exc is not None
         raise last_exc
 
@@ -216,7 +282,7 @@ class FleetRouter:
                 entry = self._entry(device_id)
                 healthy = not entry.service.breaker_open
                 if healthy:
-                    self._targeted += len(shapes)
+                    self._c_targeted.inc(len(shapes))
                     # Fallback order mirrors _candidates: healthy
                     # devices first, open-breaker devices last (stable
                     # sort keeps insertion order within each group).
@@ -227,11 +293,11 @@ class FleetRouter:
             if healthy:
                 order = (device_id, *fallback)
                 indices = list(range(len(shapes)))
-                targets = {i: (order, device_id) for i in indices}
+                targets: Dict[int, Tuple[Tuple[str, ...], Optional[str]]] = {
+                    i: (order, device_id) for i in indices
+                }
                 decisions: Dict[int, RoutedDecision] = {}
-                self._serve_partition(
-                    device_id, indices, shapes, targets, decisions
-                )
+                self._serve_partition(device_id, indices, shapes, targets, decisions)
                 return tuple(decisions[i] for i in indices)
         # Partition: shape index -> ordered candidate devices.
         targets = self._batch_candidates(shapes, device_id, policy)
@@ -239,7 +305,7 @@ class FleetRouter:
         for i in range(len(shapes)):
             partitions.setdefault(targets[i][0][0], []).append(i)
 
-        decisions: Dict[int, RoutedDecision] = {}
+        decisions = {}
         for did, indices in partitions.items():
             self._serve_partition(did, indices, shapes, targets, decisions)
         return tuple(decisions[i] for i in range(len(shapes)))
@@ -264,14 +330,14 @@ class FleetRouter:
         """
         entry = self._devices[did]
         try:
-            configs = entry.service.select_batch(
-                [shapes[i] for i in indices]
-            )
+            configs = entry.service.select_batch([shapes[i] for i in indices])
         except Exception:
-            with self._lock:
-                self._rerouted += len(indices)
+            self._c_rerouted.inc(len(indices))
             tried = tried | {did}
-            # Redistribute to each shape's next untried candidate.
+            # Redistribute to each shape's next untried candidate.  The
+            # whole redistribution runs inside one fleet.reroute span;
+            # a multi-device outage nests its cascading reroutes as
+            # child spans of the first.
             regrouped: Dict[str, List[int]] = {}
             for i in indices:
                 candidates, _ = targets[i]
@@ -279,27 +345,28 @@ class FleetRouter:
                 if not remaining:
                     raise
                 regrouped.setdefault(remaining[0], []).append(i)
-            for next_did, next_indices in regrouped.items():
-                self._serve_partition(
-                    next_did,
-                    next_indices,
-                    shapes,
-                    targets,
-                    decisions,
-                    tried=tried,
-                )
+            with self._tracer.trace(
+                "fleet.reroute",
+                **{"from": did, "shapes": len(indices), "reason": "exception"},
+            ):
+                for next_did, next_indices in regrouped.items():
+                    self._serve_partition(
+                        next_did,
+                        next_indices,
+                        shapes,
+                        targets,
+                        decisions,
+                        tried=tried,
+                    )
             return
         with self._lock:
-            entry.dispatched += len(indices)
-            entry.outstanding += len(indices)
+            entry.c_dispatched.inc(len(indices))
+            entry.g_outstanding.inc(len(indices))
         for i, config in zip(indices, configs):
             _, targeted = targets[i]
-            rerouted = bool(tried) or (
-                targeted is not None and did != targeted
-            )
+            rerouted = bool(tried) or (targeted is not None and did != targeted)
             if rerouted and not tried:
-                with self._lock:
-                    self._rerouted += 1
+                self._c_rerouted.inc()
             decisions[i] = RoutedDecision(
                 device_id=did, config=config, rerouted=rerouted
             )
@@ -313,7 +380,7 @@ class FleetRouter:
         """
         with self._lock:
             entry = self._entry(device_id)
-            entry.outstanding = max(0, entry.outstanding - n)
+            entry.g_outstanding.set(max(0.0, entry.g_outstanding.value - n))
 
     # -- policy internals ----------------------------------------------------
 
@@ -335,7 +402,7 @@ class FleetRouter:
             ids = list(self._devices)
             if device_id is not None:
                 target = self._entry(device_id)
-                self._targeted += 1
+                self._c_targeted.inc()
                 if not target.service.breaker_open:
                     order = [device_id]
                     order += [d for d in ids if d != device_id]
@@ -344,15 +411,11 @@ class FleetRouter:
                 # the dead device as the candidate of last resort.
                 chosen_policy = policy or self._default_policy
             else:
-                self._agnostic += 1
+                self._c_agnostic.inc()
                 chosen_policy = policy or self._default_policy
             self._check_policy(chosen_policy)
-            self._policy_counts[chosen_policy] = (
-                self._policy_counts.get(chosen_policy, 0) + 1
-            )
-            healthy = [
-                d for d in ids if not self._devices[d].service.breaker_open
-            ]
+            self._c_placements[chosen_policy].inc()
+            healthy = [d for d in ids if not self._devices[d].service.breaker_open]
             open_ids = [d for d in ids if d not in healthy]
             pool = healthy if healthy else ids
 
@@ -361,13 +424,9 @@ class FleetRouter:
                 self._rr_cursor += 1
                 ordered = pool[start:] + pool[:start]
             elif chosen_policy == "least-outstanding":
-                ordered = sorted(
-                    pool, key=lambda d: self._devices[d].outstanding
-                )
+                ordered = sorted(pool, key=lambda d: self._devices[d].outstanding)
             else:  # perf-aware
-                ordered = sorted(
-                    pool, key=lambda d: self._estimate_locked(d, shape)
-                )
+                ordered = sorted(pool, key=lambda d: self._estimate_locked(d, shape))
             if healthy:
                 ordered = ordered + open_ids
             if device_id is not None:
@@ -395,17 +454,13 @@ class FleetRouter:
             ids = list(self._devices)
             if device_id is not None:
                 self._entry(device_id)
-                self._targeted += len(shapes)
+                self._c_targeted.inc(len(shapes))
             else:
-                self._agnostic += len(shapes)
+                self._c_agnostic.inc(len(shapes))
             chosen_policy = policy or self._default_policy
             self._check_policy(chosen_policy)
-            self._policy_counts[chosen_policy] = (
-                self._policy_counts.get(chosen_policy, 0) + len(shapes)
-            )
-            healthy = [
-                d for d in ids if not self._devices[d].service.breaker_open
-            ]
+            self._c_placements[chosen_policy].inc(len(shapes))
+            healthy = [d for d in ids if not self._devices[d].service.breaker_open]
             open_ids = [d for d in ids if d not in healthy]
             pool = healthy if healthy else ids
             outstanding = {d: self._devices[d].outstanding for d in pool}
@@ -473,15 +528,19 @@ class FleetRouter:
     # -- observability -------------------------------------------------------
 
     def stats(self) -> FleetStats:
-        """Aggregated fleet snapshot: router counters + per-device stats."""
+        """Aggregated fleet snapshot: a thin view over the obs metrics."""
         with self._lock:
             ids = tuple(self._devices)
             dispatched = {d: self._devices[d].dispatched for d in ids}
             outstanding = {d: self._devices[d].outstanding for d in ids}
-            targeted = self._targeted
-            agnostic = self._agnostic
-            rerouted = self._rerouted
-            policy_counts = dict(self._policy_counts)
+            targeted = self._c_targeted.value
+            agnostic = self._c_agnostic.value
+            rerouted = self._c_rerouted.value
+            policy_counts = {
+                policy: counter.value
+                for policy, counter in self._c_placements.items()
+                if counter.value
+            }
         # Per-device snapshots are taken outside the router lock: each
         # service has its own lock and stats() never calls back in.
         devices = {d: self._devices[d].service.stats() for d in ids}
@@ -501,17 +560,22 @@ class FleetRouter:
         self.service(device_id).reset_breaker()
 
     def clear(self) -> None:
-        """Zero router counters and estimate memo; services are kept."""
+        """Zero router counters and estimate memo; services are kept.
+
+        Only router-owned metrics reset; service metrics sharing the
+        registry are untouched.
+        """
         with self._lock:
             self._rr_cursor = 0
-            self._targeted = 0
-            self._agnostic = 0
-            self._rerouted = 0
-            self._policy_counts.clear()
+            self._c_targeted.reset()
+            self._c_agnostic.reset()
+            self._c_rerouted.reset()
+            for counter in self._c_placements.values():
+                counter.reset()
             self._estimates.clear()
             for entry in self._devices.values():
-                entry.outstanding = 0
-                entry.dispatched = 0
+                entry.g_outstanding.reset()
+                entry.c_dispatched.reset()
 
     def __repr__(self) -> str:
         with self._lock:

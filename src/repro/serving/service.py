@@ -11,8 +11,11 @@ machinery a production dispatch path needs:
   (the paper's "negligible overhead" requirement at traffic scale);
 * batch and single-query APIs, routing misses through the policy's
   vectorized ``select_batch`` when it has one;
-* observability counters (lookups, cache hits, batch sizes, per-call
-  latency) exposed as an immutable :meth:`stats` snapshot;
+* observability through :mod:`repro.obs`: hit/miss/fallback/breaker
+  counters and per-lookup latency histograms live in a
+  :class:`~repro.obs.MetricsRegistry` (pass a shared one plus ``name``
+  to aggregate a fleet into one exported snapshot), with the legacy
+  :meth:`stats` snapshot kept as a thin view over those metrics;
 * graceful degradation: policy exceptions are counted, answered with the
   last-known-good (or configured fallback) configuration, and a circuit
   breaker stops hammering a persistently failing policy, probing it
@@ -21,12 +24,14 @@ machinery a production dispatch path needs:
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import OrderedDict, deque
-from typing import Dict, Optional, Sequence, Tuple
+from collections import OrderedDict
+from threading import Lock
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.kernels.params import KernelConfig
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.registry import MetricsRegistry
 from repro.serving.stats import LatencySummary, ServiceStats
 from repro.workloads.gemm import GemmShape
 
@@ -40,8 +45,16 @@ class SelectionService:
 
     ``policy`` is anything with ``select(shape) -> KernelConfig``; a
     vectorized ``select_batch(shapes)`` is used for batch misses when
-    present.  ``capacity`` bounds the LRU memo; ``latency_window`` how
-    many recent call latencies the :meth:`stats` summary covers.
+    present.  ``capacity`` bounds the LRU memo.
+
+    ``registry`` is the :class:`~repro.obs.MetricsRegistry` the service
+    writes its metrics into (a private one when omitted; pass
+    :data:`~repro.obs.NULL_REGISTRY` to disable instrumentation, which
+    also empties :meth:`stats`).  ``name`` labels every metric with
+    ``service=<name>`` so many services — e.g. one per fleet device —
+    can share a registry without colliding.  ``latency_window`` is kept
+    for back-compat and validated, but latency is now histogram-backed
+    and cumulative rather than windowed.
 
     ``fallback`` is the configuration served when the policy raises and
     no last-known-good answer exists yet (a production deployment passes
@@ -69,25 +82,20 @@ class SelectionService:
         breaker_threshold: int = 5,
         breaker_probe_interval: int = 8,
         provenance=None,
+        registry: Optional[MetricsRegistry] = None,
+        name: Optional[str] = None,
     ):
         if not hasattr(policy, "select"):
-            raise TypeError(
-                f"policy {policy!r} has no select(shape) method"
-            )
+            raise TypeError(f"policy {policy!r} has no select(shape) method")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if latency_window < 1:
-            raise ValueError(
-                f"latency_window must be >= 1, got {latency_window}"
-            )
+            raise ValueError(f"latency_window must be >= 1, got {latency_window}")
         if breaker_threshold < 1:
-            raise ValueError(
-                f"breaker_threshold must be >= 1, got {breaker_threshold}"
-            )
+            raise ValueError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
         if breaker_probe_interval < 1:
             raise ValueError(
-                "breaker_probe_interval must be >= 1, "
-                f"got {breaker_probe_interval}"
+                f"breaker_probe_interval must be >= 1, got {breaker_probe_interval}"
             )
         self._policy = policy
         self._provenance = provenance
@@ -96,18 +104,27 @@ class SelectionService:
         self._breaker_threshold = breaker_threshold
         self._probe_interval = breaker_probe_interval
         self._cache: "OrderedDict[_Key, KernelConfig]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._lookups = 0
-        self._hits = 0
-        self._single_calls = 0
-        self._batch_calls = 0
-        self._batch_queries = 0
-        self._max_batch_size = 0
-        self._evictions = 0
-        self._latencies: "deque[float]" = deque(maxlen=latency_window)
-        self._policy_errors = 0
-        self._fallback_serves = 0
-        self._breaker_trips = 0
+        self._lock = Lock()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._name = name
+        labels = {} if name is None else {"service": name}
+        reg = self._registry
+        self._c_lookups = reg.counter("serving.lookups", labels)
+        self._c_hits = reg.counter("serving.cache_hits", labels)
+        self._c_single = reg.counter("serving.calls", {**labels, "kind": "single"})
+        self._c_batch = reg.counter("serving.calls", {**labels, "kind": "batch"})
+        self._c_batch_queries = reg.counter("serving.batch_queries", labels)
+        self._g_max_batch = reg.gauge("serving.max_batch_size", labels)
+        self._g_cache_size = reg.gauge("serving.cache_size", labels)
+        self._c_evictions = reg.counter("serving.evictions", labels)
+        self._c_policy_errors = reg.counter("serving.policy_errors", labels)
+        self._c_fallback_serves = reg.counter("serving.fallback_serves", labels)
+        self._c_breaker_trips = reg.counter("serving.breaker_trips", labels)
+        self._g_breaker_open = reg.gauge("serving.breaker_open", labels)
+        self._h_call = reg.histogram("serving.call_seconds", labels)
+        self._h_lookup = reg.histogram("serving.lookup_seconds", labels)
+        # Breaker *state* (as opposed to its counters) stays plain: the
+        # half-open probe logic reads it on the hot path.
         self._breaker_open = False
         self._consecutive_errors = 0
         self._open_misses = 0
@@ -157,6 +174,16 @@ class SelectionService:
         return self._fallback
 
     @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this service writes into."""
+        return self._registry
+
+    @property
+    def name(self) -> Optional[str]:
+        """The ``service=...`` label on this service's metrics, if any."""
+        return self._name
+
+    @property
     def breaker_open(self) -> bool:
         """Whether the circuit breaker is currently open.
 
@@ -172,59 +199,64 @@ class SelectionService:
         """The configuration for one shape, memoised."""
         start = time.perf_counter()
         with self._lock:
-            self._single_calls += 1
-            self._lookups += 1
+            self._c_single.inc()
+            self._c_lookups.inc()
             key = shape.as_tuple()
             cached = self._cache.get(key)
             if cached is not None:
-                self._hits += 1
+                self._c_hits.inc()
                 self._cache.move_to_end(key)
                 config = cached
             else:
                 config = self._resolve_miss(shape)
-            self._latencies.append(time.perf_counter() - start)
+            duration = time.perf_counter() - start
+            self._h_call.observe(duration)
+            self._h_lookup.observe(duration)
         return config
 
-    def select_batch(
-        self, shapes: Sequence[GemmShape]
-    ) -> Tuple[KernelConfig, ...]:
+    def select_batch(self, shapes: Sequence[GemmShape]) -> Tuple[KernelConfig, ...]:
         """Configurations for many shapes in one call.
 
         Cache misses are deduplicated and resolved through the policy's
         ``select_batch`` (one classifier pass) when available, falling
         back to per-shape ``select``; hits and repeats never re-evaluate.
+        Metric increments are tallied locally and flushed once per call,
+        so instrumentation cost does not scale with the batch size.
         """
         start = time.perf_counter()
         shapes = tuple(shapes)
         with self._lock:
-            self._batch_calls += 1
-            self._lookups += len(shapes)
-            self._batch_queries += len(shapes)
-            self._max_batch_size = max(self._max_batch_size, len(shapes))
+            self._c_batch.inc()
+            self._c_lookups.inc(len(shapes))
+            self._c_batch_queries.inc(len(shapes))
+            self._g_max_batch.set_max(len(shapes))
             if not shapes:
-                self._latencies.append(time.perf_counter() - start)
+                self._h_call.observe(time.perf_counter() - start)
                 return ()
 
             resolved: Dict[_Key, KernelConfig] = {}
-            miss_shapes = []
+            seen: Set[_Key] = set()
+            miss_shapes: List[GemmShape] = []
+            hits = 0
             for shape in shapes:
                 key = shape.as_tuple()
-                if key in resolved:
+                if key in seen:
                     continue
+                seen.add(key)
                 cached = self._cache.get(key)
                 if cached is not None:
-                    self._hits += 1
+                    hits += 1
                     self._cache.move_to_end(key)
                     resolved[key] = cached
                 else:
-                    resolved[key] = None  # placeholder keeps first-seen order
                     miss_shapes.append(shape)
             # Repeats of a key within the batch count as hits: only the
             # first occurrence of a missing shape pays the policy.
-            self._hits += len(shapes) - len(resolved)
+            hits += len(shapes) - len(seen)
+            self._c_hits.inc(hits)
 
             if miss_shapes:
-                configs = None
+                configs: Optional[Tuple[KernelConfig, ...]] = None
                 batch_fn = getattr(self._policy, "select_batch", None)
                 if batch_fn is not None and not self._breaker_open:
                     try:
@@ -236,72 +268,81 @@ class SelectionService:
                         configs = None
                     else:
                         for shape, config in zip(miss_shapes, configs):
-                            self._note_policy_success(
-                                shape.as_tuple(), config
-                            )
+                            self._note_policy_success(shape.as_tuple(), config)
                 if configs is None:
-                    configs = tuple(
-                        self._resolve_miss(s) for s in miss_shapes
-                    )
+                    configs = tuple(self._resolve_miss(s) for s in miss_shapes)
                 for shape, config in zip(miss_shapes, configs):
                     resolved[shape.as_tuple()] = config
 
             out = tuple(resolved[shape.as_tuple()] for shape in shapes)
-            self._latencies.append(time.perf_counter() - start)
+            duration = time.perf_counter() - start
+            self._h_call.observe(duration)
+            self._h_lookup.observe(duration / len(shapes))
         return out
 
     # -- observability -------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """Immutable snapshot of the service counters."""
+        """Immutable snapshot of the service counters.
+
+        A thin view assembled from the service's :mod:`repro.obs`
+        metrics — the return shape predates the unified registry and is
+        pinned by the compat tests.
+        """
         with self._lock:
-            mean_batch = (
-                self._batch_queries / self._batch_calls
-                if self._batch_calls
-                else 0.0
-            )
+            self._g_cache_size.set(len(self._cache))
+            batch_calls = self._c_batch.value
+            batch_queries = self._c_batch_queries.value
+            mean_batch = batch_queries / batch_calls if batch_calls else 0.0
             return ServiceStats(
-                lookups=self._lookups,
-                cache_hits=self._hits,
-                single_calls=self._single_calls,
-                batch_calls=self._batch_calls,
-                max_batch_size=self._max_batch_size,
+                lookups=self._c_lookups.value,
+                cache_hits=self._c_hits.value,
+                single_calls=self._c_single.value,
+                batch_calls=batch_calls,
+                max_batch_size=int(self._g_max_batch.value),
                 mean_batch_size=mean_batch,
-                evictions=self._evictions,
+                evictions=self._c_evictions.value,
                 cache_size=len(self._cache),
                 capacity=self._capacity,
-                latency=LatencySummary.from_samples(list(self._latencies)),
-                policy_errors=self._policy_errors,
-                fallback_serves=self._fallback_serves,
-                breaker_trips=self._breaker_trips,
+                latency=LatencySummary.from_histogram(self._h_call),
+                policy_errors=self._c_policy_errors.value,
+                fallback_serves=self._c_fallback_serves.value,
+                breaker_trips=self._c_breaker_trips.value,
                 breaker_open=self._breaker_open,
                 artifact_id=(
-                    None
-                    if self._provenance is None
-                    else self._provenance.artifact_id
+                    None if self._provenance is None else self._provenance.artifact_id
                 ),
                 provenance=(
-                    None
-                    if self._provenance is None
-                    else self._provenance.summary()
+                    None if self._provenance is None else self._provenance.summary()
                 ),
             )
 
     def clear(self) -> None:
-        """Drop the memo cache and zero all counters."""
+        """Drop the memo cache and zero this service's metrics.
+
+        Only metrics owned by this service reset; other components
+        sharing the registry are untouched.
+        """
         with self._lock:
             self._cache.clear()
-            self._lookups = 0
-            self._hits = 0
-            self._single_calls = 0
-            self._batch_calls = 0
-            self._batch_queries = 0
-            self._max_batch_size = 0
-            self._evictions = 0
-            self._latencies.clear()
-            self._policy_errors = 0
-            self._fallback_serves = 0
-            self._breaker_trips = 0
+            owned: Tuple[Union[Counter, Gauge, Histogram], ...] = (
+                self._c_lookups,
+                self._c_hits,
+                self._c_single,
+                self._c_batch,
+                self._c_batch_queries,
+                self._g_max_batch,
+                self._g_cache_size,
+                self._c_evictions,
+                self._c_policy_errors,
+                self._c_fallback_serves,
+                self._c_breaker_trips,
+                self._g_breaker_open,
+                self._h_call,
+                self._h_lookup,
+            )
+            for metric in owned:
+                metric.reset()
             self._breaker_open = False
             self._consecutive_errors = 0
             self._open_misses = 0
@@ -315,6 +356,7 @@ class SelectionService:
         """
         with self._lock:
             self._breaker_open = False
+            self._g_breaker_open.set(0.0)
             self._consecutive_errors = 0
             self._open_misses = 0
 
@@ -343,19 +385,21 @@ class SelectionService:
         self._consecutive_errors = 0
         if self._breaker_open:
             self._breaker_open = False
+            self._g_breaker_open.set(0.0)
             self._open_misses = 0
         self._last_good = config
         self._insert(key, config)
 
     def _note_policy_error(self) -> None:
-        self._policy_errors += 1
+        self._c_policy_errors.inc()
         self._consecutive_errors += 1
         if (
             not self._breaker_open
             and self._consecutive_errors >= self._breaker_threshold
         ):
             self._breaker_open = True
-            self._breaker_trips += 1
+            self._g_breaker_open.set(1.0)
+            self._c_breaker_trips.inc()
             self._open_misses = 0
 
     def _serve_degraded(self, exc: Optional[BaseException]) -> KernelConfig:
@@ -367,15 +411,18 @@ class SelectionService:
                 "selection circuit breaker is open and no fallback or "
                 "last-known-good configuration is available"
             )
-        self._fallback_serves += 1
+        self._c_fallback_serves.inc()
         return config
 
     def _insert(self, key: _Key, config: KernelConfig) -> None:
         self._cache[key] = config
         self._cache.move_to_end(key)
+        evicted = 0
         while len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
-            self._evictions += 1
+            evicted += 1
+        if evicted:
+            self._c_evictions.inc(evicted)
 
     def __repr__(self) -> str:
         return (

@@ -8,9 +8,12 @@ paid in full, and how long the decision path takes when it is paid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.obs.metrics import Histogram
 
 __all__ = ["FleetStats", "LatencySummary", "ServiceStats"]
 
@@ -36,6 +39,25 @@ class LatencySummary:
             p50=float(np.percentile(arr, 50)),
             p95=float(np.percentile(arr, 95)),
             maximum=float(arr.max()),
+        )
+
+    @staticmethod
+    def from_histogram(histogram: "Histogram") -> "LatencySummary":
+        """Thin view over a :class:`repro.obs.Histogram`.
+
+        Percentiles are bucket-interpolated estimates (exact at the
+        observed extrema); ``count`` covers every observation since the
+        histogram was created or reset, not a sliding window.
+        """
+        count = histogram.count
+        if count == 0:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(
+            count=count,
+            mean=histogram.mean,
+            p50=histogram.quantile(0.5),
+            p95=histogram.quantile(0.95),
+            maximum=histogram.maximum,
         )
 
 
@@ -110,9 +132,7 @@ class ServiceStats:
             lines.append(f"policy artifact  {self.artifact_id}")
             if self.provenance is not None:
                 parents = self.provenance.get("parents", {})
-                lineage = ", ".join(
-                    f"{name}:{fp[:12]}" for name, fp in parents.items()
-                )
+                lineage = ", ".join(f"{name}:{fp[:12]}" for name, fp in parents.items())
                 lines.append(f"provenance       {lineage or '(root)'}")
         return "\n".join(lines)
 
@@ -161,9 +181,7 @@ class FleetStats:
     @property
     def open_breakers(self) -> tuple:
         """Device ids whose circuit breaker is currently open."""
-        return tuple(
-            did for did, s in sorted(self.devices.items()) if s.breaker_open
-        )
+        return tuple(did for did, s in sorted(self.devices.items()) if s.breaker_open)
 
     def render(self) -> str:
         """Human-readable fleet report for CLI/log output."""
@@ -187,9 +205,7 @@ class FleetStats:
         for did in sorted(self.devices):
             stats = self.devices[did]
             breaker = "OPEN" if stats.breaker_open else "closed"
-            artifact = (
-                f"  <- {stats.artifact_id}" if stats.artifact_id else ""
-            )
+            artifact = f"  <- {stats.artifact_id}" if stats.artifact_id else ""
             lines.append(
                 f"  {did:16s} dispatched {self.dispatched.get(did, 0):8d}  "
                 f"outstanding {self.outstanding.get(did, 0):6d}  "

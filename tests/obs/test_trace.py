@@ -1,0 +1,153 @@
+"""Span tracing: nesting, tagging, ring bounds, JSON round-trips."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import NullTracer, SpanRecord, Tracer
+
+
+class TestNesting:
+    def test_spans_opened_inside_a_span_become_children(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("middle"):
+                with tracer.trace("inner"):
+                    pass
+        roots = tracer.spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["middle"]
+        assert [c.name for c in roots[0].children[0].children] == ["inner"]
+
+    def test_siblings_stay_in_order(self):
+        tracer = Tracer()
+        with tracer.trace("run"):
+            with tracer.trace("a"):
+                pass
+            with tracer.trace("b"):
+                pass
+        assert [c.name for c in tracer.spans()[0].children] == ["a", "b"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+        outer = tracer.spans()[0]
+        assert outer.duration_s >= outer.children[0].duration_s
+
+    def test_span_survives_an_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("doomed"):
+                raise RuntimeError("boom")
+        assert [r.name for r in tracer.spans()] == ["doomed"]
+
+
+class TestTagsAndRecord:
+    def test_tags_can_be_updated_mid_span(self):
+        tracer = Tracer()
+        with tracer.trace("lookup", device="gpu") as span:
+            span.tags["cache_hit"] = True
+        record = tracer.spans()[0]
+        assert record.tags == {"device": "gpu", "cache_hit": True}
+
+    def test_record_attaches_to_the_open_span(self):
+        tracer = Tracer()
+        with tracer.trace("run"):
+            returned = tracer.record("stage", 0.25, tags={"stage": "sweep"})
+        root = tracer.spans()[0]
+        assert root.children == (returned,)
+        assert returned.duration_s == pytest.approx(0.25)
+
+    def test_record_without_open_span_becomes_a_root(self):
+        tracer = Tracer()
+        tracer.record("orphan", 0.1)
+        assert [r.name for r in tracer.spans()] == ["orphan"]
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Tracer().record("bad", -1.0)
+
+    def test_find_matches_at_any_depth(self):
+        tracer = Tracer()
+        with tracer.trace("run"):
+            tracer.record("reroute", 0.01)
+        tracer.record("reroute", 0.02)
+        assert len(tracer.find("reroute")) == 2
+
+
+class TestRingBuffer:
+    def test_oldest_roots_fall_off_first(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            tracer.record(f"s{i}", 0.0)
+        assert [r.name for r in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_invalid_max_spans_raises(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_clear_empties_the_buffer(self):
+        tracer = Tracer()
+        tracer.record("s", 0.0)
+        tracer.clear()
+        assert tracer.spans() == ()
+
+
+class TestJsonRoundTrip:
+    def test_export_then_from_dict_reproduces_the_tree(self):
+        tracer = Tracer()
+        with tracer.trace("run", force=False):
+            with tracer.trace("stage", stage="sweep"):
+                pass
+            tracer.record("stage", 0.5, tags={"stage": "train"})
+        exported = json.loads(json.dumps(tracer.export()))
+        rebuilt = [SpanRecord.from_dict(doc) for doc in exported]
+        assert rebuilt == list(tracer.spans())
+
+    def test_walk_yields_depth_first(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            with tracer.trace("b"):
+                tracer.record("c", 0.0)
+            tracer.record("d", 0.0)
+        names = [s.name for s in tracer.spans()[0].walk()]
+        assert names == ["a", "b", "c", "d"]
+
+
+class TestThreadIsolation:
+    def test_each_thread_builds_its_own_tree(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def worker(i: int) -> None:
+            with tracer.trace(f"root-{i}"):
+                barrier.wait()
+                with tracer.trace(f"child-{i}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.spans()
+        assert len(roots) == 4
+        for root in roots:
+            suffix = root.name.split("-")[1]
+            assert [c.name for c in root.children] == [f"child-{suffix}"]
+
+
+class TestNullTracer:
+    def test_drops_spans_but_still_yields(self):
+        tracer = NullTracer()
+        with tracer.trace("ignored") as span:
+            span.tags["x"] = 1
+        record = tracer.record("also-ignored", 0.1)
+        assert tracer.spans() == ()
+        # record() still returns a usable SpanRecord for thin views.
+        assert record.duration_s == pytest.approx(0.1)
