@@ -34,11 +34,16 @@ lint:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
-# Mirrors the CI bench-smoke job: throughput + obs-overhead gates.
+# Mirrors the CI bench-smoke job: throughput, obs-overhead and
+# compiled hot-path gates plus a 5 s loadgen smoke with a qps floor.
 bench-smoke:
 	PYTHONPATH=src python -m pytest \
 		benchmarks/test_bench_serving.py benchmarks/test_bench_obs.py \
+		benchmarks/test_bench_codegen.py \
 		-q -p no:randomly --benchmark-json=bench-results.json
+	PYTHONPATH=src python -m repro.cli loadgen run \
+		--qps 40000 --duration 5 --workers 4 --compiled \
+		--min-qps 10000 --report-json loadgen-report.json
 
 report:
 	python examples/reproduce_paper.py

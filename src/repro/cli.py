@@ -11,6 +11,9 @@ Subcommands
 * ``fleet``       — multi-device fleet: ``build`` / ``route`` / ``stats``
   / ``devices`` over per-device selector artifacts and a routing layer.
 * ``serve-stats`` — replay a serving workload, print service counters.
+* ``loadgen``     — closed-loop load harness: ``run`` Poisson/diurnal
+  traffic with Zipf-skewed network shapes against a replica fleet and
+  report p50/p99/p999 from the obs histograms.
 * ``obs``         — render an observability snapshot: ``dump`` /
   ``summary`` over metrics + spans exported with ``--obs-export``.
 * ``devices``     — list the simulated device presets.
@@ -314,6 +317,113 @@ def _cmd_serve_stats(args) -> int:
     print(service.stats().render())
     if args.obs_export is not None:
         _export_obs(args.obs_export, registry)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.loadgen import (
+        DEFAULT_NETWORKS,
+        LoadgenConfig,
+        RateProfile,
+        run_load,
+        synthetic_router,
+    )
+    from repro.obs import default_registry
+
+    registry = default_registry()
+    if args.store is not None:
+        from repro.pipeline import ArtifactStore
+        from repro.serving import SelectionService
+        from repro.serving.router import FleetRouter
+
+        store = ArtifactStore(args.store)
+        artifact_id = args.artifact
+        if artifact_id is None:
+            latest = store.latest("train")
+            if latest is None:
+                print(
+                    f"no trained selector artifact in {store.root}; "
+                    "run `repro pipeline run` first",
+                    file=sys.stderr,
+                )
+                return 1
+            artifact_id = latest.fingerprint
+        try:
+            artifact = store.resolve(artifact_id)
+        except KeyError as exc:
+            print(f"ERROR: {exc.args[0]}", file=sys.stderr)
+            return 1
+        if artifact is None:
+            print(f"ERROR: no artifact {artifact_id!r}", file=sys.stderr)
+            return 1
+        policy = artifact.value
+        if args.compiled:
+            if not hasattr(policy, "compiled"):
+                print(
+                    f"ERROR: artifact policy {type(policy).__name__} has no "
+                    "compiled() hot path (need a DeployedSelector)",
+                    file=sys.stderr,
+                )
+                return 1
+            policy = policy.compiled()
+        router = FleetRouter(default_policy=args.policy, registry=registry)
+        for i in range(args.replicas):
+            router.add_device(
+                f"dev{i}",
+                SelectionService(
+                    policy,
+                    capacity=args.cache_capacity,
+                    registry=registry,
+                    name=f"dev{i}",
+                    provenance=artifact.provenance,
+                ),
+            )
+    else:
+        router = synthetic_router(
+            replicas=args.replicas,
+            registry=registry,
+            routing_policy=args.policy,
+            cache_capacity=args.cache_capacity,
+            budget=args.budget,
+            seed=args.seed,
+            compiled=args.compiled,
+        )
+
+    config = LoadgenConfig(
+        profile=RateProfile(
+            base_qps=args.qps,
+            amplitude=args.diurnal_amplitude,
+            period_s=args.diurnal_period,
+        ),
+        duration_s=args.duration,
+        workers=args.workers,
+        networks=tuple(args.networks) if args.networks else DEFAULT_NETWORKS,
+        zipf_skew=args.zipf,
+        seed=args.seed,
+    )
+    report = run_load(router, config, registry=registry)
+    print(
+        f"loadgen: {args.replicas} replicas "
+        f"({'compiled' if args.compiled else 'tree-walk'} policy), "
+        f"{config.workers} workers, zipf {config.zipf_skew}"
+    )
+    print(report.render())
+    if args.report_json is not None:
+        args.report_json.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"report written to {args.report_json}")
+    if args.obs_export is not None:
+        _export_obs(args.obs_export, registry)
+    if args.min_qps is not None and report.achieved_qps < args.min_qps:
+        print(
+            f"ERROR: achieved {report.achieved_qps:,.0f} qps, below the "
+            f"--min-qps floor of {args.min_qps:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -731,6 +841,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro.obs JSON snapshot (see `repro obs`)",
     )
     p.set_defaults(func=_cmd_serve_stats)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop load harness against a replica selection fleet",
+    )
+    p.add_argument("action", choices=("run",))
+    p.add_argument(
+        "--qps", type=float, default=2000.0, help="base arrival rate"
+    )
+    p.add_argument(
+        "--duration", type=float, default=5.0, help="scheduled run seconds"
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="generator threads"
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2, help="identical service replicas"
+    )
+    p.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.0,
+        help="relative rate swing in [0, 1); 0 disables the ramp",
+    )
+    p.add_argument(
+        "--diurnal-period",
+        type=float,
+        default=60.0,
+        help="seconds per diurnal cycle (trough at t=0)",
+    )
+    p.add_argument(
+        "--zipf", type=float, default=1.1, help="hot-key skew (0 = uniform)"
+    )
+    p.add_argument(
+        "--networks",
+        nargs="*",
+        default=None,
+        metavar="NET",
+        help="shape pool networks (default: vgg16 resnet50 mobilenet_v2)",
+    )
+    p.add_argument(
+        "--policy",
+        default="round-robin",
+        choices=("round-robin", "least-outstanding"),
+        help="routing policy across the replicas",
+    )
+    p.add_argument(
+        "--compiled",
+        action="store_true",
+        help="front each replica with the compiled selector hot path",
+    )
+    p.add_argument("--budget", type=int, default=4, help="pruned config count")
+    p.add_argument(
+        "--cache-capacity", type=int, default=4096, help="LRU memo capacity"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="serve a selector artifact from this pipeline store "
+        "(default: tune a synthetic selector in-process)",
+    )
+    p.add_argument(
+        "--artifact",
+        default=None,
+        help="artifact id/fingerprint prefix (default: latest train stage)",
+    )
+    p.add_argument(
+        "--min-qps",
+        type=float,
+        default=None,
+        help="exit 1 if achieved throughput falls below this floor (CI gate)",
+    )
+    p.add_argument(
+        "--report-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the load report as JSON (CI artifact)",
+    )
+    p.add_argument(
+        "--obs-export",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a repro.obs JSON snapshot (see `repro obs`)",
+    )
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
         "obs",

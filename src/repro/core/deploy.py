@@ -30,12 +30,90 @@ from repro.workloads.gemm import GemmShape
 from repro.workloads.sparse import SparseGemmShape
 
 __all__ = [
+    "CompiledSelector",
     "DeployedSelector",
     "eval_stage",
     "prune_stage",
     "train_stage",
     "tune",
 ]
+
+
+class CompiledSelector:
+    """The selection process compiled to a sub-microsecond hot path.
+
+    Built by :meth:`DeployedSelector.compiled`: the fitted decision
+    tree is compiled into a scalar descent callable (generated
+    nested-``if`` source or branchless flat-array, see
+    :mod:`repro.ml.tree.codegen`) and each leaf is pre-resolved to the
+    :class:`~repro.kernels.params.KernelConfig` it selects, so one
+    lookup is a function call plus a list index — no NumPy, no
+    allocation, no locks.  Decisions are identical to the selector the
+    tree was compiled from.
+    """
+
+    __slots__ = ("select", "_leaf_configs", "_dense", "compiled_tree")
+
+    def __init__(self, compiled_tree, leaf_configs: Sequence[object]):
+        self.compiled_tree = compiled_tree
+        self._leaf_configs = tuple(leaf_configs)
+        # Dense GEMM selectors take exactly (m, k, n, batch): read the
+        # shape fields directly instead of materialising a feature
+        # vector per lookup.
+        self._dense = tuple(compiled_tree.feature_names) == GemmShape.FEATURE_NAMES
+        # ``select`` is a slot holding a plain closure rather than a
+        # method: callers skip bound-method creation and the descent
+        # function and leaf table ride in the default args, which keeps
+        # the per-lookup cost to one call, four loads and one index.
+        if self._dense:
+
+            def select(
+                shape: GemmShape,
+                _apply=compiled_tree.apply_one,
+                _leaves=self._leaf_configs,
+            ) -> KernelConfig:
+                """The configuration for one shape, via the compiled descent."""
+                return _leaves[_apply(shape.m, shape.k, shape.n, shape.batch)]
+
+        else:
+
+            def select(
+                shape: GemmShape,
+                _apply=compiled_tree.apply_one,
+                _leaves=self._leaf_configs,
+            ) -> KernelConfig:
+                """The configuration for one shape, via the compiled descent."""
+                return _leaves[_apply(*shape.features())]
+
+        self.select = select
+
+    @property
+    def variant(self) -> str:
+        """Which codegen variant answers lookups (``source``/``flat``)."""
+        return self.compiled_tree.variant
+
+    @property
+    def source(self) -> Optional[str]:
+        """The generated Python source (``source`` variant only)."""
+        return self.compiled_tree.source
+
+    def select_batch(
+        self, shapes: Sequence[GemmShape]
+    ) -> Tuple[KernelConfig, ...]:
+        """Configurations for many shapes (a scalar loop).
+
+        The compiled path is tuned for single lookups; large batches
+        should prefer :meth:`DeployedSelector.select_batch`, which is
+        vectorized.
+        """
+        select = self.select
+        return tuple(select(shape) for shape in shapes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledSelector({self.compiled_tree.variant!r}, "
+            f"{len(self._leaf_configs)} leaf slots)"
+        )
 
 
 class DeployedSelector:
@@ -129,6 +207,56 @@ class DeployedSelector:
             class_names=tokens,
             return_type="const char*",
         )
+
+    def compiled(self, *, variant: str = "source") -> CompiledSelector:
+        """This selector compiled for the sub-microsecond hot path.
+
+        The fitted tree is compiled via
+        :func:`repro.ml.tree.codegen.compile_tree` (``variant`` is
+        ``"source"`` for generated nested-``if`` Python or ``"flat"``
+        for the branchless flat-array descent) and every leaf is
+        pre-resolved to its :class:`~repro.kernels.params.KernelConfig`.
+        The returned :class:`CompiledSelector` makes decisions identical
+        to :meth:`select`, roughly an order of magnitude faster.
+
+        Requires a fitted decision-tree selector (like the source
+        exporters); a degenerate constant selector compiles to a
+        single-leaf tree.
+        """
+        from repro.ml.tree.codegen import compile_tree
+        from repro.ml.tree.structure import LEAF, Tree as _Tree
+
+        configs = self.selector.pruned.configs
+        names = self._feature_names()
+        constant = getattr(self.selector, "_constant", None)
+        if constant is not None:
+            # One in-set config dominated training: the "tree" is a
+            # single leaf answering that config for every shape.
+            one_leaf = _Tree(
+                feature=np.array([LEAF], dtype=np.int64),
+                threshold=np.zeros(1),
+                left=np.array([LEAF], dtype=np.int64),
+                right=np.array([LEAF], dtype=np.int64),
+                value=np.ones((1, 1)),
+                impurity=np.zeros(1),
+                n_samples=np.ones(1, dtype=np.int64),
+            )
+            compiled_tree = compile_tree(
+                one_leaf, variant=variant, feature_names=names
+            )
+            return CompiledSelector(compiled_tree, (configs[int(constant)],))
+        tree = self._tree()
+        compiled_tree = compile_tree(tree, variant=variant, feature_names=names)
+        # Pre-resolve each leaf to its configuration: argmax over the
+        # leaf's class distribution, through the training classes to a
+        # position in the pruned set — exactly the classifier's predict.
+        classes = self.selector.estimator.classes_
+        leaf_configs: list = [None] * tree.node_count
+        for node in range(tree.node_count):
+            if tree.feature[node] == LEAF:
+                position = int(classes[int(np.argmax(tree.value[node]))])
+                leaf_configs[node] = configs[position]
+        return CompiledSelector(compiled_tree, leaf_configs)
 
     def __repr__(self) -> str:
         return (

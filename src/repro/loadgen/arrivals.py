@@ -1,0 +1,81 @@
+"""Arrival processes for the load harness.
+
+Traffic against a production selection service is bursty on two
+timescales: request-level randomness (Poisson interarrivals) and slow
+capacity swings (diurnal ramps).  :class:`RateProfile` models the slow
+component as a sinusoid around a base rate; :func:`poisson_arrivals`
+draws a non-homogeneous Poisson process against it by thinning, so the
+generated schedule carries both.
+
+Everything here is deterministic given the seed — the harness, the CI
+smoke run and the tests all replay identical schedules.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["RateProfile", "poisson_arrivals"]
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """A sinusoidal diurnal rate: QPS as a function of elapsed seconds.
+
+    ``base_qps`` is the mean rate; ``amplitude`` (0..1) the relative
+    swing; ``period_s`` one full day-night cycle.  The phase puts the
+    trough at ``t = 0`` and the peak at ``t = period_s / 2``, so a run
+    shorter than one period sees a ramp-up — the harder regime for a
+    cache-fronted service (cold cache meets rising load).
+    """
+
+    base_qps: float
+    amplitude: float = 0.0
+    period_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0:
+            raise ValueError(f"base_qps must be > 0, got {self.base_qps}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+
+    def qps(self, t: float) -> float:
+        """Instantaneous rate at ``t`` seconds into the run."""
+        phase = 2.0 * math.pi * t / self.period_s - 0.5 * math.pi
+        return self.base_qps * (1.0 + self.amplitude * math.sin(phase))
+
+    @property
+    def peak_qps(self) -> float:
+        """The profile's maximum instantaneous rate."""
+        return self.base_qps * (1.0 + self.amplitude)
+
+
+def poisson_arrivals(
+    profile: RateProfile, duration_s: float, *, seed: int = 0
+) -> List[float]:
+    """Arrival offsets (seconds) of a thinned non-homogeneous Poisson draw.
+
+    Candidate arrivals are drawn at the profile's peak rate with
+    exponential gaps, then each kept with probability
+    ``qps(t) / peak_qps`` — the standard thinning construction, exact
+    for any bounded rate function.  Offsets are strictly within
+    ``[0, duration_s)`` and ascending.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    rng = random.Random(seed)
+    peak = profile.peak_qps
+    arrivals: List[float] = []
+    t = rng.expovariate(peak)
+    while t < duration_s:
+        if rng.random() * peak <= profile.qps(t):
+            arrivals.append(t)
+        t += rng.expovariate(peak)
+    return arrivals

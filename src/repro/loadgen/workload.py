@@ -1,0 +1,108 @@
+"""Query-shape streams for the load harness.
+
+Selection traffic is not uniform over a network's GEMM shapes: a
+handful of layer shapes dominate (every image batch replays them) while
+augmentation/head shapes form a long tail.  :class:`ShapeStream` models
+this with a Zipf-skewed draw over a replayed shape pool built from the
+same VGG/ResNet/MobileNet lowerings the dataset is generated from
+(:func:`repro.workloads.extract.extract_network_shapes`), so the
+harness queries exactly the shape population the paper's selectors are
+trained to serve.
+
+Deterministic given the seed, like everything else in the harness.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
+
+from repro.workloads.extract import extract_network_shapes
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["DEFAULT_NETWORKS", "ShapeStream", "network_shape_pool"]
+
+#: The paper's three networks, replayed in publication order.
+DEFAULT_NETWORKS: Tuple[str, ...] = ("vgg16", "resnet50", "mobilenet_v2")
+
+
+def network_shape_pool(
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+) -> Tuple[GemmShape, ...]:
+    """The concatenated unique GEMM shapes of the given networks.
+
+    Per-network order is the deterministic extraction order; a shape
+    lowered by several networks appears once (first network wins), so
+    Zipf ranks are stable across runs.
+    """
+    pool: List[GemmShape] = []
+    seen = set()
+    for name in networks:
+        for shape in extract_network_shapes(name).shapes:
+            key = shape.as_tuple()
+            if key not in seen:
+                seen.add(key)
+                pool.append(shape)
+    if not pool:
+        raise ValueError(f"no shapes extracted from networks {list(networks)!r}")
+    return tuple(pool)
+
+
+class ShapeStream:
+    """A deterministic Zipf-skewed stream of query shapes.
+
+    Rank ``r`` (0-based position in the pool) is drawn with probability
+    proportional to ``1 / (r + 1) ** skew``: ``skew=0`` is uniform,
+    ``skew≈1`` the classic hot-key regime where a few shapes take most
+    of the traffic.  Draws use inverse-CDF sampling over the
+    precomputed cumulative weights — O(log n) per draw, no NumPy on the
+    load path.
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[GemmShape],
+        *,
+        skew: float = 1.1,
+        seed: int = 0,
+    ):
+        if not pool:
+            raise ValueError("shape pool must be non-empty")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self._pool: Tuple[GemmShape, ...] = tuple(pool)
+        self._skew = skew
+        self._rng = random.Random(seed)
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(len(self._pool)):
+            total += 1.0 / float(rank + 1) ** skew
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    @property
+    def pool(self) -> Tuple[GemmShape, ...]:
+        return self._pool
+
+    @property
+    def skew(self) -> float:
+        return self._skew
+
+    def draw(self) -> GemmShape:
+        """One shape, Zipf-weighted over the pool ranks."""
+        target = self._rng.random() * self._total
+        return self._pool[bisect_left(self._cumulative, target)]
+
+    def take(self, n: int) -> List[GemmShape]:
+        """The next ``n`` shapes of the stream."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return [self.draw() for _ in range(n)]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShapeStream({len(self._pool)} shapes, skew={self._skew}, "
+            f"hottest={self._pool[0]})"
+        )

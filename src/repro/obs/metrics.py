@@ -178,6 +178,31 @@ class Histogram:
             self._count += 1
             self._sum += value
 
+    def observe_n(self, value: float, n: int) -> None:
+        """Record ``n`` observations of ``value`` in one update.
+
+        The batched form of :meth:`observe` for callers that measure an
+        aggregate (e.g. one timed batch of ``n`` lookups) but want the
+        distribution weighted by the real event count: ``n`` lands in
+        ``value``'s bucket, ``count`` grows by ``n`` and ``sum`` by
+        ``n * value``, all under one lock acquisition.
+        """
+        if n < 0:
+            raise ValueError(f"observation count must be >= 0, got {n}")
+        if n == 0:
+            return
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += n
+            if self._count == 0:
+                self._min = value
+                self._max = value
+            else:
+                self._min = min(self._min, value)
+                self._max = max(self._max, value)
+            self._count += n
+            self._sum += n * value
+
     @property
     def count(self) -> int:
         with self._lock:

@@ -136,6 +136,9 @@ class _NullHistogram(Histogram):
     def observe(self, value: float) -> None:
         pass
 
+    def observe_n(self, value: float, n: int) -> None:
+        pass
+
 
 class NullRegistry(MetricsRegistry):
     """A registry whose metrics are all no-ops.

@@ -6,9 +6,14 @@ trained :class:`~repro.core.selection.selector.Selector`, a
 :class:`~repro.core.selection.dynamic.DynamicTrialSelector` — with the
 machinery a production dispatch path needs:
 
-* a thread-safe LRU memo cache keyed on ``shape.as_tuple()``, so a hot
-  shape's decision costs a dict lookup rather than a model evaluation
+* a thread-safe LRU memo cache keyed on ``shape.as_tuple()``, fronted
+  by a read-mostly snapshot dict so a *warm* hit costs one lock-free
+  dict lookup rather than a model evaluation or even a lock acquisition
   (the paper's "negligible overhead" requirement at traffic scale);
+* misses resolved *outside* the service lock: concurrent misses for the
+  same shape coordinate through an in-flight table so the policy runs
+  at most once per unique shape, and one slow policy call never
+  serializes unrelated hits;
 * batch and single-query APIs, routing misses through the policy's
   vectorized ``select_batch`` when it has one;
 * observability through :mod:`repro.obs`: hit/miss/fallback/breaker
@@ -26,7 +31,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from threading import Lock
+from threading import Event, Lock
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.kernels.params import KernelConfig
@@ -46,6 +51,15 @@ class SelectionService:
     ``policy`` is anything with ``select(shape) -> KernelConfig``; a
     vectorized ``select_batch(shapes)`` is used for batch misses when
     present.  ``capacity`` bounds the LRU memo.
+
+    Lock discipline: the service lock guards the LRU, the in-flight
+    table and breaker state.  Warm hits read a plain snapshot dict
+    without the lock (CPython dict reads are atomic; the single writer
+    mutates it under the lock), so they do not refresh LRU recency —
+    eviction order is approximate-LRU under the lock-free fast path.
+    Policy evaluation always happens *outside* the lock with a
+    double-checked insert, except the circuit breaker's half-open
+    probes, which stay serialized to keep the probe schedule exact.
 
     ``registry`` is the :class:`~repro.obs.MetricsRegistry` the service
     writes its metrics into (a private one when omitted; pass
@@ -104,6 +118,12 @@ class SelectionService:
         self._breaker_threshold = breaker_threshold
         self._probe_interval = breaker_probe_interval
         self._cache: "OrderedDict[_Key, KernelConfig]" = OrderedDict()
+        # Read-mostly mirror of the LRU's contents for the lock-free
+        # fast path; mutated only under the lock, replaced on clear().
+        self._snapshot: Dict[_Key, KernelConfig] = {}
+        # Misses being resolved right now: key -> event the resolving
+        # thread sets once the answer is cached (or degraded).
+        self._inflight: Dict[_Key, Event] = {}
         self._lock = Lock()
         self._registry = registry if registry is not None else MetricsRegistry()
         self._name = name
@@ -196,22 +216,28 @@ class SelectionService:
     # -- serving APIs --------------------------------------------------------
 
     def select(self, shape: GemmShape) -> KernelConfig:
-        """The configuration for one shape, memoised."""
+        """The configuration for one shape, memoised.
+
+        Warm hits are answered from the snapshot dict without taking
+        the service lock; misses coordinate through the in-flight table
+        (:meth:`_resolve_one`) so each unique shape consults the policy
+        exactly once even under contention.
+        """
         start = time.perf_counter()
-        with self._lock:
+        key = shape.as_tuple()
+        config = self._snapshot.get(key)
+        if config is None:
+            config = self._resolve_one(shape, key)
+        else:
+            # Lock-free fast path.  The hit is counted before its
+            # lookup so a concurrent clear() can only ever leave
+            # hits <= lookups, never the reverse.
+            self._c_hits.inc()
             self._c_single.inc()
             self._c_lookups.inc()
-            key = shape.as_tuple()
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._c_hits.inc()
-                self._cache.move_to_end(key)
-                config = cached
-            else:
-                config = self._resolve_miss(shape)
-            duration = time.perf_counter() - start
-            self._h_call.observe(duration)
-            self._h_lookup.observe(duration)
+        duration = time.perf_counter() - start
+        self._h_call.observe(duration)
+        self._h_lookup.observe(duration)
         return config
 
     def select_batch(self, shapes: Sequence[GemmShape]) -> Tuple[KernelConfig, ...]:
@@ -220,11 +246,15 @@ class SelectionService:
         Cache misses are deduplicated and resolved through the policy's
         ``select_batch`` (one classifier pass) when available, falling
         back to per-shape ``select``; hits and repeats never re-evaluate.
-        Metric increments are tallied locally and flushed once per call,
-        so instrumentation cost does not scale with the batch size.
+        The policy runs outside the service lock; misses another thread
+        is already resolving are awaited rather than recomputed.  The
+        per-lookup latency histogram is weighted by the query count, so
+        a 10k-query batch carries 10k observations, not one.
         """
         start = time.perf_counter()
         shapes = tuple(shapes)
+        owned: List[Tuple[GemmShape, _Key, Event]] = []
+        waiting: List[Tuple[GemmShape, _Key, Event]] = []
         with self._lock:
             self._c_batch.inc()
             self._c_lookups.inc(len(shapes))
@@ -236,7 +266,6 @@ class SelectionService:
 
             resolved: Dict[_Key, KernelConfig] = {}
             seen: Set[_Key] = set()
-            miss_shapes: List[GemmShape] = []
             hits = 0
             for shape in shapes:
                 key = shape.as_tuple()
@@ -248,36 +277,32 @@ class SelectionService:
                     hits += 1
                     self._cache.move_to_end(key)
                     resolved[key] = cached
+                elif self._breaker_open:
+                    # Degraded regime: serve under the lock so only the
+                    # breaker's own probe schedule touches the policy.
+                    resolved[key] = self._resolve_miss(shape)
                 else:
-                    miss_shapes.append(shape)
+                    event = self._inflight.get(key)
+                    if event is None:
+                        event = Event()
+                        self._inflight[key] = event
+                        owned.append((shape, key, event))
+                    else:
+                        waiting.append((shape, key, event))
             # Repeats of a key within the batch count as hits: only the
             # first occurrence of a missing shape pays the policy.
             hits += len(shapes) - len(seen)
             self._c_hits.inc(hits)
 
-            if miss_shapes:
-                configs: Optional[Tuple[KernelConfig, ...]] = None
-                batch_fn = getattr(self._policy, "select_batch", None)
-                if batch_fn is not None and not self._breaker_open:
-                    try:
-                        configs = tuple(batch_fn(miss_shapes))
-                    except Exception:
-                        # Degrade to the per-shape path, which applies
-                        # the fallback/breaker logic per query.
-                        self._note_policy_error()
-                        configs = None
-                    else:
-                        for shape, config in zip(miss_shapes, configs):
-                            self._note_policy_success(shape.as_tuple(), config)
-                if configs is None:
-                    configs = tuple(self._resolve_miss(s) for s in miss_shapes)
-                for shape, config in zip(miss_shapes, configs):
-                    resolved[shape.as_tuple()] = config
+        if owned:
+            resolved.update(self._resolve_owned_batch(owned))
+        for shape, key, event in waiting:
+            resolved[key] = self._resolve_one(shape, key, event, count_call=False)
 
-            out = tuple(resolved[shape.as_tuple()] for shape in shapes)
-            duration = time.perf_counter() - start
-            self._h_call.observe(duration)
-            self._h_lookup.observe(duration / len(shapes))
+        out = tuple(resolved[shape.as_tuple()] for shape in shapes)
+        duration = time.perf_counter() - start
+        self._h_call.observe(duration)
+        self._h_lookup.observe_n(duration / len(shapes), len(shapes))
         return out
 
     # -- observability -------------------------------------------------------
@@ -325,6 +350,10 @@ class SelectionService:
         """
         with self._lock:
             self._cache.clear()
+            # Swap, don't mutate: lock-free readers keep a coherent
+            # (possibly stale) view of the old dict.  In-flight misses
+            # stay registered; their owners will release them.
+            self._snapshot = {}
             owned: Tuple[Union[Counter, Gauge, Histogram], ...] = (
                 self._c_lookups,
                 self._c_hits,
@@ -361,6 +390,154 @@ class SelectionService:
             self._open_misses = 0
 
     # -- internals -----------------------------------------------------------
+
+    def _resolve_one(
+        self,
+        shape: GemmShape,
+        key: _Key,
+        event: Optional[Event] = None,
+        *,
+        count_call: bool = True,
+    ) -> KernelConfig:
+        """Answer a miss for one key, coordinating concurrent resolvers.
+
+        At most one thread per key consults the policy: the first to
+        register the key in the in-flight table resolves it outside the
+        lock while later arrivals wait on its event and re-check the
+        cache (a degraded answer is not memoised, so the next waiter
+        becomes the new resolver).  ``event`` is a known in-flight
+        event to wait on before the first check; ``count_call`` is
+        False when a surrounding batch call already counted this
+        query's lookup.
+        """
+        while True:
+            if event is not None:
+                event.wait()
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    # Hit and lookup are counted in one critical section
+                    # so a concurrent clear() cannot split them.
+                    self._c_hits.inc()
+                    if count_call:
+                        self._c_single.inc()
+                        self._c_lookups.inc()
+                    self._cache.move_to_end(key)
+                    return cached
+                if self._breaker_open:
+                    if count_call:
+                        self._c_single.inc()
+                        self._c_lookups.inc()
+                    return self._resolve_miss(shape)
+                event = self._inflight.get(key)
+                if event is None:
+                    event = Event()
+                    self._inflight[key] = event
+                    break
+        return self._resolve_owned(shape, key, event, count_call=count_call)
+
+    def _resolve_owned(
+        self,
+        shape: GemmShape,
+        key: _Key,
+        event: Event,
+        *,
+        count_call: bool = True,
+    ) -> KernelConfig:
+        """Consult the policy for a key this thread owns in-flight.
+
+        The policy call runs outside the lock; result accounting and
+        the double-checked cache insert happen under it.  The in-flight
+        event is always released — whatever the policy raises — so
+        waiters can never deadlock.
+        """
+        done = False
+        try:
+            config = self._policy.select(shape)
+            done = True
+        except Exception as exc:
+            with self._lock:
+                if count_call:
+                    self._c_single.inc()
+                    self._c_lookups.inc()
+                self._note_policy_error()
+                return self._serve_degraded(exc)
+        finally:
+            with self._lock:
+                if self._inflight.get(key) is event:
+                    del self._inflight[key]
+                if done:
+                    if count_call:
+                        self._c_single.inc()
+                        self._c_lookups.inc()
+                    self._note_policy_success(key, config)
+            event.set()
+        return config
+
+    def _resolve_owned_batch(
+        self, owned: List[Tuple[GemmShape, _Key, Event]]
+    ) -> Dict[_Key, KernelConfig]:
+        """Resolve the batch misses this thread registered in-flight.
+
+        The policy's vectorized ``select_batch`` is preferred (one
+        classifier pass outside the lock); on error the per-shape path
+        applies fallback/breaker logic per query.  A policy returning
+        the wrong number of configurations is a contract violation and
+        raises rather than silently mis-zipping answers onto shapes.
+        """
+        miss_shapes = [shape for shape, _, _ in owned]
+        batch_fn = getattr(self._policy, "select_batch", None)
+        if batch_fn is not None:
+            try:
+                configs = tuple(batch_fn(miss_shapes))
+            except Exception:
+                with self._lock:
+                    self._note_policy_error()
+            except BaseException:
+                self._release(owned)
+                raise
+            else:
+                if len(configs) != len(miss_shapes):
+                    self._release(owned)
+                    raise ValueError(
+                        f"policy {type(self._policy).__name__}.select_batch "
+                        f"returned {len(configs)} configs for "
+                        f"{len(miss_shapes)} miss shapes"
+                    )
+                with self._lock:
+                    for (shape, key, event), config in zip(owned, configs):
+                        if self._inflight.get(key) is event:
+                            del self._inflight[key]
+                        self._note_policy_success(key, config)
+                        event.set()
+                return {
+                    key: config
+                    for (_, key, _), config in zip(owned, configs)
+                }
+        resolved: Dict[_Key, KernelConfig] = {}
+        for index, (shape, key, event) in enumerate(owned):
+            try:
+                resolved[key] = self._resolve_owned(
+                    shape, key, event, count_call=False
+                )
+            except BaseException:
+                self._release(owned[index + 1 :])
+                raise
+        return resolved
+
+    def _release(self, entries: List[Tuple[GemmShape, _Key, Event]]) -> None:
+        """Drop in-flight registrations owned by this thread and wake waiters.
+
+        Identity-checked so a double release can never pop a
+        registration some other thread has since taken over.
+        """
+        if not entries:
+            return
+        with self._lock:
+            for _, key, event in entries:
+                if self._inflight.get(key) is event:
+                    del self._inflight[key]
+                event.set()
 
     def _resolve_miss(self, shape: GemmShape) -> KernelConfig:
         """Answer one cache miss, applying breaker/fallback semantics.
@@ -417,9 +594,11 @@ class SelectionService:
     def _insert(self, key: _Key, config: KernelConfig) -> None:
         self._cache[key] = config
         self._cache.move_to_end(key)
+        self._snapshot[key] = config
         evicted = 0
         while len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
+            old_key, _ = self._cache.popitem(last=False)
+            self._snapshot.pop(old_key, None)
             evicted += 1
         if evicted:
             self._c_evictions.inc(evicted)

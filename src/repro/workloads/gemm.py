@@ -10,7 +10,7 @@ import numpy as np
 __all__ = ["GemmShape"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class GemmShape:
     """Dimensions of one matrix multiplication ``C[m,n] = A[m,k] @ B[k,n]``.
 

@@ -24,14 +24,16 @@ __all__ = ["SparseGemmShape", "sparsify"]
 _PPM = 1_000_000
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class SparseGemmShape(GemmShape):
     """A GEMM whose B (weight) operand has the given nonzero density."""
 
     density: float = 1.0
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        # Explicit base call: dataclass slots=True rebuilds the class,
+        # which breaks zero-argument super() in methods defined here.
+        GemmShape.__post_init__(self)
         if not 0.0 < self.density <= 1.0:
             raise ValueError(
                 f"density must be in (0, 1], got {self.density}"
@@ -76,7 +78,7 @@ class SparseGemmShape(GemmShape):
         return GemmShape(m=self.m, k=self.k, n=self.n, batch=self.batch)
 
     def __str__(self) -> str:
-        base = super().__str__()
+        base = GemmShape.__str__(self)  # zero-arg super() breaks under slots=True
         if self.density >= 1.0:
             return base
         return f"{base}@{self.density:.0%}"

@@ -1,0 +1,1 @@
+"""Load harness tests."""

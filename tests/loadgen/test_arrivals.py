@@ -1,0 +1,68 @@
+"""Arrival process: determinism, rate fidelity, diurnal shaping."""
+
+import math
+
+import pytest
+
+from repro.loadgen import RateProfile, poisson_arrivals
+
+
+class TestRateProfile:
+    def test_flat_profile_is_constant(self):
+        profile = RateProfile(base_qps=500.0)
+        assert profile.qps(0.0) == pytest.approx(500.0)
+        assert profile.qps(123.4) == pytest.approx(500.0)
+        assert profile.peak_qps == pytest.approx(500.0)
+
+    def test_diurnal_trough_at_zero_peak_at_half_period(self):
+        profile = RateProfile(base_qps=100.0, amplitude=0.5, period_s=60.0)
+        assert profile.qps(0.0) == pytest.approx(50.0)
+        assert profile.qps(30.0) == pytest.approx(150.0)
+        assert profile.qps(60.0) == pytest.approx(50.0)
+        assert profile.peak_qps == pytest.approx(150.0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(base_qps=0.0), "base_qps"),
+            (dict(base_qps=-5.0), "base_qps"),
+            (dict(base_qps=1.0, amplitude=1.0), "amplitude"),
+            (dict(base_qps=1.0, amplitude=-0.1), "amplitude"),
+            (dict(base_qps=1.0, period_s=0.0), "period_s"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RateProfile(**kwargs)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self):
+        profile = RateProfile(base_qps=2000.0, amplitude=0.3)
+        a = poisson_arrivals(profile, 2.0, seed=7)
+        b = poisson_arrivals(profile, 2.0, seed=7)
+        assert a == b
+        assert poisson_arrivals(profile, 2.0, seed=8) != a
+
+    def test_offsets_ascending_and_in_range(self):
+        arrivals = poisson_arrivals(RateProfile(base_qps=1000.0), 3.0, seed=1)
+        assert all(0.0 <= t < 3.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_count_tracks_the_rate(self):
+        # lambda * T = 20_000 expected; Poisson sd ~141, allow 5 sigma.
+        arrivals = poisson_arrivals(RateProfile(base_qps=4000.0), 5.0, seed=3)
+        assert abs(len(arrivals) - 20_000) < 5 * math.sqrt(20_000)
+
+    def test_thinning_shapes_the_diurnal_ramp(self):
+        # Trough-at-zero phase: running over the rising half-period, the
+        # back quarter must be markedly busier than the front quarter.
+        profile = RateProfile(base_qps=3000.0, amplitude=0.8, period_s=4.0)
+        arrivals = poisson_arrivals(profile, 2.0, seed=5)
+        first = sum(1 for t in arrivals if t < 1.0)
+        second = len(arrivals) - first
+        assert second > 1.5 * first
+
+    def test_invalid_duration_raises(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            poisson_arrivals(RateProfile(base_qps=10.0), 0.0)

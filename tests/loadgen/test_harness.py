@@ -1,0 +1,147 @@
+"""run_load against a cheap stub-policy fleet, plus report assembly."""
+
+import pytest
+
+from repro.kernels.params import config_space
+from repro.loadgen import (
+    LoadgenConfig,
+    QuantileSummary,
+    RateProfile,
+    merged_quantiles,
+    run_load,
+)
+from repro.obs import MetricsRegistry
+from repro.serving import SelectionService
+from repro.serving.router import FleetRouter
+
+CONFIGS = config_space(tile_sizes=(1, 2), work_groups=((8, 8),))
+ANSWER = CONFIGS[0]
+
+
+class _InstantPolicy:
+    def select(self, shape):
+        return ANSWER
+
+    def select_batch(self, shapes):
+        return tuple(ANSWER for _ in shapes)
+
+
+def _stub_router(registry, replicas=2):
+    router = FleetRouter(registry=registry)
+    for i in range(replicas):
+        router.add_device(
+            f"dev{i}",
+            SelectionService(
+                _InstantPolicy(), registry=registry, name=f"dev{i}"
+            ),
+            library=(ANSWER,),
+        )
+    return router
+
+
+class TestRunLoad:
+    def test_completes_every_offered_request(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=3000.0),
+            duration_s=0.4,
+            workers=3,
+        )
+        report = run_load(router, config)
+        assert report.offered > 0
+        assert report.completed == report.offered
+        assert report.achieved_qps > 0
+        assert sum(report.dispatched.values()) == report.completed
+        assert set(report.dispatched) <= {"dev0", "dev1"}
+        assert report.request_latency.count == report.completed
+        # Lookup latency merges both devices' histograms.
+        assert report.lookup_latency is not None
+        assert report.lookup_latency.count == report.completed
+
+    def test_metrics_land_in_the_shared_registry(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=1500.0), duration_s=0.3, workers=2
+        )
+        report = run_load(router, config)
+        assert registry.counter("loadgen.requests").value == report.completed
+        assert (
+            registry.histogram("loadgen.request_seconds").count
+            == report.completed
+        )
+
+    def test_least_outstanding_policy_flows_through(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=1000.0),
+            duration_s=0.3,
+            workers=2,
+            routing_policy="least-outstanding",
+        )
+        report = run_load(router, config)
+        assert report.completed == report.offered
+        assert registry.counter(
+            "fleet.placements", {"policy": "least-outstanding"}
+        ).value == pytest.approx(report.completed)
+
+    def test_worker_errors_propagate(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=500.0),
+            duration_s=0.2,
+            routing_policy="no-such-policy",
+        )
+        with pytest.raises(ValueError, match="policy"):
+            run_load(router, config)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            LoadgenConfig(duration_s=0.0)
+        with pytest.raises(ValueError, match="workers"):
+            LoadgenConfig(workers=0)
+
+    def test_report_to_dict_round_trips_the_essentials(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry, replicas=1)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=800.0), duration_s=0.25, workers=1
+        )
+        report = run_load(router, config)
+        doc = report.to_dict()
+        assert doc["completed"] == report.completed
+        assert doc["request_latency"]["count"] == report.completed
+        assert doc["dispatched"] == report.dispatched
+        rendered = report.render()
+        assert "qps" in rendered
+        assert "p999" in rendered
+
+
+class TestMergedQuantiles:
+    def test_merges_across_label_sets(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("x.seconds", {"service": "a"})
+        b = registry.histogram("x.seconds", {"service": "b"})
+        for _ in range(90):
+            a.observe(1e-6)
+        for _ in range(10):
+            b.observe(1e-3)
+        merged = merged_quantiles(registry, "x.seconds")
+        assert isinstance(merged, QuantileSummary)
+        assert merged.count == 100
+        assert merged.p50_s < 1e-4 < merged.p999_s
+
+    def test_none_when_no_observations(self):
+        registry = MetricsRegistry()
+        registry.histogram("x.seconds")
+        assert merged_quantiles(registry, "x.seconds") is None
+
+    def test_mismatched_bounds_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("x.seconds", {"i": "0"}, bounds=(1.0,)).observe(0.5)
+        registry.histogram("x.seconds", {"i": "1"}, bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds"):
+            merged_quantiles(registry, "x.seconds")

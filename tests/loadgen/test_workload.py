@@ -1,0 +1,70 @@
+"""Shape streams: pool extraction, Zipf skew, determinism."""
+
+from collections import Counter
+
+import pytest
+
+from repro.loadgen import DEFAULT_NETWORKS, ShapeStream, network_shape_pool
+
+
+class TestNetworkShapePool:
+    def test_default_pool_is_deduplicated_and_nonempty(self):
+        pool = network_shape_pool()
+        assert len(pool) > 0
+        assert len({s.as_tuple() for s in pool}) == len(pool)
+
+    def test_single_network_subset_of_default(self):
+        vgg = network_shape_pool(("vgg16",))
+        default_keys = {s.as_tuple() for s in network_shape_pool()}
+        assert {s.as_tuple() for s in vgg} <= default_keys
+        assert len(vgg) < len(network_shape_pool())
+
+    def test_order_is_stable(self):
+        assert network_shape_pool() == network_shape_pool(DEFAULT_NETWORKS)
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError, match="no shapes"):
+            network_shape_pool(())
+
+
+class TestShapeStream:
+    def test_deterministic_given_seed(self):
+        pool = network_shape_pool(("mobilenet_v2",))
+        a = ShapeStream(pool, seed=4).take(200)
+        b = ShapeStream(pool, seed=4).take(200)
+        assert a == b
+        assert ShapeStream(pool, seed=5).take(200) != a
+
+    def test_zipf_skew_concentrates_on_low_ranks(self):
+        pool = network_shape_pool(("resnet50",))
+        draws = ShapeStream(pool, skew=1.2, seed=0).take(4000)
+        counts = Counter(s.as_tuple() for s in draws)
+        hottest = counts[pool[0].as_tuple()]
+        # Rank 0 must dominate any deep-tail rank by a wide margin.
+        tail = counts.get(pool[-1].as_tuple(), 0)
+        assert hottest > 10 * max(tail, 1)
+        assert hottest > 4000 / len(pool)
+
+    def test_zero_skew_is_roughly_uniform(self):
+        pool = network_shape_pool(("vgg16",))
+        draws = ShapeStream(pool, skew=0.0, seed=2).take(8000)
+        counts = Counter(s.as_tuple() for s in draws)
+        expected = 8000 / len(pool)
+        assert all(0.4 * expected < counts[s.as_tuple()] < 2.5 * expected
+                   for s in pool)
+
+    def test_draws_stay_inside_the_pool(self):
+        pool = network_shape_pool(("mobilenet_v2",))
+        keys = {s.as_tuple() for s in pool}
+        assert all(
+            s.as_tuple() in keys for s in ShapeStream(pool, seed=9).take(500)
+        )
+
+    def test_validation(self):
+        pool = network_shape_pool(("vgg16",))
+        with pytest.raises(ValueError, match="non-empty"):
+            ShapeStream(())
+        with pytest.raises(ValueError, match="skew"):
+            ShapeStream(pool, skew=-0.5)
+        with pytest.raises(ValueError, match="n"):
+            ShapeStream(pool).take(-1)

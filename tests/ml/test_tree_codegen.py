@@ -1,0 +1,218 @@
+"""Differential suite: compiled tree descent vs the reference walk.
+
+Both codegen variants (generated nested-``if`` source and branchless
+flat-array) must return leaf indices bit-identical to
+``Tree.apply_loop`` for *any* fitted tree and *any* float64 input —
+including samples landing exactly on split thresholds, negative and
+astronomically large dims, and NaNs (which descend right, like the
+reference walk's ``else`` branch).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tree.codegen import (
+    COMPILE_VARIANTS,
+    MAX_SOURCE_DEPTH,
+    CompiledTree,
+    compile_tree,
+    tree_apply_source,
+)
+
+
+def _fit_tree(rng, n_samples=160, n_features=4, n_classes=5, **kwargs):
+    X = rng.integers(1, 4096, size=(n_samples, n_features)).astype(np.float64)
+    y = rng.integers(0, n_classes, size=n_samples)
+    clf = DecisionTreeClassifier(random_state=0, **kwargs)
+    clf.fit(X, y)
+    return clf.tree_
+
+
+def _boundary_rows(tree, rng, n_random=64):
+    """Inputs that stress the descent: thresholds, extremes, randoms."""
+    width = int(tree.feature.max(initial=-1)) + 1
+    width = max(width, 1)
+    rows = []
+    thresholds = [
+        float(t) for f, t in zip(tree.feature, tree.threshold) if f >= 0
+    ]
+    # Every split threshold, exactly: x <= t must take the left branch.
+    for t in thresholds[:40]:
+        rows.append([t] * width)
+        rows.append([np.nextafter(t, np.inf)] * width)
+        rows.append([np.nextafter(t, -np.inf)] * width)
+    rows.append([0.0] * width)
+    rows.append([-1e18] * width)
+    rows.append([2.0**50] * width)
+    rows.append([np.nan] * width)
+    rows.extend(
+        rng.uniform(-1e6, 1e6, size=(n_random, width)).tolist()
+    )
+    return np.asarray(rows, dtype=np.float64)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("variant", COMPILE_VARIANTS)
+    @pytest.mark.parametrize("tree_seed", range(6))
+    def test_random_trees_match_reference_walk(self, variant, tree_seed):
+        rng = np.random.default_rng(tree_seed)
+        tree = _fit_tree(rng, n_features=2 + tree_seed % 3)
+        compiled = compile_tree(tree, variant=variant)
+        X = _boundary_rows(tree, rng)
+        np.testing.assert_array_equal(compiled.apply(X), tree.apply_loop(X))
+
+    @pytest.mark.parametrize("variant", COMPILE_VARIANTS)
+    def test_deep_unbalanced_tree(self, variant):
+        # A staircase target forces a deep chain of axis splits.
+        rng = np.random.default_rng(99)
+        X = np.arange(64, dtype=np.float64).reshape(-1, 1)
+        y = np.arange(64) // 2
+        clf = DecisionTreeClassifier(random_state=0).fit(X, y)
+        tree = clf.tree_
+        compiled = compile_tree(tree, variant=variant)
+        probe = _boundary_rows(tree, rng)
+        np.testing.assert_array_equal(
+            compiled.apply(probe), tree.apply_loop(probe)
+        )
+
+    @pytest.mark.parametrize("variant", COMPILE_VARIANTS)
+    def test_stump_and_constant_targets(self, variant):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 10, size=(30, 2))
+        clf = DecisionTreeClassifier(max_depth=1, random_state=0)
+        clf.fit(X, np.zeros(30, dtype=np.int64))  # pure leaf, no split
+        compiled = compile_tree(clf.tree_, variant=variant)
+        np.testing.assert_array_equal(
+            compiled.apply(X), clf.tree_.apply_loop(X)
+        )
+
+    def test_variants_agree_with_each_other(self):
+        rng = np.random.default_rng(11)
+        tree = _fit_tree(rng)
+        source = compile_tree(tree, variant="source")
+        flat = compile_tree(tree, variant="flat")
+        X = _boundary_rows(tree, rng, n_random=128)
+        np.testing.assert_array_equal(source.apply(X), flat.apply(X))
+
+
+class TestSourceEmission:
+    def test_source_round_trips_thresholds_exactly(self):
+        rng = np.random.default_rng(5)
+        tree = _fit_tree(rng)
+        compiled = compile_tree(tree, variant="source")
+        assert isinstance(compiled, CompiledTree)
+        assert compiled.source is not None
+        assert compiled.source.startswith("def tree_apply(")
+        for f, t in zip(tree.feature, tree.threshold):
+            if f >= 0:
+                assert repr(float(t)) in compiled.source
+        # The flat variant carries no source.
+        assert compile_tree(tree, variant="flat").source is None
+
+    def test_feature_names_become_arguments(self):
+        rng = np.random.default_rng(6)
+        tree = _fit_tree(rng, n_features=4)
+        source = tree_apply_source(
+            tree, feature_names=("m", "k", "n", "batch")
+        )
+        assert source.startswith("def tree_apply(m, k, n, batch):")
+
+    def test_invalid_identifiers_rejected(self):
+        rng = np.random.default_rng(7)
+        tree = _fit_tree(rng, n_features=2)
+        with pytest.raises(ValueError, match="identifier"):
+            tree_apply_source(tree, feature_names=("m", "not valid"))
+        with pytest.raises(ValueError, match="identifier"):
+            tree_apply_source(tree, function_name="bad name")
+
+    def test_too_few_feature_names_rejected(self):
+        rng = np.random.default_rng(8)
+        tree = _fit_tree(rng, n_features=3)
+        if int(tree.feature.max(initial=-1)) < 2:
+            pytest.skip("tree never split on the last feature")
+        with pytest.raises(ValueError, match="feature names"):
+            compile_tree(tree, feature_names=("a",))
+
+    def test_unknown_variant_rejected(self):
+        rng = np.random.default_rng(9)
+        tree = _fit_tree(rng)
+        with pytest.raises(ValueError, match="variant"):
+            compile_tree(tree, variant="jit")
+
+
+class TestDepthLimit:
+    def _deep_tree(self):
+        # A synthetic right-leaning chain deeper than CPython's nesting
+        # limit: internal node i splits x0 <= i (left: leaf, right:
+        # next internal node).  Fitting rarely produces such chains —
+        # building the flat arrays directly pins the guard exactly.
+        from repro.ml.tree.structure import LEAF, Tree
+
+        depth = MAX_SOURCE_DEPTH + 10
+        n_nodes = 2 * depth + 1
+        feature = np.full(n_nodes, LEAF, dtype=np.int64)
+        threshold = np.zeros(n_nodes)
+        left = np.full(n_nodes, LEAF, dtype=np.int64)
+        right = np.full(n_nodes, LEAF, dtype=np.int64)
+        value = np.zeros((n_nodes, 1))
+        for i in range(depth):
+            node = 2 * i
+            feature[node] = 0
+            threshold[node] = float(i)
+            left[node] = node + 1
+            right[node] = node + 2
+        return Tree(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            value=value,
+            impurity=np.zeros(n_nodes),
+            n_samples=np.ones(n_nodes, dtype=np.int64),
+        )
+
+    def test_source_variant_guards_python_nesting_limit(self):
+        tree = self._deep_tree()
+        assert tree.max_depth > MAX_SOURCE_DEPTH
+        with pytest.raises(ValueError, match="flat"):
+            compile_tree(tree, variant="source")
+
+    def test_flat_variant_is_depth_unbounded(self):
+        tree = self._deep_tree()
+        compiled = compile_tree(tree, variant="flat")
+        X = np.arange(tree.max_depth + 20, dtype=np.float64).reshape(-1, 1)
+        np.testing.assert_array_equal(compiled.apply(X), tree.apply_loop(X))
+
+
+class TestDeployedSelectorCompiled:
+    @pytest.fixture(scope="class")
+    def deployed(self, small_dataset):
+        from repro.core.deploy import tune
+
+        train, _ = small_dataset.split(test_size=0.3, random_state=0)
+        return tune(train, n_configs=4, random_state=0)
+
+    @pytest.mark.parametrize("variant", COMPILE_VARIANTS)
+    def test_decisions_identical_to_selector(
+        self, deployed, small_dataset, variant
+    ):
+        compiled = deployed.compiled(variant=variant)
+        shapes = tuple(small_dataset.shapes)
+        assert compiled.select_batch(shapes) == deployed.select_batch(shapes)
+        for shape in shapes:
+            assert compiled.select(shape) == deployed.select(shape)
+
+    def test_source_property_exposed(self, deployed):
+        compiled = deployed.compiled()
+        assert compiled.variant == "source"
+        assert "def tree_apply(m, k, n, batch):" in compiled.source
+
+    def test_constant_selector_compiles_to_single_leaf(self, small_dataset):
+        from repro.core.deploy import tune
+
+        train, _ = small_dataset.split(test_size=0.3, random_state=0)
+        deployed = tune(train, n_configs=1, random_state=0)
+        compiled = deployed.compiled()
+        shapes = tuple(small_dataset.shapes)
+        assert compiled.select_batch(shapes) == deployed.select_batch(shapes)

@@ -88,6 +88,28 @@ class TestHistogramBuckets:
         assert h.minimum == pytest.approx(0.5)
         assert h.maximum == pytest.approx(12.0)
 
+    def test_observe_n_equals_n_repeated_observes(self):
+        weighted = Histogram(bounds=(1.0, 2.0, 4.0))
+        looped = Histogram(bounds=(1.0, 2.0, 4.0))
+        weighted.observe_n(1.5, 1000)
+        weighted.observe_n(3.0, 5)
+        for _ in range(1000):
+            looped.observe(1.5)
+        for _ in range(5):
+            looped.observe(3.0)
+        assert weighted.bucket_counts() == looped.bucket_counts() == (0, 1000, 5, 0)
+        assert weighted.count == looped.count == 1005
+        assert weighted.total == pytest.approx(looped.total)
+        assert weighted.minimum == pytest.approx(1.5)
+        assert weighted.maximum == pytest.approx(3.0)
+
+    def test_observe_n_zero_is_a_no_op_and_negative_raises(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe_n(0.5, 0)
+        assert h.count == 0
+        with pytest.raises(ValueError, match="n"):
+            h.observe_n(0.5, -1)
+
     def test_quantiles_are_ordered_and_clamped_to_observations(self):
         h = Histogram()
         for v in (1e-6, 2e-6, 5e-6, 1e-5, 1e-4):

@@ -1,0 +1,205 @@
+"""The lock-free hot path: snapshot hits, outside-lock policy calls.
+
+These tests pin the serving-layer guarantees the load harness leans on:
+
+* a *warm* hit never touches the service lock, so it completes even
+  while another thread holds the lock or is stuck inside the policy;
+* concurrent misses for one shape consult the policy exactly once;
+* a policy whose ``select_batch`` returns the wrong number of configs
+  raises a clear contract error instead of mis-zipping answers;
+* batch lookup latency is weighted by query count (``observe_n``);
+* the snapshot dict mirrors LRU membership through inserts/evictions.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.kernels.params import config_space
+from repro.obs import MetricsRegistry
+from repro.serving import SelectionService
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = config_space(tile_sizes=(1, 2), work_groups=((8, 8),))
+ANSWER = CONFIGS[0]
+
+
+def shape(i):
+    return GemmShape(m=8 * (i + 1), k=8, n=8)
+
+
+class _CountingPolicy:
+    def __init__(self, answer=ANSWER):
+        self.answer = answer
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def select(self, shape):
+        with self._lock:
+            self.calls += 1
+        return self.answer
+
+
+class _GatedPolicy(_CountingPolicy):
+    """Blocks inside select() until the test releases the gate."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def select(self, shape):
+        self.entered.set()
+        if not self.gate.wait(timeout=5.0):
+            raise RuntimeError("test gate never opened")
+        return super().select(shape)
+
+
+class _ShortBatchPolicy(_CountingPolicy):
+    """Violates the select_batch contract: always one config short."""
+
+    def select_batch(self, shapes):
+        return tuple(self.answer for _ in shapes)[:-1]
+
+
+class TestLockFreeHits:
+    def test_warm_hit_completes_while_lock_is_held(self):
+        service = SelectionService(_CountingPolicy())
+        warm = shape(0)
+        expected = service.select(warm)
+
+        got = []
+        with service._lock:  # simulate a long critical section elsewhere
+            worker = threading.Thread(
+                target=lambda: got.append(service.select(warm)), daemon=True
+            )
+            worker.start()
+            worker.join(timeout=2.0)
+            assert not worker.is_alive(), "warm hit blocked on the service lock"
+        assert got == [expected]
+
+    def test_warm_hits_not_blocked_by_slow_miss(self):
+        policy = _GatedPolicy()
+        service = SelectionService(policy)
+        warm = shape(0)
+        policy.gate.set()
+        service.select(warm)  # populate the snapshot
+        policy.gate.clear()
+
+        miss_thread = threading.Thread(
+            target=lambda: service.select(shape(1)), daemon=True
+        )
+        miss_thread.start()
+        assert policy.entered.wait(timeout=2.0)
+        try:
+            # The miss is parked inside the policy; warm traffic flows.
+            start = time.perf_counter()
+            for _ in range(100):
+                assert service.select(warm) == ANSWER
+            assert time.perf_counter() - start < 1.0
+        finally:
+            policy.gate.set()
+            miss_thread.join(timeout=2.0)
+        assert not miss_thread.is_alive()
+        assert policy.calls == 2
+
+    def test_concurrent_misses_consult_policy_once(self):
+        policy = _GatedPolicy()
+        service = SelectionService(policy)
+        target = shape(3)
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(service.select(target)),
+                daemon=True,
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        assert policy.entered.wait(timeout=2.0)
+        policy.gate.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert results == [ANSWER] * 8
+        assert policy.calls == 1
+        stats = service.stats()
+        assert stats.lookups == 8
+        assert stats.cache_hits == 7
+
+    def test_inflight_table_drains(self):
+        policy = _CountingPolicy()
+        service = SelectionService(policy)
+        service.select_batch([shape(i) for i in range(6)])
+        service.select(shape(7))
+        assert service._inflight == {}
+
+
+class TestBatchContract:
+    def test_short_batch_return_raises_naming_policy(self):
+        service = SelectionService(_ShortBatchPolicy())
+        shapes = [shape(i) for i in range(4)]
+        with pytest.raises(ValueError, match="_ShortBatchPolicy"):
+            service.select_batch(shapes)
+
+    def test_short_batch_leaves_service_usable(self):
+        policy = _ShortBatchPolicy()
+        service = SelectionService(policy)
+        with pytest.raises(ValueError):
+            service.select_batch([shape(0), shape(1)])
+        # No stuck in-flight registrations: the same shapes resolve via
+        # the scalar path afterwards, from any thread.
+        assert service._inflight == {}
+        done = []
+        worker = threading.Thread(
+            target=lambda: done.append(service.select(shape(0))), daemon=True
+        )
+        worker.start()
+        worker.join(timeout=2.0)
+        assert done == [ANSWER]
+        assert service.select(shape(1)) == ANSWER
+
+
+class TestLatencyWeighting:
+    def test_batch_lookup_histogram_weighted_by_query_count(self):
+        registry = MetricsRegistry()
+        service = SelectionService(_CountingPolicy(), registry=registry)
+        shapes = [shape(i) for i in range(10)]
+        service.select_batch(shapes)
+        lookup = registry.histogram("serving.lookup_seconds")
+        call = registry.histogram("serving.call_seconds")
+        assert lookup.count == 10
+        assert call.count == 1
+        service.select_batch(shapes[:7])
+        assert lookup.count == 17
+        assert call.count == 2
+
+    def test_single_select_one_observation_per_call(self):
+        registry = MetricsRegistry()
+        service = SelectionService(_CountingPolicy(), registry=registry)
+        for i in range(5):
+            service.select(shape(i % 2))
+        assert registry.histogram("serving.lookup_seconds").count == 5
+        assert registry.histogram("serving.call_seconds").count == 5
+
+
+class TestSnapshotCoherence:
+    def test_snapshot_mirrors_lru_membership_through_eviction(self):
+        service = SelectionService(_CountingPolicy(), capacity=3)
+        for i in range(8):
+            service.select(shape(i))
+            assert set(service._snapshot) == set(service._cache)
+        assert len(service._cache) == 3
+        assert service.stats().evictions == 5
+
+    def test_clear_empties_snapshot(self):
+        service = SelectionService(_CountingPolicy())
+        for i in range(4):
+            service.select(shape(i))
+        service.clear()
+        assert service._snapshot == {}
+        assert service._cache == {}
+        # Fresh traffic repopulates both.
+        service.select(shape(0))
+        assert set(service._snapshot) == set(service._cache)
