@@ -1,0 +1,50 @@
+"""Online adaptive kernel selection (the feedback layer).
+
+The static decision tree is frozen at train time; this package adapts
+it under live traffic, modelled on Stream-K++'s Bloom-admitted
+adaptive GEMM selection (PAPERS.md, arXiv:2408.11417):
+
+* :mod:`~repro.adaptive.bandit` — per-shape bandit state: decayed
+  estimators per candidate config, scheduled trials, and confidence-
+  margin promotion with probationary demotion-on-regression.
+* :mod:`~repro.adaptive.replay` — the deterministic record/replay
+  harness that pins trial/promotion sequences bit-identically.
+* :class:`~repro.serving.adaptive.AdaptiveSelectionService` (re-
+  exported lazily) — the serving-side wrapper that slots the layer
+  into a :class:`~repro.serving.router.FleetRouter` unchanged.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.adaptive.bandit import (
+    EXPLORERS,
+    AdaptiveConfig,
+    BanditEvent,
+    ShapeBandit,
+)
+from repro.adaptive.replay import ReplayResult, ReplayStep, run_replay
+
+if TYPE_CHECKING:  # pragma: no cover - static re-export for type checkers
+    from repro.serving.adaptive import AdaptiveSelectionService, AdaptiveStats
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSelectionService",
+    "AdaptiveStats",
+    "BanditEvent",
+    "EXPLORERS",
+    "ReplayResult",
+    "ReplayStep",
+    "ShapeBandit",
+    "run_replay",
+]
+
+
+def __getattr__(name: str) -> object:
+    # Lazy: repro.serving.adaptive imports repro.adaptive.bandit, so an
+    # eager import here would be circular whichever side loads first.
+    if name in ("AdaptiveSelectionService", "AdaptiveStats"):
+        from repro.serving import adaptive as _serving_adaptive
+
+        return getattr(_serving_adaptive, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

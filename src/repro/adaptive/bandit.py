@@ -1,0 +1,331 @@
+"""Per-shape bandit state for online adaptive kernel selection.
+
+One :class:`ShapeBandit` exists per *admitted* shape fingerprint (see
+:class:`repro.ml.online.BloomAdmission`).  It keeps a decayed
+mean/variance estimator per candidate config, arms at most one pending
+*trial* (a challenger config to serve exactly once), and promotes a
+challenger over the incumbent only when the challenger's upper
+confidence bound beats the incumbent's lower bound.  Promotions are
+probationary: a promoted config that regresses against the mean it
+promised is demoted back within ``probation`` feedbacks.
+
+Determinism: trials are armed on the *feedback* path — every
+``trial_interval``-th feedback per shape arms one challenger — never on
+the select path.  That keeps warm selects read-only, bounds trials
+served per shape by ``feedbacks / trial_interval``, and makes a
+single-threaded replay of a (shape, config, latency) trace bit-exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.params import KernelConfig
+from repro.ml.online import DecayedMeanVar
+from repro.utils.rng import derive_seed
+
+__all__ = ["AdaptiveConfig", "BanditEvent", "EXPLORERS", "ShapeBandit"]
+
+Key = Tuple[int, ...]
+
+#: Supported challenger-selection strategies.
+EXPLORERS = ("ucb", "epsilon-greedy")
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs for the adaptive layer; every default is deterministic.
+
+    ``trial_fraction`` is the exploration budget: at most that fraction
+    of a shape's requests are served a challenger config (0 disables
+    exploration entirely).  ``ucb`` picks the challenger with the most
+    optimistic lower confidence bound (after sampling every candidate
+    ``min_trials`` times); ``epsilon-greedy`` picks uniformly from the
+    non-incumbent candidates on a :func:`~repro.utils.rng.derive_seed`
+    stream.
+    """
+
+    trial_fraction: float = 0.125
+    explorer: str = "ucb"
+    seed: int = 0
+    half_life: float = 64.0
+    min_trials: int = 4
+    promote_margin: float = 2.0
+    probation: int = 64
+    regression_margin: float = 1.25
+    admission_threshold: int = 2
+    admission_capacity: int = 4096
+    admission_error_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trial_fraction <= 1.0:
+            raise ValueError(
+                f"trial_fraction must be in [0, 1], got {self.trial_fraction}"
+            )
+        if self.explorer not in EXPLORERS:
+            raise ValueError(
+                f"explorer must be one of {EXPLORERS}, got {self.explorer!r}"
+            )
+        if not self.half_life > 0:
+            raise ValueError(f"half_life must be > 0, got {self.half_life}")
+        if self.min_trials < 1:
+            raise ValueError(f"min_trials must be >= 1, got {self.min_trials}")
+        if self.promote_margin < 0:
+            raise ValueError(
+                f"promote_margin must be >= 0, got {self.promote_margin}"
+            )
+        if self.probation < 1:
+            raise ValueError(f"probation must be >= 1, got {self.probation}")
+        if self.regression_margin < 1.0:
+            raise ValueError(
+                f"regression_margin must be >= 1, got {self.regression_margin}"
+            )
+        if self.admission_threshold < 1:
+            raise ValueError(
+                "admission_threshold must be >= 1, "
+                f"got {self.admission_threshold}"
+            )
+
+    @property
+    def trial_interval(self) -> Optional[int]:
+        """Arm one trial every Nth feedback; None disables exploration."""
+        if self.trial_fraction <= 0.0:
+            return None
+        return max(1, round(1.0 / self.trial_fraction))
+
+
+@dataclass(frozen=True)
+class BanditEvent:
+    """One state transition: a trial served, a promotion, or a demotion.
+
+    ``config`` is the subject (the trialed challenger, the newly
+    promoted incumbent, or the demoted config); ``replaces`` is the
+    config it displaced (promotion) or the incumbent restored in its
+    place (demotion).  ``feedbacks`` is the shape's feedback count when
+    the event fired, which orders events deterministically in replays.
+    """
+
+    kind: str
+    shape: Key
+    config: KernelConfig
+    replaces: Optional[KernelConfig] = None
+    feedbacks: int = 0
+
+    def describe(self) -> str:
+        subject = self.config.short_name()
+        if self.kind == "promotion":
+            other = "" if self.replaces is None else self.replaces.short_name()
+            detail = f"{other} -> {subject}"
+        elif self.kind == "demotion":
+            other = "" if self.replaces is None else self.replaces.short_name()
+            detail = f"{subject} -> back to {other}"
+        else:
+            detail = subject
+        return f"{self.kind:9s} shape={self.shape} {detail} @fb{self.feedbacks}"
+
+
+class ShapeBandit:
+    """Adaptive state for one admitted shape (thread-safe, own lock).
+
+    ``current`` is the promotion override (None means "serve the static
+    policy's answer"); ``next_trial`` is the single armed challenger
+    slot, consumed by :meth:`take_trial`.  Both are read without the
+    lock on the serving hot path and mutated only under it.
+    """
+
+    __slots__ = (
+        "_fallback",
+        "_lock",
+        "_probation_left",
+        "_promise",
+        "_seed",
+        "_stats",
+        "base",
+        "candidates",
+        "config",
+        "current",
+        "demotions",
+        "feedbacks",
+        "key",
+        "next_trial",
+        "promotions",
+        "trials",
+    )
+
+    def __init__(
+        self,
+        key: Key,
+        base: KernelConfig,
+        candidates: Sequence[KernelConfig],
+        config: AdaptiveConfig,
+    ) -> None:
+        self.key = key
+        self.base = base
+        self.candidates: Tuple[KernelConfig, ...] = tuple(
+            dict.fromkeys((base, *candidates))
+        )
+        self.config = config
+        self.current: Optional[KernelConfig] = None
+        self.next_trial: Optional[KernelConfig] = None
+        self.feedbacks = 0
+        self.trials = 0
+        self.promotions = 0
+        self.demotions = 0
+        self._stats: Dict[KernelConfig, DecayedMeanVar] = {}
+        self._fallback: Optional[KernelConfig] = None
+        self._promise = 0.0
+        self._probation_left = 0
+        self._lock = threading.Lock()
+        self._seed = derive_seed(config.seed, "bandit", *key)
+
+    @property
+    def incumbent(self) -> KernelConfig:
+        current = self.current
+        return current if current is not None else self.base
+
+    def estimator(self, config: KernelConfig) -> Optional[DecayedMeanVar]:
+        return self._stats.get(config)
+
+    def take_trial(self) -> Optional[KernelConfig]:
+        """Consume the armed challenger, if any (at most one serve)."""
+        if self.next_trial is None:
+            return None
+        with self._lock:
+            challenger = self.next_trial
+            if challenger is None:
+                return None
+            self.next_trial = None
+            self.trials += 1
+            return challenger
+
+    def record(
+        self, config: KernelConfig, seconds: float
+    ) -> Tuple[BanditEvent, ...]:
+        """Fold one observed latency in; returns promotion/demotion events."""
+        cfg = self.config
+        events: List[BanditEvent] = []
+        with self._lock:
+            self.feedbacks += 1
+            est = self._stats.get(config)
+            if est is None:
+                est = self._stats[config] = DecayedMeanVar(
+                    half_life=cfg.half_life
+                )
+            est.observe(seconds)
+            current = self.current
+            if (
+                current is not None
+                and config == current
+                and self._probation_left > 0
+            ):
+                # Probation: the promoted config must keep delivering the
+                # mean it promised at promotion time, or it goes back.
+                self._probation_left -= 1
+                if est.mean > self._promise * cfg.regression_margin:
+                    restored = (
+                        self._fallback
+                        if self._fallback is not None
+                        else self.base
+                    )
+                    self.current = restored if restored != self.base else None
+                    self._fallback = None
+                    self._probation_left = 0
+                    self.demotions += 1
+                    # Forget the regressed config so it must re-earn any
+                    # future promotion from fresh trials.
+                    del self._stats[config]
+                    events.append(
+                        BanditEvent(
+                            "demotion",
+                            self.key,
+                            config,
+                            restored,
+                            self.feedbacks,
+                        )
+                    )
+            elif config != self.incumbent:
+                incumbent = self.incumbent
+                inc = self._stats.get(incumbent)
+                margin = cfg.promote_margin
+                if (
+                    inc is not None
+                    and est.count >= cfg.min_trials
+                    and inc.count >= cfg.min_trials
+                    and est.mean + margin * est.stderr
+                    < inc.mean - margin * inc.stderr
+                ):
+                    self._fallback = incumbent
+                    self._promise = est.mean
+                    self._probation_left = cfg.probation
+                    self.current = config
+                    self.promotions += 1
+                    events.append(
+                        BanditEvent(
+                            "promotion",
+                            self.key,
+                            config,
+                            incumbent,
+                            self.feedbacks,
+                        )
+                    )
+            interval = cfg.trial_interval
+            if interval is not None and self.feedbacks % interval == 0:
+                challenger = self._choose_challenger()
+                if challenger is not None:
+                    self.next_trial = challenger
+        return tuple(events)
+
+    def _choose_challenger(self) -> Optional[KernelConfig]:
+        incumbent = self.incumbent
+        others = [c for c in self.candidates if c != incumbent]
+        if not others:
+            return None
+        if self.config.explorer == "epsilon-greedy":
+            index = derive_seed(self._seed, "explore", self.feedbacks)
+            return others[index % len(others)]
+        # UCB-style: sample every under-observed arm first (least raw
+        # count wins, candidate order breaks ties), then the arm with
+        # the most optimistic lower confidence bound.
+        margin = self.config.promote_margin
+        min_trials = self.config.min_trials
+
+        def priority(config: KernelConfig) -> Tuple[float, float, int]:
+            est = self._stats.get(config)
+            count = 0 if est is None else est.count
+            rank = self.candidates.index(config)
+            if est is None or count < min_trials:
+                return (0.0, float(count), rank)
+            return (1.0, est.mean - margin * est.stderr, rank)
+
+        return min(others, key=priority)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ish view of this shape's state (demo / stats surface)."""
+        with self._lock:
+            arms = {
+                config.short_name(): {
+                    "count": est.count,
+                    "mean_s": est.mean,
+                    "std_s": est.std,
+                }
+                for config, est in self._stats.items()
+            }
+            return {
+                "shape": self.key,
+                "incumbent": self.incumbent.short_name(),
+                "override": self.current is not None,
+                "feedbacks": self.feedbacks,
+                "trials": self.trials,
+                "promotions": self.promotions,
+                "demotions": self.demotions,
+                "arms": arms,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShapeBandit(shape={self.key}, incumbent="
+            f"{self.incumbent.short_name()}, feedbacks={self.feedbacks}, "
+            f"trials={self.trials})"
+        )

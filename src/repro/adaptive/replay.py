@@ -1,0 +1,127 @@
+"""Deterministic record/replay for the adaptive layer.
+
+The test-harness half of :mod:`repro.adaptive`: drive an
+:class:`~repro.serving.adaptive.AdaptiveSelectionService` through a
+pinned request trace with a synthetic latency function, recording every
+(shape, config, latency) step and every bandit event.  Everything in
+the loop — the request stream, the latency model, the explorer's
+derive_seed streams, trial arming on feedback counts — is a pure
+function of its seeds, so two replays of the same trace are bit
+identical and :meth:`ReplayResult.digest` can pin a whole adaptive run
+to one SHA-256.
+
+A :class:`~repro.testing.plan.FaultPlan` can poison the observed
+latencies mid-trace (e.g. ``plan.kill_device("replay", after=step)``)
+to force a promoted config to regress, which is how demotion-on-
+regression is tested without wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+from repro.adaptive.bandit import BanditEvent
+from repro.kernels.params import KernelConfig
+from repro.workloads.gemm import GemmShape
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.serving.adaptive import AdaptiveSelectionService
+    from repro.testing.plan import FaultPlan
+
+__all__ = ["LatencyFn", "ReplayResult", "ReplayStep", "run_replay"]
+
+#: (shape, served config, step index) -> observed latency in seconds.
+LatencyFn = Callable[[GemmShape, KernelConfig, int], float]
+
+
+@dataclass(frozen=True)
+class ReplayStep:
+    """One replayed request: what was served and what it 'cost'."""
+
+    index: int
+    shape: GemmShape
+    config: KernelConfig
+    latency_s: float
+    trial: bool
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """A full replayed trace plus the bandit events it produced."""
+
+    steps: Tuple[ReplayStep, ...]
+    events: Tuple[BanditEvent, ...]
+
+    @property
+    def decisions(self) -> Tuple[KernelConfig, ...]:
+        return tuple(step.config for step in self.steps)
+
+    @property
+    def trial_steps(self) -> Tuple[ReplayStep, ...]:
+        return tuple(step for step in self.steps if step.trial)
+
+    def events_of(self, kind: str) -> Tuple[BanditEvent, ...]:
+        return tuple(event for event in self.events if event.kind == kind)
+
+    def digest(self) -> str:
+        """SHA-256 over every step and event — the bit-identity pin."""
+        h = hashlib.sha256()
+        for s in self.steps:
+            h.update(
+                f"{s.index}|{s.shape.as_tuple()}|{s.config.short_name()}|"
+                f"{s.latency_s!r}|{int(s.trial)}\n".encode()
+            )
+        for e in self.events:
+            replaces = "" if e.replaces is None else e.replaces.short_name()
+            h.update(
+                f"{e.kind}|{e.shape}|{e.config.short_name()}|"
+                f"{replaces}|{e.feedbacks}\n".encode()
+            )
+        return h.hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplayResult({len(self.steps)} steps, "
+            f"{len(self.trial_steps)} trials, "
+            f"{len(self.events_of('promotion'))} promotions, "
+            f"{len(self.events_of('demotion'))} demotions)"
+        )
+
+
+def run_replay(
+    service: "AdaptiveSelectionService",
+    requests: Sequence[GemmShape],
+    latency: LatencyFn,
+    *,
+    plan: Optional["FaultPlan"] = None,
+    plan_device: str = "replay",
+    poison_config: Optional[KernelConfig] = None,
+    poison_factor: float = 8.0,
+) -> ReplayResult:
+    """Replay a request trace through an adaptive service, synchronously.
+
+    Each request is selected, priced by ``latency(shape, config, i)``
+    and immediately fed back via ``service.record`` — the closed loop
+    the threaded harness runs, minus the threads.  When ``plan`` fires
+    on ``(plan_device, i)`` the observed latency is inflated by
+    ``poison_factor`` (optionally only when the served config is
+    ``poison_config``), simulating a config that regresses mid-trace.
+    """
+    steps: List[ReplayStep] = []
+    events: List[BanditEvent] = []
+    for index, shape in enumerate(requests):
+        trials_before = service.adaptive_stats().trials
+        config = service.select(shape)
+        trial = service.adaptive_stats().trials > trials_before
+        seconds = latency(shape, config, index)
+        if (
+            plan is not None
+            and (poison_config is None or config == poison_config)
+            and plan.fault_for_selection(plan_device, index) is not None
+        ):
+            seconds *= poison_factor
+        events.extend(service.record(shape, config, seconds))
+        steps.append(ReplayStep(index, shape, config, seconds, trial))
+    return ReplayResult(tuple(steps), tuple(events))

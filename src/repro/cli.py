@@ -13,7 +13,11 @@ Subcommands
 * ``serve-stats`` — replay a serving workload, print service counters.
 * ``loadgen``     — closed-loop load harness: ``run`` Poisson/diurnal
   traffic with Zipf-skewed network shapes against a replica fleet and
-  report p50/p99/p999 from the obs histograms.
+  report p50/p99/p999 from the obs histograms; ``--adaptive`` runs the
+  drifted-workload scenario through adaptive services.
+* ``adaptive``    — online adaptive selection: ``demo`` a deterministic
+  drift replay (promotions/demotions timeline, gap closure, digest),
+  ``stats`` the adaptive.* metrics of an obs snapshot.
 * ``obs``         — render an observability snapshot: ``dump`` /
   ``summary`` over metrics + spans exported with ``--obs-export``.
 * ``devices``     — list the simulated device presets.
@@ -333,7 +337,17 @@ def _cmd_loadgen(args) -> int:
     from repro.obs import default_registry
 
     registry = default_registry()
-    if args.store is not None:
+    if args.adaptive and args.store is not None:
+        print(
+            "ERROR: --adaptive runs the drifted synthetic-fleet scenario; "
+            "drop --store",
+            file=sys.stderr,
+        )
+        return 1
+    router = None
+    if args.adaptive:
+        pass  # run_drift_load builds its own adaptive fleet
+    elif args.store is not None:
         from repro.pipeline import ArtifactStore
         from repro.serving import SelectionService
         from repro.serving.router import FleetRouter
@@ -402,11 +416,35 @@ def _cmd_loadgen(args) -> int:
         networks=tuple(args.networks) if args.networks else DEFAULT_NETWORKS,
         zipf_skew=args.zipf,
         seed=args.seed,
+        pace=not args.no_pace,
     )
-    report = run_load(router, config, registry=registry)
+    if args.adaptive:
+        from repro.loadgen.drift import (
+            DriftSpec,
+            drift_adaptive_config,
+            run_drift_load,
+        )
+
+        report = run_drift_load(
+            config,
+            spec=DriftSpec(
+                at=args.drift_at,
+                factor=args.drift_factor,
+                noise_sigma=args.drift_noise,
+                seed=args.seed,
+            ),
+            adaptive=drift_adaptive_config(
+                args.seed, trial_fraction=args.trial_fraction
+            ),
+            replicas=args.replicas,
+            budget=args.budget,
+            registry=registry,
+        )
+    else:
+        report = run_load(router, config, registry=registry)
     print(
         f"loadgen: {args.replicas} replicas "
-        f"({'compiled' if args.compiled else 'tree-walk'} policy), "
+        f"({'adaptive drift' if args.adaptive else 'compiled' if args.compiled else 'tree-walk'} policy), "
         f"{config.workers} workers, zipf {config.zipf_skew}"
     )
     print(report.render())
@@ -424,6 +462,117 @@ def _cmd_loadgen(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_gap_closure is not None:
+        if report.drift is None:
+            print(
+                "ERROR: --min-gap-closure needs a drift report; "
+                "run with --adaptive",
+                file=sys.stderr,
+            )
+            return 1
+        if report.drift.gap_closure < args.min_gap_closure:
+            print(
+                f"ERROR: closed {report.drift.gap_closure:.1%} of the "
+                f"static-to-oracle gap, below the --min-gap-closure floor "
+                f"of {args.min_gap_closure:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_adaptive(args) -> int:
+    if args.action == "stats":
+        import json
+
+        from repro.obs import render_dump
+
+        if args.snapshot is None:
+            print(
+                "ERROR: adaptive stats reads a snapshot; pass --snapshot "
+                "PATH (export one with `repro loadgen run --adaptive "
+                "--obs-export PATH` or `repro adaptive demo --obs-export "
+                "PATH`)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            doc = json.loads(Path(args.snapshot).read_text())
+        except FileNotFoundError:
+            print(f"no obs snapshot at {args.snapshot}", file=sys.stderr)
+            return 1
+        metrics = doc.get("metrics", {})
+        filtered = {
+            kind: [
+                entry
+                for entry in metrics.get(kind, [])
+                if str(entry.get("name", "")).startswith("adaptive.")
+            ]
+            for kind in ("counters", "gauges", "histograms")
+        }
+        if not any(filtered.values()):
+            print("no adaptive.* metrics in the snapshot", file=sys.stderr)
+            return 1
+        print(render_dump({**doc, "metrics": filtered, "spans": []}))
+        return 0
+
+    from repro.loadgen.drift import (
+        DriftSpec,
+        drift_adaptive_config,
+        replay_drift,
+    )
+    from repro.obs import default_registry
+
+    registry = default_registry()
+    spec = DriftSpec(
+        at=args.drift_at,
+        factor=args.drift_factor,
+        noise_sigma=args.drift_noise,
+        seed=args.seed,
+    )
+    adaptive = drift_adaptive_config(
+        args.seed, trial_fraction=args.trial_fraction
+    )
+    report = replay_drift(
+        steps=args.steps,
+        spec=spec,
+        adaptive=adaptive,
+        seed=args.seed,
+        pool_size=args.pool_size,
+        registry=registry,
+    )
+    digest = report.result.digest()
+    print(
+        f"adaptive drift demo: {args.steps} steps over "
+        f"{args.pool_size} shapes, seed {args.seed}"
+    )
+    print(report.render())
+    print(report.service.adaptive_stats().render())
+    events = report.result.events
+    shown = events[: args.max_events]
+    if shown:
+        print(f"events ({len(shown)}/{len(events)} shown):")
+        for event in shown:
+            print(f"  {event.describe()}")
+    print(f"trace digest: {digest}")
+    if args.verify_replay:
+        second = replay_drift(
+            steps=args.steps,
+            spec=spec,
+            adaptive=adaptive,
+            seed=args.seed,
+            pool_size=args.pool_size,
+        )
+        if second.result.digest() != digest:
+            print(
+                "ERROR: replay digests diverge — the adaptive run is "
+                "not deterministic",
+                file=sys.stderr,
+            )
+            return 1
+        print("replay verified: second run reproduced the trace bit-identically")
+    if args.obs_export is not None:
+        _export_obs(args.obs_export, registry)
     return 0
 
 
@@ -910,10 +1059,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact id/fingerprint prefix (default: latest train stage)",
     )
     p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the drifted-workload scenario through adaptive services",
+    )
+    p.add_argument(
+        "--no-pace",
+        action="store_true",
+        help="skip inter-arrival sleeps (as-fast-as-possible replay)",
+    )
+    p.add_argument(
+        "--drift-at",
+        type=float,
+        default=0.5,
+        help="drift onset as a fraction of the scheduled duration",
+    )
+    p.add_argument(
+        "--drift-factor",
+        type=float,
+        default=4.0,
+        help="post-drift slowdown of the static policy's choice",
+    )
+    p.add_argument(
+        "--drift-noise",
+        type=float,
+        default=0.05,
+        help="lognormal sigma of the simulated latency noise",
+    )
+    p.add_argument(
+        "--trial-fraction",
+        type=float,
+        default=0.125,
+        help="fraction of admitted-shape feedback that arms a trial",
+    )
+    p.add_argument(
         "--min-qps",
         type=float,
         default=None,
         help="exit 1 if achieved throughput falls below this floor (CI gate)",
+    )
+    p.add_argument(
+        "--min-gap-closure",
+        type=float,
+        default=None,
+        help="exit 1 if adaptive serving closes less of the static-to-"
+        "oracle gap than this fraction (CI gate; needs --adaptive)",
     )
     p.add_argument(
         "--report-json",
@@ -930,6 +1120,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro.obs JSON snapshot (see `repro obs`)",
     )
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "adaptive",
+        help="online adaptive selection: drift demo + metric stats",
+    )
+    p.add_argument("action", choices=("demo", "stats"))
+    p.add_argument(
+        "--steps", type=int, default=3000, help="demo: replayed requests"
+    )
+    p.add_argument(
+        "--pool-size",
+        type=int,
+        default=12,
+        help="demo: distinct shapes in the Zipf pool",
+    )
+    p.add_argument(
+        "--drift-at",
+        type=float,
+        default=0.5,
+        help="drift onset as a fraction of the replayed steps",
+    )
+    p.add_argument(
+        "--drift-factor",
+        type=float,
+        default=4.0,
+        help="post-drift slowdown of the static policy's choice",
+    )
+    p.add_argument(
+        "--drift-noise",
+        type=float,
+        default=0.05,
+        help="lognormal sigma of the simulated latency noise",
+    )
+    p.add_argument(
+        "--trial-fraction",
+        type=float,
+        default=0.125,
+        help="fraction of admitted-shape feedback that arms a trial",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=20,
+        help="demo: bandit events shown in the timeline",
+    )
+    p.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="demo: replay twice and require bit-identical trace digests",
+    )
+    p.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="stats: obs JSON snapshot written by --obs-export",
+    )
+    p.add_argument(
+        "--obs-export",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="demo: write a repro.obs JSON snapshot (see `repro obs`)",
+    )
+    p.set_defaults(func=_cmd_adaptive)
 
     p = sub.add_parser(
         "obs",

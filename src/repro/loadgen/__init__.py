@@ -14,8 +14,27 @@ pinned-throughput smoke scenario through it.
 """
 
 from repro.loadgen.arrivals import RateProfile, poisson_arrivals
-from repro.loadgen.harness import LoadgenConfig, run_load, synthetic_router
-from repro.loadgen.report import LoadReport, QuantileSummary, merged_quantiles
+from repro.loadgen.drift import (
+    DriftReplayReport,
+    DriftSpec,
+    DriftedLatencyModel,
+    drift_adaptive_config,
+    replay_drift,
+    run_drift_load,
+)
+from repro.loadgen.harness import (
+    LoadgenConfig,
+    SyntheticFleet,
+    run_load,
+    synthetic_fleet,
+    synthetic_router,
+)
+from repro.loadgen.report import (
+    DriftSummary,
+    LoadReport,
+    QuantileSummary,
+    merged_quantiles,
+)
 from repro.loadgen.workload import (
     DEFAULT_NETWORKS,
     ShapeStream,
@@ -24,14 +43,23 @@ from repro.loadgen.workload import (
 
 __all__ = [
     "DEFAULT_NETWORKS",
+    "DriftReplayReport",
+    "DriftSpec",
+    "DriftSummary",
+    "DriftedLatencyModel",
     "LoadReport",
     "LoadgenConfig",
     "QuantileSummary",
     "RateProfile",
     "ShapeStream",
+    "SyntheticFleet",
+    "drift_adaptive_config",
     "merged_quantiles",
     "network_shape_pool",
     "poisson_arrivals",
+    "replay_drift",
+    "run_drift_load",
     "run_load",
+    "synthetic_fleet",
     "synthetic_router",
 ]

@@ -11,6 +11,13 @@ keep up), issues ``router.select`` and retires the request with
 in-flight load.  Latency goes straight into ``loadgen.request_seconds``
 in the shared obs registry; the report reads p50/p99/p999 back out of
 the histograms rather than keeping per-request samples.
+
+Two hooks support the drift/adaptive scenarios
+(:mod:`repro.loadgen.drift`): ``on_request`` observes every completed
+request with its global schedule index and due time, and
+``LoadgenConfig.pace=False`` replays the schedule as fast as possible
+(due times become virtual time — deterministic drift phases without
+wall-clock sleeps).
 """
 
 from __future__ import annotations
@@ -18,19 +25,33 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.loadgen.arrivals import RateProfile, poisson_arrivals
 from repro.loadgen.report import LoadReport, QuantileSummary, merged_quantiles
 from repro.loadgen.workload import DEFAULT_NETWORKS, ShapeStream, network_shape_pool
 from repro.obs.registry import MetricsRegistry
-from repro.serving.router import FleetRouter
+from repro.serving.router import FleetRouter, RoutedDecision
 from repro.workloads.gemm import GemmShape
 
-__all__ = ["LoadgenConfig", "run_load", "synthetic_router"]
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.adaptive.bandit import AdaptiveConfig
+    from repro.core.deploy import DeployedSelector
+
+__all__ = [
+    "LoadgenConfig",
+    "SyntheticFleet",
+    "run_load",
+    "synthetic_fleet",
+    "synthetic_router",
+]
 
 #: A worker this far behind schedule counts the arrival as late.
 _LATE_TOLERANCE_S = 1e-3
+
+#: Observes (schedule index, due seconds, shape, routed decision) after
+#: each completed request — the feedback tap for adaptive scenarios.
+RequestHook = Callable[[int, float, GemmShape, RoutedDecision], None]
 
 
 @dataclass(frozen=True)
@@ -47,6 +68,9 @@ class LoadgenConfig:
     seed: int = 0
     #: Routing policy per request; None uses the router's default.
     routing_policy: Optional[str] = None
+    #: False replays the schedule flat-out: no sleeping, no lateness —
+    #: due times act as virtual time (deterministic drift phases).
+    pace: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -61,10 +85,12 @@ class _Worker(threading.Thread):
     def __init__(
         self,
         router: FleetRouter,
-        work: List[Tuple[float, GemmShape]],
+        work: List[Tuple[int, float, GemmShape]],
         policy: Optional[str],
         barrier: threading.Barrier,
         h_request,
+        pace: bool,
+        on_request: Optional[RequestHook],
     ):
         super().__init__(daemon=True)
         self._router = router
@@ -72,6 +98,8 @@ class _Worker(threading.Thread):
         self._policy = policy
         self._barrier = barrier
         self._h_request = h_request
+        self._pace = pace
+        self._on_request = on_request
         self.completed = 0
         self.late = 0
         self.rerouted = 0
@@ -90,16 +118,19 @@ class _Worker(threading.Thread):
         router = self._router
         observe = self._h_request.observe
         policy = self._policy
+        pace = self._pace
+        on_request = self._on_request
         self._barrier.wait()
         t0 = time.perf_counter()
         self.start_s = t0
-        for due, shape in self._work:
-            now = time.perf_counter() - t0
-            wait = due - now
-            if wait > 0:
-                time.sleep(wait)
-            elif -wait > _LATE_TOLERANCE_S:
-                self.late += 1
+        for index, due, shape in self._work:
+            if pace:
+                now = time.perf_counter() - t0
+                wait = due - now
+                if wait > 0:
+                    time.sleep(wait)
+                elif -wait > _LATE_TOLERANCE_S:
+                    self.late += 1
             begin = time.perf_counter()
             decision = router.select(shape, policy=policy)
             observe(time.perf_counter() - begin)
@@ -108,6 +139,8 @@ class _Worker(threading.Thread):
             if decision.rerouted:
                 self.rerouted += 1
             router.complete(device)
+            if on_request is not None:
+                on_request(index, due, shape, decision)
             self.completed += 1
         self.end_s = time.perf_counter()
 
@@ -117,13 +150,16 @@ def run_load(
     config: LoadgenConfig,
     *,
     registry: Optional[MetricsRegistry] = None,
+    on_request: Optional[RequestHook] = None,
 ) -> LoadReport:
     """Run one load scenario against a routed fleet; returns the report.
 
     ``registry`` is where the generator's own metrics go and where the
     service-side ``serving.lookup_seconds`` histograms are read back
     from — pass the registry the fleet's services share (defaults to
-    the router's).
+    the router's).  ``on_request`` is called after every completed
+    request with ``(schedule index, due seconds, shape, decision)``;
+    exceptions it raises abort the run.
     """
     registry = registry if registry is not None else router.registry
     h_request = registry.histogram("loadgen.request_seconds")
@@ -139,13 +175,16 @@ def run_load(
         seed=config.seed + 1,
     )
     shapes = stream.take(len(arrivals))
-    schedule = list(zip(arrivals, shapes))
+    schedule = [
+        (index, due, shape)
+        for index, (due, shape) in enumerate(zip(arrivals, shapes))
+    ]
 
     n_workers = min(config.workers, max(1, len(schedule)))
     barrier = threading.Barrier(n_workers)
     workers = [
         _Worker(router, schedule[i::n_workers], config.routing_policy,
-                barrier, h_request)
+                barrier, h_request, config.pace, on_request)
         for i in range(n_workers)
     ]
     for worker in workers:
@@ -184,7 +223,23 @@ def run_load(
     )
 
 
-def synthetic_router(
+@dataclass(frozen=True)
+class SyntheticFleet:
+    """A synthetic replica fleet plus the pieces drift scenarios need.
+
+    ``services`` maps device ids to the objects registered with the
+    router — plain :class:`~repro.serving.SelectionService` instances,
+    or :class:`~repro.serving.adaptive.AdaptiveSelectionService`
+    wrappers when built with ``adaptive=``.
+    """
+
+    router: FleetRouter
+    deployed: "DeployedSelector"
+    services: Dict[str, object]
+    registry: MetricsRegistry
+
+
+def synthetic_fleet(
     *,
     replicas: int = 2,
     registry: Optional[MetricsRegistry] = None,
@@ -193,7 +248,8 @@ def synthetic_router(
     budget: int = 4,
     seed: int = 0,
     compiled: bool = False,
-) -> FleetRouter:
+    adaptive: Optional["AdaptiveConfig"] = None,
+) -> SyntheticFleet:
     """A self-contained fleet for load runs: N replicas of one selector.
 
     Generates a reduced performance dataset (small configuration space
@@ -203,7 +259,10 @@ def synthetic_router(
     instances named ``dev0..devN-1`` behind one router.  With
     ``compiled=True`` each service fronts the selector's
     :meth:`~repro.core.deploy.DeployedSelector.compiled` hot path
-    instead of the NumPy tree walk.
+    instead of the NumPy tree walk.  With ``adaptive=`` each service is
+    wrapped in an
+    :class:`~repro.serving.adaptive.AdaptiveSelectionService` carrying
+    that config (each replica adapts independently).
     """
     from repro.bench.runner import BenchmarkRunner, RunnerConfig
     from repro.core.dataset import PerformanceDataset
@@ -233,16 +292,54 @@ def synthetic_router(
     policy = deployed.compiled() if compiled else deployed
     fallback = deployed.library.configs[0]
     router = FleetRouter(default_policy=routing_policy, registry=registry)
+    services: Dict[str, object] = {}
+    candidates = tuple(deployed.library.configs)
     for i in range(replicas):
-        router.add_device(
-            f"dev{i}",
-            SelectionService(
-                policy,
-                capacity=cache_capacity,
-                fallback=fallback,
-                registry=registry,
-                name=f"dev{i}",
-            ),
-            library=tuple(deployed.library.configs),
+        name = f"dev{i}"
+        service: object = SelectionService(
+            policy,
+            capacity=cache_capacity,
+            fallback=fallback,
+            registry=registry,
+            name=name,
         )
-    return router
+        if adaptive is not None:
+            from repro.serving.adaptive import AdaptiveSelectionService
+
+            service = AdaptiveSelectionService(
+                service,  # type: ignore[arg-type]
+                config=adaptive,
+                candidates=candidates,
+                registry=registry,
+                name=name,
+            )
+        services[name] = service
+        router.add_device(name, service, library=candidates)
+    return SyntheticFleet(
+        router=router,
+        deployed=deployed,
+        services=services,
+        registry=registry,
+    )
+
+
+def synthetic_router(
+    *,
+    replicas: int = 2,
+    registry: Optional[MetricsRegistry] = None,
+    routing_policy: str = "round-robin",
+    cache_capacity: int = 4096,
+    budget: int = 4,
+    seed: int = 0,
+    compiled: bool = False,
+) -> FleetRouter:
+    """The router of a :func:`synthetic_fleet` (backwards-compat shim)."""
+    return synthetic_fleet(
+        replicas=replicas,
+        registry=registry,
+        routing_policy=routing_policy,
+        cache_capacity=cache_capacity,
+        budget=budget,
+        seed=seed,
+        compiled=compiled,
+    ).router

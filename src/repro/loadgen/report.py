@@ -17,7 +17,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.obs.metrics import Histogram, histogram_quantile
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["LoadReport", "QuantileSummary", "merged_quantiles"]
+__all__ = ["DriftSummary", "LoadReport", "QuantileSummary", "merged_quantiles"]
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -133,6 +133,59 @@ def merged_quantiles(
 
 
 @dataclass(frozen=True)
+class DriftSummary:
+    """Adaptive-vs-static columns for a drifted load run.
+
+    Geomeans are over the *post-drift* window: ``static_geomean_s`` is
+    what the frozen tree would have cost, ``adaptive_geomean_s`` what
+    the adaptive layer actually served, ``oracle_geomean_s`` the best
+    candidate per request.  ``gap_closure`` is the fraction of the
+    static-to-oracle log-gap the adaptive layer closed (1.0 = serving
+    the oracle, 0.0 = no better than the frozen tree).
+    """
+
+    requests: int
+    post_drift: int
+    drift_at: float
+    factor: float
+    adaptive_geomean_s: float
+    static_geomean_s: float
+    oracle_geomean_s: float
+    gap_closure: float
+    trials: int
+    promotions: int
+    demotions: int
+
+    def render(self) -> str:
+        return (
+            f"drift: x{self.factor:g} at {self.drift_at:.0%} of the run, "
+            f"{self.post_drift}/{self.requests} post-drift requests\n"
+            f"post-drift geomean: adaptive "
+            f"{_fmt_seconds(self.adaptive_geomean_s)}  static "
+            f"{_fmt_seconds(self.static_geomean_s)}  oracle "
+            f"{_fmt_seconds(self.oracle_geomean_s)}  -> gap closure "
+            f"{self.gap_closure:.1%}\n"
+            f"adaptation: {self.trials} trials, {self.promotions} "
+            f"promotions, {self.demotions} demotions"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "post_drift": self.post_drift,
+            "drift_at": self.drift_at,
+            "factor": self.factor,
+            "adaptive_geomean_s": self.adaptive_geomean_s,
+            "static_geomean_s": self.static_geomean_s,
+            "oracle_geomean_s": self.oracle_geomean_s,
+            "gap_closure": self.gap_closure,
+            "trials": self.trials,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+        }
+
+
+@dataclass(frozen=True)
 class LoadReport:
     """The outcome of one load run, ready to render or export.
 
@@ -155,6 +208,8 @@ class LoadReport:
     lookup_latency: Optional[QuantileSummary]
     dispatched: Dict[str, int]
     rerouted: int
+    #: Adaptive-vs-static columns; only set by drifted scenarios.
+    drift: Optional[DriftSummary] = None
 
     def render(self) -> str:
         lines = [
@@ -176,6 +231,8 @@ class LoadReport:
             lines.append(
                 f"dispatch: {per_device}  (rerouted {self.rerouted})"
             )
+        if self.drift is not None:
+            lines.append(self.drift.render())
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -203,4 +260,5 @@ class LoadReport:
             "lookup_latency": summary(self.lookup_latency),
             "dispatched": dict(self.dispatched),
             "rerouted": self.rerouted,
+            "drift": None if self.drift is None else self.drift.to_dict(),
         }

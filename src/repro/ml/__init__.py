@@ -34,6 +34,7 @@ from repro.ml import metrics
 from repro.ml.pca import PCA
 from repro.ml.kmeans import KMeans
 from repro.ml.neighbors import KDTree, KNeighborsClassifier
+from repro.ml.online import BloomAdmission, BloomFilter, DecayedMeanVar
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.svm import SVC
@@ -41,6 +42,9 @@ from repro.ml.hdbscan import HDBSCAN
 
 __all__ = [
     "BaseEstimator",
+    "BloomAdmission",
+    "BloomFilter",
+    "DecayedMeanVar",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
     "HDBSCAN",

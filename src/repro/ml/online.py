@@ -1,0 +1,221 @@
+"""Online streaming statistics and membership primitives.
+
+The adaptive selection layer (:mod:`repro.adaptive`) needs two things
+the batch ML stack does not provide:
+
+* :class:`DecayedMeanVar` — an O(1)-memory mean/variance estimator with
+  exponential decay, so drifting kernel latencies are *forgotten* at a
+  configurable half-life instead of being averaged away forever.  The
+  update is Welford's algorithm over exponentially decayed weights: an
+  observation seen ``half_life`` updates ago carries exactly half the
+  weight of the newest one.
+* :class:`BloomFilter` / :class:`BloomAdmission` — a deterministic
+  Bloom filter (double hashing over :func:`repro.utils.rng.derive_seed`
+  digests, so membership is stable across processes) and a stacked
+  admission cache built from it.  ``BloomAdmission`` answers "has this
+  shape fingerprint been seen at least *k* times?" in O(1) bits per
+  key, which is how the adaptive layer keeps one-off shapes from ever
+  earning bandit state.  Bloom filters never produce false negatives,
+  so a key can only be admitted *early* (false positive), never late.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Tuple, Union
+
+from repro.utils.rng import derive_seed
+
+__all__ = ["BloomAdmission", "BloomFilter", "DecayedMeanVar"]
+
+Key = Union[int, str]
+
+
+class DecayedMeanVar:
+    """Exponentially decayed streaming mean/variance (Welford update).
+
+    Each :meth:`observe` multiplies every previous observation's weight
+    by ``decay = 0.5 ** (1 / half_life)`` and adds the new sample at
+    weight 1, so the estimator tracks a weighted mean with weights
+    ``decay ** age``.  ``weight`` is the total decayed mass (bounded by
+    ``1 / (1 - decay)``); ``count`` is the raw number of observations.
+    """
+
+    __slots__ = ("_decay", "_half_life", "_m2", "count", "mean", "weight")
+
+    def __init__(self, half_life: float = 64.0) -> None:
+        if not half_life > 0:
+            raise ValueError(f"half_life must be > 0, got {half_life}")
+        self._half_life = float(half_life)
+        self._decay = 0.5 ** (1.0 / float(half_life))
+        self.count = 0
+        self.weight = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def half_life(self) -> float:
+        return self._half_life
+
+    @property
+    def decay(self) -> float:
+        """Per-observation weight multiplier; ``decay ** half_life == 0.5``."""
+        return self._decay
+
+    def observe(self, value: float) -> None:
+        """Fold one sample in, decaying everything seen before it."""
+        weight = self.weight * self._decay + 1.0
+        delta = value - self.mean
+        self.mean += delta / weight
+        self._m2 = self._m2 * self._decay + delta * (value - self.mean)
+        self.weight = weight
+        self.count += 1
+
+    @property
+    def variance(self) -> float:
+        """Decayed-weight population variance (0 before two samples)."""
+        if self.weight <= 0.0:
+            return 0.0
+        return max(self._m2 / self.weight, 0.0)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean over the effective sample size."""
+        if self.weight <= 0.0:
+            return 0.0
+        return math.sqrt(self.variance / self.weight)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecayedMeanVar(n={self.count}, mean={self.mean:.3g}, "
+            f"std={self.std:.3g}, weight={self.weight:.2f})"
+        )
+
+
+class BloomFilter:
+    """A deterministic Bloom filter over int/str key tuples.
+
+    Sized by the standard formulas for ``capacity`` keys at
+    ``error_rate`` false positives: ``m = -n ln p / (ln 2)^2`` bits and
+    ``k = (m / n) ln 2`` hash probes.  Probes use double hashing —
+    ``(h1 + i * h2) mod m`` with ``h1``/``h2`` drawn from independent
+    :func:`~repro.utils.rng.derive_seed` streams — so membership is
+    identical across processes and platforms.  False negatives are
+    impossible by construction.
+    """
+
+    __slots__ = ("_bits", "_lock", "_n_bits", "_n_hashes", "_s1", "_s2", "added")
+
+    def __init__(
+        self, capacity: int, error_rate: float = 0.01, *, seed: int = 0
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError(f"error_rate must be in (0, 1), got {error_rate}")
+        ln2 = math.log(2.0)
+        n_bits = max(8, math.ceil(-capacity * math.log(error_rate) / ln2**2))
+        self._n_bits = n_bits
+        self._n_hashes = max(1, round(n_bits / capacity * ln2))
+        self._bits = bytearray((n_bits + 7) // 8)
+        self._s1 = derive_seed(seed, "bloom", "h1")
+        self._s2 = derive_seed(seed, "bloom", "h2")
+        self._lock = threading.Lock()
+        self.added = 0
+
+    @property
+    def n_bits(self) -> int:
+        return self._n_bits
+
+    @property
+    def n_hashes(self) -> int:
+        return self._n_hashes
+
+    def _positions(self, key: Tuple[Key, ...]) -> Tuple[int, ...]:
+        h1 = derive_seed(self._s1, *key)
+        # An odd stride makes the double-hash probe sequence cover the
+        # table even for pathological h2 values.
+        h2 = derive_seed(self._s2, *key) | 1
+        n = self._n_bits
+        return tuple((h1 + i * h2) % n for i in range(self._n_hashes))
+
+    def add(self, *key: Key) -> None:
+        bits = self._bits
+        with self._lock:
+            for pos in self._positions(key):
+                bits[pos >> 3] |= 1 << (pos & 7)
+            self.added += 1
+
+    def contains(self, *key: Key) -> bool:
+        bits = self._bits
+        return all(
+            bits[pos >> 3] >> (pos & 7) & 1 for pos in self._positions(key)
+        )
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — a saturation diagnostic."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self._n_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self._n_bits}, hashes={self._n_hashes}, "
+            f"added={self.added})"
+        )
+
+
+class BloomAdmission:
+    """Admit a key once it has been observed at least ``threshold`` times.
+
+    A stack of ``threshold`` Bloom filters with independent seeds: each
+    :meth:`observe` marks the first filter that does not already contain
+    the key, and a key is *admitted* once every filter contains it.
+    Because the underlying filters have no false negatives, a key is
+    never admitted later than its ``threshold``-th sighting; a false
+    positive in some stage can only admit it early.
+    """
+
+    __slots__ = ("_stages",)
+
+    def __init__(
+        self,
+        threshold: int = 2,
+        capacity: int = 4096,
+        error_rate: float = 0.01,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._stages = tuple(
+            BloomFilter(
+                capacity, error_rate, seed=derive_seed(seed, "admission", i)
+            )
+            for i in range(threshold)
+        )
+
+    @property
+    def threshold(self) -> int:
+        return len(self._stages)
+
+    def observe(self, *key: Key) -> bool:
+        """Record one sighting; True once the key clears every stage.
+
+        The ``threshold``-th sighting of a key marks its last stage and
+        admits it in the same call.
+        """
+        last = len(self._stages) - 1
+        for i, stage in enumerate(self._stages):
+            if not stage.contains(*key):
+                stage.add(*key)
+                return i == last
+        return True
+
+    def admitted(self, *key: Key) -> bool:
+        """True if the key would be admitted without recording a sighting."""
+        return all(stage.contains(*key) for stage in self._stages)

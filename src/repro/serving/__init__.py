@@ -6,11 +6,14 @@ round-robin / least-outstanding / perf-aware policies and cross-device
 fallback when a device's circuit breaker opens.
 """
 
+from repro.serving.adaptive import AdaptiveSelectionService, AdaptiveStats
 from repro.serving.router import ROUTING_POLICIES, FleetRouter, RoutedDecision
 from repro.serving.service import SelectionService
 from repro.serving.stats import FleetStats, LatencySummary, ServiceStats
 
 __all__ = [
+    "AdaptiveSelectionService",
+    "AdaptiveStats",
     "FleetRouter",
     "FleetStats",
     "LatencySummary",

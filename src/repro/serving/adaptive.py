@@ -1,0 +1,395 @@
+"""Online adaptive selection: a feedback wrapper over SelectionService.
+
+:class:`AdaptiveSelectionService` keeps the static tree as the safe
+prior and refines it online, modelled on Stream-K++'s Bloom-admitted
+adaptive GEMM selection (PAPERS.md, arXiv:2408.11417):
+
+* **Admission** — shape fingerprints pass through a
+  :class:`~repro.ml.online.BloomAdmission` stack; only shapes seen at
+  least ``admission_threshold`` times earn per-shape bandit state, so
+  one-off shapes cost a few hash probes and nothing else.
+* **Warm path** — an admitted shape's select is one dict read plus a
+  GIL-atomic tick (no lock): serve the armed trial if one is pending,
+  else the promoted override if one exists, else fall through to the
+  wrapped :class:`~repro.serving.service.SelectionService` (its
+  lock-free snapshot path).  All bandit mutation happens on the
+  feedback path; warm-path ticks are folded into the exact
+  ``adaptive.admission_hits`` counter whenever stats are read.
+* **Feedback** — callers report observed latencies via :meth:`record`;
+  the per-shape :class:`~repro.adaptive.bandit.ShapeBandit` updates its
+  decayed estimators, arms trials, and promotes/demotes configs.
+
+The wrapper exposes the full ``SelectionService`` surface used by
+:class:`~repro.serving.router.FleetRouter` (``select``,
+``select_batch``, ``breaker_open``, ``stats`` …), so adaptive services
+drop into a fleet unchanged.  New ``adaptive.*`` metrics land in the
+same obs registry the wrapped service uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from operator import attrgetter
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.adaptive.bandit import (
+    AdaptiveConfig,
+    BanditEvent,
+    ShapeBandit,
+)
+from repro.kernels.params import KernelConfig
+from repro.ml.online import BloomAdmission
+from repro.obs.registry import MetricsRegistry
+from repro.serving.service import SelectionService
+from repro.serving.stats import ServiceStats
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["AdaptiveSelectionService", "AdaptiveStats"]
+
+_Key = Tuple[int, ...]
+
+
+def _infer_candidates(service: SelectionService) -> Tuple[KernelConfig, ...]:
+    """The pruned candidate set of the wrapped policy, if discoverable."""
+    policy = service.policy
+    for attr in ("library", "pruned"):
+        holder = getattr(policy, attr, None)
+        configs = getattr(holder, "configs", None)
+        if configs:
+            return tuple(configs)
+    raise ValueError(
+        "cannot infer a candidate config set from the wrapped policy "
+        f"({type(policy).__name__}); pass candidates= explicitly"
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveStats:
+    """Counter totals for one adaptive service (exact, not sampled)."""
+
+    admission_hits: int
+    admission_misses: int
+    tracked_shapes: int
+    active_overrides: int
+    trials: int
+    promotions: int
+    demotions: int
+    feedback: int
+
+    @property
+    def requests(self) -> int:
+        return self.admission_hits + self.admission_misses
+
+    @property
+    def admission_hit_rate(self) -> float:
+        total = self.requests
+        return self.admission_hits / total if total else 0.0
+
+    def render(self) -> str:
+        return (
+            f"adaptive: {self.requests} requests "
+            f"({self.admission_hit_rate:.1%} admitted), "
+            f"{self.tracked_shapes} shapes tracked, "
+            f"{self.active_overrides} overrides active\n"
+            f"adaptive: {self.trials} trials, {self.promotions} promotions, "
+            f"{self.demotions} demotions, {self.feedback} feedbacks"
+        )
+
+
+class AdaptiveSelectionService:
+    """Bloom-admitted bandit layer around a :class:`SelectionService`."""
+
+    def __init__(
+        self,
+        service: SelectionService,
+        *,
+        config: Optional[AdaptiveConfig] = None,
+        candidates: Optional[Sequence[KernelConfig]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        name: Optional[str] = None,
+        event_log: int = 512,
+    ) -> None:
+        self._service = service
+        self._config = config if config is not None else AdaptiveConfig()
+        self._candidates = (
+            tuple(candidates)
+            if candidates is not None
+            else _infer_candidates(service)
+        )
+        if not self._candidates:
+            raise ValueError("candidates must be non-empty")
+        self._registry = registry if registry is not None else service.registry
+        self._name = name if name is not None else service.name
+        labels = {"service": self._name} if self._name is not None else None
+        reg = self._registry
+        self._c_hits = reg.counter("adaptive.admission_hits", labels)
+        self._c_misses = reg.counter("adaptive.admission_misses", labels)
+        self._c_trials = reg.counter("adaptive.trials", labels)
+        self._c_promotions = reg.counter("adaptive.promotions", labels)
+        self._c_demotions = reg.counter("adaptive.demotions", labels)
+        self._c_feedback = reg.counter("adaptive.feedback", labels)
+        self._g_tracked = reg.gauge("adaptive.tracked_shapes", labels)
+        self._g_overrides = reg.gauge("adaptive.active_overrides", labels)
+        self._h_observed = reg.histogram("adaptive.observed_seconds", labels)
+        self._states: Dict[_Key, ShapeBandit] = {}
+        self._lock = threading.Lock()
+        # Warm single selects count via a GIL-atomic itertools.count
+        # tick (~5x cheaper than the lock-based obs counter); the ticks
+        # are reconciled into ``_c_hits`` by :meth:`_flush_hits`.
+        self._hit_ticks = itertools.count()
+        self._hit_reads = 0
+        self._hits_flushed = 0
+        # Bound-method caches for the request-hot warm path: each one
+        # trims an attribute hop per select.
+        self._states_get = self._states.get
+        self._tick = self._hit_ticks.__next__
+        self._inner_select = service.select
+        self._admission = BloomAdmission(
+            threshold=self._config.admission_threshold,
+            capacity=self._config.admission_capacity,
+            error_rate=self._config.admission_error_rate,
+            seed=self._config.seed,
+        )
+        self._events: Deque[BanditEvent] = deque(maxlen=event_log)
+
+    # -- delegated SelectionService surface --------------------------------
+
+    @property
+    def service(self) -> SelectionService:
+        return self._service
+
+    @property
+    def policy(self) -> object:
+        return self._service.policy
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._name
+
+    @property
+    def provenance(self) -> Optional[object]:
+        return self._service.provenance
+
+    @property
+    def fallback(self) -> Optional[KernelConfig]:
+        return self._service.fallback
+
+    # The router probes every device's breaker on every request, so
+    # this delegation is request-path hot.  A C-level attrgetter reads
+    # the wrapped service's breaker flag directly: a lone bool read is
+    # GIL-atomic, and a health probe needs no stronger ordering than
+    # the lock-guarded property gives (either way the flag can flip the
+    # instant after the probe).
+    breaker_open = property(
+        attrgetter("_service._breaker_open"),
+        doc="Whether the wrapped service's circuit breaker is open.",
+    )
+
+    def stats(self) -> ServiceStats:
+        return self._service.stats()
+
+    def clear(self) -> None:
+        self._service.clear()
+
+    def reset_breaker(self) -> None:
+        self._service.reset_breaker()
+
+    # -- adaptive surface ---------------------------------------------------
+
+    @property
+    def config(self) -> AdaptiveConfig:
+        return self._config
+
+    @property
+    def candidates(self) -> Tuple[KernelConfig, ...]:
+        return self._candidates
+
+    def select(self, shape: GemmShape) -> KernelConfig:
+        state = self._states_get(shape.as_tuple())
+        if state is None:
+            return self._select_cold(shape, shape.as_tuple())
+        # Warm admitted path: lock-free reads plus one GIL-atomic tick;
+        # the (rare) armed-trial branch is outlined so the common case
+        # stays as few bytecodes as possible.
+        self._tick()
+        if state.next_trial is not None:
+            return self._select_trial(shape, state)
+        current = state.current
+        if current is not None:
+            return current
+        return self._inner_select(shape)
+
+    def _select_trial(
+        self, shape: GemmShape, state: ShapeBandit
+    ) -> KernelConfig:
+        challenger = state.take_trial()
+        if challenger is not None:
+            self._c_trials.inc()
+            self._events.append(
+                BanditEvent(
+                    "trial", state.key, challenger, None, state.feedbacks
+                )
+            )
+            return challenger
+        current = state.current
+        if current is not None:
+            return current
+        return self._service.select(shape)
+
+    def select_batch(
+        self, shapes: Sequence[GemmShape]
+    ) -> Tuple[KernelConfig, ...]:
+        items = tuple(shapes)
+        if not items:
+            return ()
+        out: List[Optional[KernelConfig]] = [None] * len(items)
+        pending: List[int] = []
+        hits = 0
+        misses = 0
+        trials = 0
+        states_get = self._states.get
+        for i, shape in enumerate(items):
+            key = shape.as_tuple()
+            state = states_get(key)
+            if state is None:
+                misses += 1
+                pending.append(i)
+                continue
+            hits += 1
+            if state.next_trial is not None:
+                # A trial serves exactly one request: taking the slot
+                # clears ``next_trial``, so the first occurrence of the
+                # shape in this batch consumes it and later occurrences
+                # fall through to the normal warm path.
+                challenger = state.take_trial()
+                if challenger is not None:
+                    trials += 1
+                    self._events.append(
+                        BanditEvent(
+                            "trial", key, challenger, None, state.feedbacks
+                        )
+                    )
+                    out[i] = challenger
+                    continue
+            current = state.current
+            if current is not None:
+                out[i] = current
+            else:
+                pending.append(i)
+        if pending:
+            resolved = self._service.select_batch(
+                [items[i] for i in pending]
+            )
+            for i, config in zip(pending, resolved):
+                out[i] = config
+                key = items[i].as_tuple()
+                if self._states.get(key) is None:
+                    self._maybe_admit(key, config)
+        if hits:
+            self._c_hits.inc(hits)
+        if misses:
+            self._c_misses.inc(misses)
+        if trials:
+            self._c_trials.inc(trials)
+        return tuple(out)  # type: ignore[arg-type]
+
+    def record(
+        self, shape: GemmShape, config: KernelConfig, seconds: float
+    ) -> Tuple[BanditEvent, ...]:
+        """Feed one observed latency for (shape, config) back in.
+
+        Returns the promotion/demotion events the feedback triggered
+        (empty for unadmitted shapes, which keep no bandit state).
+        """
+        self._c_feedback.inc()
+        self._h_observed.observe(seconds)
+        state = self._states.get(shape.as_tuple())
+        if state is None:
+            return ()
+        events = state.record(config, seconds)
+        for event in events:
+            if event.kind == "promotion":
+                self._c_promotions.inc()
+            elif event.kind == "demotion":
+                self._c_demotions.inc()
+            self._events.append(event)
+        if events:
+            self._g_overrides.set(float(self._count_overrides()))
+        return events
+
+    def events(self) -> Tuple[BanditEvent, ...]:
+        """The most recent bandit events (trials, promotions, demotions)."""
+        return tuple(self._events)
+
+    def tracked(self) -> Dict[_Key, ShapeBandit]:
+        """A snapshot of the per-shape bandit states (shared objects)."""
+        return dict(self._states)
+
+    def adaptive_stats(self) -> AdaptiveStats:
+        self._flush_hits()
+        return AdaptiveStats(
+            admission_hits=self._c_hits.value,
+            admission_misses=self._c_misses.value,
+            tracked_shapes=len(self._states),
+            active_overrides=self._count_overrides(),
+            trials=self._c_trials.value,
+            promotions=self._c_promotions.value,
+            demotions=self._c_demotions.value,
+            feedback=self._c_feedback.value,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _flush_hits(self) -> None:
+        """Fold warm-path ticks into ``adaptive.admission_hits``.
+
+        Reading :class:`itertools.count` consumes a tick, so reads are
+        counted too and subtracted back out: the running total of warm
+        single selects is ``raw - prior_reads``, exact at any quiescent
+        point.  Batch hits go straight to the obs counter (one locked
+        ``inc`` amortised over the whole batch), so only the delta of
+        single-select ticks is flushed here.
+        """
+        with self._lock:
+            raw = next(self._hit_ticks)
+            total = raw - self._hit_reads
+            self._hit_reads += 1
+            delta = total - self._hits_flushed
+            if delta:
+                self._hits_flushed = total
+                self._c_hits.inc(delta)
+
+    def _select_cold(self, shape: GemmShape, key: _Key) -> KernelConfig:
+        self._c_misses.inc()
+        config = self._service.select(shape)
+        self._maybe_admit(key, config)
+        return config
+
+    def _maybe_admit(self, key: _Key, base: KernelConfig) -> None:
+        with self._lock:
+            if key in self._states:
+                return
+            if self._admission.observe(*key):
+                self._states[key] = ShapeBandit(
+                    key, base, self._candidates, self._config
+                )
+                self._g_tracked.set(float(len(self._states)))
+
+    def _count_overrides(self) -> int:
+        return sum(
+            1 for state in self._states.values() if state.current is not None
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveSelectionService(name={self._name!r}, "
+            f"shapes={len(self._states)}, "
+            f"candidates={len(self._candidates)})"
+        )

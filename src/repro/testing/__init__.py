@@ -18,6 +18,7 @@ from repro.testing.faulty import (
 )
 from repro.testing.oracles import (
     OracleReport,
+    adaptive_select_oracle,
     batch_select_oracle,
     queue_equivalence_oracle,
     random_shapes,
@@ -37,6 +38,7 @@ __all__ = [
     "FaultyQueue",
     "InjectedFault",
     "OracleReport",
+    "adaptive_select_oracle",
     "batch_select_oracle",
     "faulty_runner",
     "queue_equivalence_oracle",

@@ -39,6 +39,7 @@ from repro.workloads.gemm import GemmShape
 
 __all__ = [
     "OracleReport",
+    "adaptive_select_oracle",
     "batch_select_oracle",
     "queue_equivalence_oracle",
     "random_shapes",
@@ -180,6 +181,71 @@ def batch_select_oracle(
                     f"shape {shape}: select_batch chose {g}, select chose {w}"
                 )
     return OracleReport("batch-select", len(shapes), tuple(mismatches))
+
+
+def adaptive_select_oracle(
+    policy, *, cases: int = 200, seed: int = 0, batch: int = 8
+) -> OracleReport:
+    """Exploration-free adaptive serving == the bare service, decision-wise.
+
+    With ``trial_fraction=0`` and no feedback ever recorded, an
+    :class:`~repro.serving.adaptive.AdaptiveSelectionService` must be a
+    pure pass-through: every single and batch select agrees with a bare
+    :class:`~repro.serving.service.SelectionService` over the same
+    policy.  ``admission_threshold=1`` admits every shape immediately,
+    so the comparison exercises the admitted warm path, not just the
+    cold fall-through.  Chunks alternate between ``select_batch`` and
+    per-item ``select`` on the adaptive side.
+    """
+    from repro.adaptive.bandit import AdaptiveConfig
+    from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+    from repro.serving.adaptive import AdaptiveSelectionService
+    from repro.serving.service import SelectionService
+
+    reference = SelectionService(policy, registry=NULL_REGISTRY)
+    config = AdaptiveConfig(
+        trial_fraction=0.0, admission_threshold=1, seed=seed
+    )
+    try:
+        adaptive = AdaptiveSelectionService(
+            SelectionService(policy, registry=NULL_REGISTRY),
+            config=config,
+            registry=MetricsRegistry(),
+        )
+    except ValueError:
+        # Policies without a discoverable candidate set still must be
+        # decision-identical; the (unused) candidate set is a dummy.
+        adaptive = AdaptiveSelectionService(
+            SelectionService(policy, registry=NULL_REGISTRY),
+            config=config,
+            candidates=config_space(tile_sizes=(1,), work_groups=((8, 8),)),
+            registry=MetricsRegistry(),
+        )
+    rng = stream(seed, "oracle", "adaptive-select")
+    shapes = random_shapes(rng, cases)
+    mismatches: List[str] = []
+    for chunk_index, lo in enumerate(range(0, len(shapes), batch)):
+        chunk = shapes[lo : lo + batch]
+        if chunk_index % 2:
+            got = tuple(adaptive.select(s) for s in chunk)
+        else:
+            got = tuple(adaptive.select_batch(chunk))
+        want = tuple(reference.select(s) for s in chunk)
+        for shape, g, w in zip(chunk, got, want):
+            if g != w:
+                mismatches.append(
+                    f"shape {shape}: adaptive chose {g}, reference chose {w}"
+                )
+    stats = adaptive.adaptive_stats()
+    if stats.trials:
+        mismatches.append(
+            f"{stats.trials} trials served with exploration disabled"
+        )
+    if stats.active_overrides:
+        mismatches.append(
+            f"{stats.active_overrides} overrides active with no feedback"
+        )
+    return OracleReport("adaptive-select", len(shapes), tuple(mismatches))
 
 
 def queue_equivalence_oracle(

@@ -1,0 +1,261 @@
+"""Unit tests for the per-shape bandit: arming, promotion, demotion.
+
+All state transitions are driven by explicit ``record`` calls with
+hand-chosen latencies, so every assertion is exact — no randomness, no
+timing.
+"""
+
+import pytest
+
+from repro.adaptive import EXPLORERS, AdaptiveConfig, BanditEvent, ShapeBandit
+from repro.kernels.params import config_space
+
+CONFIGS = tuple(config_space(tile_sizes=(1, 2), work_groups=((8, 8), (16, 16))))
+BASE, FAST, SLOW, OTHER = CONFIGS[0], CONFIGS[1], CONFIGS[2], CONFIGS[3]
+KEY = (64, 128, 256, 1)
+
+
+def make_bandit(**overrides):
+    defaults = dict(
+        trial_fraction=0.25,  # arm every 4th feedback
+        explorer="ucb",
+        seed=0,
+        half_life=16.0,
+        min_trials=2,
+        promote_margin=1.0,
+        probation=8,
+        regression_margin=1.25,
+    )
+    defaults.update(overrides)
+    config = AdaptiveConfig(**defaults)
+    return ShapeBandit(KEY, BASE, (BASE, FAST, SLOW, OTHER), config)
+
+
+class TestAdaptiveConfig:
+    def test_trial_interval_is_the_rounded_inverse(self):
+        assert AdaptiveConfig(trial_fraction=0.125).trial_interval == 8
+        assert AdaptiveConfig(trial_fraction=0.25).trial_interval == 4
+        assert AdaptiveConfig(trial_fraction=1.0).trial_interval == 1
+        assert AdaptiveConfig(trial_fraction=0.0).trial_interval is None
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("trial_fraction", -0.1),
+            ("trial_fraction", 1.5),
+            ("explorer", "thompson"),
+            ("half_life", 0.0),
+            ("min_trials", 0),
+            ("promote_margin", -1.0),
+            ("probation", 0),
+            ("regression_margin", 0.5),
+            ("admission_threshold", 0),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(**{field: value})
+
+    def test_explorers_constant_matches_validation(self):
+        for explorer in EXPLORERS:
+            AdaptiveConfig(explorer=explorer)  # must not raise
+
+
+class TestTrialArming:
+    def test_armed_exactly_every_interval_feedbacks(self):
+        bandit = make_bandit(trial_fraction=0.25)
+        armed_at = []
+        for i in range(1, 17):
+            bandit.record(BASE, 1e-3)
+            if bandit.next_trial is not None:
+                armed_at.append(i)
+                assert bandit.take_trial() is not None
+        assert armed_at == [4, 8, 12, 16]
+        assert bandit.trials == 4
+
+    def test_no_arming_with_exploration_disabled(self):
+        bandit = make_bandit(trial_fraction=0.0)
+        for _ in range(32):
+            bandit.record(BASE, 1e-3)
+        assert bandit.next_trial is None
+        assert bandit.take_trial() is None
+        assert bandit.trials == 0
+
+    def test_take_trial_consumes_the_slot_once(self):
+        bandit = make_bandit(trial_fraction=1.0)
+        bandit.record(BASE, 1e-3)
+        challenger = bandit.take_trial()
+        assert challenger is not None and challenger != BASE
+        assert bandit.take_trial() is None
+        assert bandit.trials == 1
+
+    def test_unserved_trial_is_replaced_not_stacked(self):
+        bandit = make_bandit(trial_fraction=1.0)
+        for _ in range(5):
+            bandit.record(BASE, 1e-3)
+        # Five armings, none served: only one slot exists.
+        assert bandit.next_trial is not None
+        bandit.take_trial()
+        assert bandit.next_trial is None
+        assert bandit.trials == 1
+
+
+class TestChallengerChoice:
+    def test_ucb_samples_undersampled_arms_in_candidate_order(self):
+        bandit = make_bandit(explorer="ucb", trial_fraction=1.0, min_trials=2)
+        # No estimators at all: the first non-incumbent candidate wins.
+        bandit.record(BASE, 1e-3)
+        assert bandit.next_trial == FAST
+        # Give FAST its min_trials; SLOW (count 0) must be next.
+        bandit.record(FAST, 1e-3)
+        bandit.record(FAST, 1e-3)
+        assert bandit.next_trial == SLOW
+
+    def test_ucb_prefers_the_best_lower_bound_once_all_sampled(self):
+        bandit = make_bandit(explorer="ucb", trial_fraction=1.0, min_trials=1)
+        bandit.record(FAST, 1e-4)
+        bandit.record(SLOW, 5e-3)
+        bandit.record(OTHER, 1e-3)
+        bandit.record(BASE, 2e-3)
+        assert bandit.next_trial == FAST
+
+    def test_epsilon_greedy_is_seed_deterministic(self):
+        picks = {}
+        for seed in (0, 0, 1):
+            bandit = make_bandit(
+                explorer="epsilon-greedy", trial_fraction=1.0, seed=seed
+            )
+            sequence = []
+            for _ in range(12):
+                bandit.record(BASE, 1e-3)
+                sequence.append(bandit.take_trial())
+            picks.setdefault(seed, []).append(tuple(sequence))
+        assert picks[0][0] == picks[0][1]  # same seed, same choices
+        assert picks[0][0] != picks[1][0]  # different seed, different walk
+        assert all(c != BASE for c in picks[0][0])
+
+    def test_lone_candidate_never_arms(self):
+        config = AdaptiveConfig(trial_fraction=1.0)
+        bandit = ShapeBandit(KEY, BASE, (BASE,), config)
+        bandit.record(BASE, 1e-3)
+        assert bandit.next_trial is None
+
+    def test_candidates_deduped_with_base_first(self):
+        config = AdaptiveConfig()
+        bandit = ShapeBandit(KEY, BASE, (FAST, BASE, FAST, SLOW), config)
+        assert bandit.candidates == (BASE, FAST, SLOW)
+
+
+def promote(bandit, *, fast_s=1e-4, base_s=1e-3):
+    """Feed min_trials clean observations of each side; returns events."""
+    events = []
+    for _ in range(bandit.config.min_trials):
+        events.extend(bandit.record(BASE, base_s))
+    for _ in range(bandit.config.min_trials):
+        events.extend(bandit.record(FAST, fast_s))
+    return [e for e in events if e.kind == "promotion"]
+
+
+class TestPromotion:
+    def test_clear_winner_is_promoted_with_fallback_recorded(self):
+        bandit = make_bandit(trial_fraction=0.0)
+        promotions = promote(bandit)
+        assert len(promotions) == 1
+        event = promotions[0]
+        assert event.config == FAST and event.replaces == BASE
+        assert bandit.current == FAST
+        assert bandit.incumbent == FAST
+        assert bandit.promotions == 1
+
+    def test_no_promotion_below_min_trials(self):
+        bandit = make_bandit(trial_fraction=0.0, min_trials=4)
+        for _ in range(4):
+            bandit.record(BASE, 1e-3)
+        for _ in range(3):  # one short of min_trials
+            assert bandit.record(FAST, 1e-4) == ()
+        assert bandit.current is None
+        assert bandit.record(FAST, 1e-4)[0].kind == "promotion"
+
+    def test_no_promotion_until_incumbent_has_min_trials(self):
+        bandit = make_bandit(trial_fraction=0.0, min_trials=2)
+        bandit.record(BASE, 1e-3)  # incumbent has only 1 observation
+        for _ in range(8):
+            assert bandit.record(FAST, 1e-4) == ()
+        assert bandit.current is None
+
+    def test_no_promotion_inside_the_confidence_margin(self):
+        # Means differ but the noise bands overlap at margin 2: no call.
+        bandit = make_bandit(
+            trial_fraction=0.0, min_trials=4, promote_margin=2.0
+        )
+        for value in (1.00e-3, 1.30e-3, 0.95e-3, 1.25e-3):
+            bandit.record(BASE, value)
+        for value in (0.90e-3, 1.20e-3, 0.85e-3, 1.15e-3):
+            assert bandit.record(FAST, value) == ()
+        assert bandit.current is None
+
+    def test_feedback_counter_stamps_events(self):
+        bandit = make_bandit(trial_fraction=0.0)
+        promotions = promote(bandit)
+        assert promotions[0].feedbacks == 2 * bandit.config.min_trials
+
+
+class TestDemotion:
+    def test_regression_during_probation_restores_the_base(self):
+        bandit = make_bandit(trial_fraction=0.0, regression_margin=1.25)
+        promote(bandit)
+        promised = bandit._promise
+        # The promoted config now regresses way past its promise.
+        events = []
+        for _ in range(bandit.config.probation):
+            events.extend(bandit.record(FAST, promised * 10.0))
+            if any(e.kind == "demotion" for e in events):
+                break
+        demotions = [e for e in events if e.kind == "demotion"]
+        assert len(demotions) == 1
+        assert demotions[0].config == FAST
+        assert demotions[0].replaces == BASE
+        assert bandit.current is None  # back to the static answer
+        assert bandit.demotions == 1
+        # The regressed config's estimator is forgotten entirely.
+        assert bandit.estimator(FAST) is None
+
+    def test_delivering_the_promise_survives_probation(self):
+        bandit = make_bandit(trial_fraction=0.0, probation=6)
+        promote(bandit, fast_s=1e-4)
+        for _ in range(20):
+            assert bandit.record(FAST, 1e-4) == ()
+        assert bandit.current == FAST
+        assert bandit.demotions == 0
+
+    def test_mild_slowdown_within_margin_is_tolerated(self):
+        bandit = make_bandit(trial_fraction=0.0, regression_margin=1.5)
+        promote(bandit, fast_s=1.0e-4)
+        for _ in range(10):
+            assert bandit.record(FAST, 1.2e-4) == ()  # < 1.5x promise
+        assert bandit.current == FAST
+
+
+class TestIntrospection:
+    def test_snapshot_reflects_state(self):
+        bandit = make_bandit(trial_fraction=0.0)
+        promote(bandit)
+        snap = bandit.snapshot()
+        assert snap["shape"] == KEY
+        assert snap["incumbent"] == FAST.short_name()
+        assert snap["override"] is True
+        assert snap["promotions"] == 1
+        assert set(snap["arms"]) == {BASE.short_name(), FAST.short_name()}
+        assert snap["arms"][FAST.short_name()]["count"] == 2
+
+    def test_event_describe_covers_all_kinds(self):
+        promo = BanditEvent("promotion", KEY, FAST, BASE, 12)
+        demo = BanditEvent("demotion", KEY, FAST, BASE, 20)
+        trial = BanditEvent("trial", KEY, SLOW, None, 4)
+        assert "->" in promo.describe() and "@fb12" in promo.describe()
+        assert "back to" in demo.describe()
+        assert SLOW.short_name() in trial.describe()
+
+    def test_repr_mentions_incumbent(self):
+        bandit = make_bandit()
+        assert BASE.short_name() in repr(bandit)

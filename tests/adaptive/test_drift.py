@@ -1,0 +1,212 @@
+"""Drifted-workload scenarios: the latency model, the gates, the report.
+
+The deterministic ``replay_drift`` run is the main fixture: one call
+covers the drifted latency surface, adaptation end-to-end (the >= 50%
+gap-closure property CI gates on), and the DriftSummary wiring into the
+load report.
+"""
+
+import pytest
+
+from repro.kernels.params import config_space
+from repro.loadgen import (
+    DriftSpec,
+    DriftedLatencyModel,
+    LoadgenConfig,
+    RateProfile,
+    replay_drift,
+    run_drift_load,
+)
+from repro.loadgen.report import DriftSummary
+from repro.perfmodel.model import GemmPerfModel
+from repro.sycl.device import Device
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = tuple(config_space(tile_sizes=(1, 2), work_groups=((8, 8), (16, 16))))
+SHAPE = GemmShape(m=256, k=256, n=256)
+
+
+class _StaticPolicy:
+    def select(self, shape):
+        return CONFIGS[0]
+
+
+def make_model(**spec_overrides):
+    knobs = dict(at=0.5, factor=4.0, noise_sigma=0.05, seed=0)
+    knobs.update(spec_overrides)
+    return DriftedLatencyModel(
+        GemmPerfModel(Device.r9_nano()),
+        _StaticPolicy(),
+        CONFIGS,
+        spec=DriftSpec(**knobs),
+    )
+
+
+class TestDriftSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"at": -0.1},
+            {"at": 1.5},
+            {"factor": 1.0},
+            {"factor": 0.5},
+            {"noise_sigma": -0.01},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftSpec(**kwargs)
+
+
+class TestDriftedLatencyModel:
+    def test_identical_calls_are_identical(self):
+        a, b = make_model(), make_model()
+        for step in (0, 7, 1000):
+            for config in CONFIGS[:3]:
+                assert a.time(SHAPE, config, step, drifted=True) == b.time(
+                    SHAPE, config, step, drifted=True
+                )
+
+    def test_noise_varies_with_step_but_not_phase(self):
+        model = make_model()
+        times = {model.time(SHAPE, CONFIGS[1], s, drifted=False) for s in range(16)}
+        assert len(times) == 16  # per-step noise actually moves
+
+    def test_drift_inflates_exactly_the_static_choice(self):
+        model = make_model(factor=4.0)
+        static = model.static_config(SHAPE)
+        assert static == CONFIGS[0]
+        pre = model.time(SHAPE, static, 3, drifted=False)
+        post = model.time(SHAPE, static, 3, drifted=True)
+        assert post == pytest.approx(4.0 * pre, rel=1e-12)
+        # Non-static configs are untouched by the drift.
+        other = CONFIGS[1]
+        assert model.time(SHAPE, other, 3, drifted=True) == model.time(
+            SHAPE, other, 3, drifted=False
+        )
+
+    def test_oracle_is_the_noise_free_minimum(self):
+        model = make_model(noise_sigma=0.0)
+        for drifted in (False, True):
+            oracle = model.oracle_time(SHAPE, drifted=drifted)
+            candidates = [
+                model.time(SHAPE, config, 0, drifted=drifted)
+                for config in CONFIGS
+            ]
+            assert oracle == pytest.approx(min(candidates), rel=1e-12)
+
+    def test_zero_sigma_is_noise_free(self):
+        model = make_model(noise_sigma=0.0)
+        assert model.time(SHAPE, CONFIGS[1], 0, drifted=False) == model.time(
+            SHAPE, CONFIGS[1], 99, drifted=False
+        )
+
+    def test_static_time_prices_the_frozen_choice(self):
+        model = make_model()
+        assert model.static_time(SHAPE, 5, drifted=True) == model.time(
+            SHAPE, CONFIGS[0], 5, drifted=True
+        )
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidates"):
+            DriftedLatencyModel(
+                GemmPerfModel(Device.r9_nano()),
+                _StaticPolicy(),
+                (),
+                spec=DriftSpec(),
+            )
+
+
+@pytest.fixture(scope="module")
+def replay_report():
+    return replay_drift(steps=900, seed=0, pool_size=8)
+
+
+class TestReplayDrift:
+    def test_closes_at_least_half_the_gap(self, replay_report):
+        summary = replay_report.summary
+        assert summary.gap_closure >= 0.5
+        assert summary.post_drift > 0
+        assert summary.adaptive_geomean_s < summary.static_geomean_s
+        assert summary.oracle_geomean_s <= summary.adaptive_geomean_s * 1.01
+
+    def test_adaptation_actually_happened(self, replay_report):
+        summary = replay_report.summary
+        assert summary.trials > 0
+        assert summary.promotions > 0
+        stats = replay_report.service.adaptive_stats()
+        assert stats.promotions == summary.promotions
+        assert stats.tracked_shapes > 0
+
+    def test_replay_is_deterministic(self, replay_report):
+        again = replay_drift(steps=900, seed=0, pool_size=8)
+        assert again.result.digest() == replay_report.result.digest()
+        assert again.summary == replay_report.summary
+
+    def test_different_seed_different_trace(self, replay_report):
+        other = replay_drift(steps=900, seed=1, pool_size=8)
+        assert other.result.digest() != replay_report.result.digest()
+
+    def test_render_carries_the_headline_numbers(self, replay_report):
+        text = replay_report.render()
+        assert "gap closure" in text
+        assert "post-drift" in text
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError, match="steps"):
+            replay_drift(steps=0)
+
+
+class TestRunDriftLoad:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=2500.0),
+            duration_s=2.0,
+            workers=2,
+            zipf_skew=1.3,
+            seed=0,
+            pace=False,
+        )
+        return run_drift_load(config, spec=DriftSpec(at=0.35, seed=0))
+
+    def test_threaded_run_closes_the_gap(self, report):
+        assert report.drift is not None
+        assert report.drift.gap_closure >= 0.5
+        assert report.completed == report.offered > 0
+        assert report.late == 0  # pace=False never records lateness
+
+    def test_report_render_includes_the_drift_block(self, report):
+        text = report.render()
+        assert "drift:" in text
+        assert "gap closure" in text
+        assert "adaptation:" in text
+
+    def test_report_to_dict_round_trips_the_summary(self, report):
+        doc = report.to_dict()
+        drift = doc["drift"]
+        assert drift["gap_closure"] == report.drift.gap_closure
+        assert drift["post_drift"] == report.drift.post_drift
+        assert drift["trials"] == report.drift.trials
+
+
+class TestDriftSummary:
+    def test_render_formats_the_columns(self):
+        summary = DriftSummary(
+            requests=100,
+            post_drift=60,
+            drift_at=0.4,
+            factor=4.0,
+            adaptive_geomean_s=1e-3,
+            static_geomean_s=3e-3,
+            oracle_geomean_s=8e-4,
+            gap_closure=0.83,
+            trials=12,
+            promotions=3,
+            demotions=1,
+        )
+        text = summary.render()
+        assert "x4" in text and "83" in text
+        assert "3 promotions" in text and "1 demotions" in text
+        doc = summary.to_dict()
+        assert doc["requests"] == 100 and doc["factor"] == 4.0

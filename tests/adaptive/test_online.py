@@ -1,0 +1,211 @@
+"""Property tests for the online primitives.
+
+``DecayedMeanVar`` is checked against a NumPy reference that weights
+every observation by ``decay ** age`` explicitly; the Bloom structures
+are checked for their defining properties (no false negatives ever,
+false-positive rate within 2x the configured bound, admission exactly
+at the threshold-th sighting) across several seeds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ml.online import BloomAdmission, BloomFilter, DecayedMeanVar
+from repro.utils.rng import stream
+
+
+def reference_stats(values, half_life):
+    """Explicit decayed-weight mean/variance: weight = decay ** age."""
+    decay = 0.5 ** (1.0 / half_life)
+    n = len(values)
+    weights = decay ** np.arange(n - 1, -1, -1, dtype=float)
+    mean = float(np.average(values, weights=weights))
+    var = float(np.average((np.asarray(values) - mean) ** 2, weights=weights))
+    return mean, var, float(weights.sum())
+
+
+class TestDecayedMeanVar:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("half_life", [1.0, 8.0, 64.0, 1000.0])
+    def test_matches_numpy_weighted_reference(self, seed, half_life):
+        rng = stream(seed, "test", "decayed-ref")
+        values = rng.lognormal(mean=-7.0, sigma=0.6, size=200)
+        est = DecayedMeanVar(half_life=half_life)
+        for i, value in enumerate(values):
+            est.observe(float(value))
+            mean, var, weight = reference_stats(values[: i + 1], half_life)
+            assert est.mean == pytest.approx(mean, rel=1e-9)
+            assert est.variance == pytest.approx(var, rel=1e-7, abs=1e-18)
+            assert est.weight == pytest.approx(weight, rel=1e-9)
+        assert est.count == len(values)
+
+    @pytest.mark.parametrize("half_life", [0.5, 1.0, 24.0, 64.0])
+    def test_decay_halves_weight_at_half_life(self, half_life):
+        est = DecayedMeanVar(half_life=half_life)
+        assert est.half_life == half_life
+        assert est.decay ** half_life == pytest.approx(0.5, rel=1e-12)
+
+    def test_old_observations_are_forgotten(self):
+        # 50 samples at 1.0, then 200 at 2.0 with an 8-update half-life:
+        # the old level must carry almost no weight by the end.
+        est = DecayedMeanVar(half_life=8.0)
+        for _ in range(50):
+            est.observe(1.0)
+        for _ in range(200):
+            est.observe(2.0)
+        assert est.mean == pytest.approx(2.0, abs=1e-4)
+
+    def test_single_observation(self):
+        est = DecayedMeanVar(half_life=16.0)
+        est.observe(3.5)
+        assert est.mean == 3.5
+        assert est.variance == pytest.approx(0.0, abs=1e-18)
+        assert est.weight == pytest.approx(1.0)
+        assert est.stderr == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_estimator_is_all_zero(self):
+        est = DecayedMeanVar()
+        assert est.count == 0
+        assert est.mean == 0.0
+        assert est.variance == 0.0
+        assert est.std == 0.0
+        assert est.stderr == 0.0
+
+    def test_stderr_shrinks_with_effective_samples(self):
+        rng = stream(0, "test", "stderr")
+        est = DecayedMeanVar(half_life=1000.0)
+        errs = []
+        for value in rng.normal(1.0, 0.1, size=100):
+            est.observe(float(value))
+            errs.append(est.stderr)
+        assert errs[-1] < errs[2]
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -0.5])
+    def test_invalid_half_life_rejected(self, bad):
+        with pytest.raises(ValueError, match="half_life"):
+            DecayedMeanVar(half_life=bad)
+
+    def test_repr_mentions_count_and_mean(self):
+        est = DecayedMeanVar()
+        est.observe(2.0)
+        assert "n=1" in repr(est)
+
+
+class TestBloomFilter:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_never_a_false_negative(self, seed):
+        bloom = BloomFilter(capacity=512, error_rate=0.01, seed=seed)
+        keys = [("shape", i, i * 3 + 1) for i in range(512)]
+        for key in keys:
+            bloom.add(*key)
+        assert all(bloom.contains(*key) for key in keys)
+        assert bloom.added == len(keys)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("error_rate", [0.01, 0.05])
+    def test_false_positive_rate_within_2x_bound(self, seed, error_rate):
+        capacity = 512
+        bloom = BloomFilter(capacity, error_rate, seed=seed)
+        for i in range(capacity):
+            bloom.add("member", i)
+        probes = 20_000
+        false_positives = sum(
+            bloom.contains("absent", i) for i in range(probes)
+        )
+        assert false_positives / probes <= 2.0 * error_rate
+
+    def test_sizing_follows_the_standard_formulas(self):
+        capacity, p = 1000, 0.01
+        bloom = BloomFilter(capacity, p)
+        ln2 = math.log(2.0)
+        want_bits = math.ceil(-capacity * math.log(p) / ln2**2)
+        assert bloom.n_bits == want_bits
+        assert bloom.n_hashes == max(1, round(want_bits / capacity * ln2))
+
+    def test_membership_is_seed_deterministic_across_instances(self):
+        a = BloomFilter(128, 0.02, seed=7)
+        b = BloomFilter(128, 0.02, seed=7)
+        for i in range(64):
+            a.add("k", i)
+            b.add("k", i)
+        probes = [("k", i) for i in range(256)] + [("x", i) for i in range(256)]
+        assert [a.contains(*p) for p in probes] == [
+            b.contains(*p) for p in probes
+        ]
+
+    def test_different_seeds_give_different_tables(self):
+        a = BloomFilter(128, 0.02, seed=0)
+        b = BloomFilter(128, 0.02, seed=1)
+        for i in range(64):
+            a.add("k", i)
+            b.add("k", i)
+        assert a._bits != b._bits
+
+    def test_fill_ratio_grows_monotonically(self):
+        bloom = BloomFilter(256, 0.01)
+        assert bloom.fill_ratio() == 0.0
+        previous = 0.0
+        for i in range(128):
+            bloom.add("grow", i)
+            ratio = bloom.fill_ratio()
+            assert ratio >= previous
+            previous = ratio
+        assert 0.0 < previous < 1.0
+
+    @pytest.mark.parametrize(
+        "capacity,error_rate", [(0, 0.01), (-1, 0.01), (8, 0.0), (8, 1.0)]
+    )
+    def test_invalid_parameters_rejected(self, capacity, error_rate):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity, error_rate)
+
+    def test_mixed_int_and_str_keys(self):
+        bloom = BloomFilter(64, 0.01)
+        bloom.add(1, "a", 2)
+        assert bloom.contains(1, "a", 2)
+        assert not bloom.contains(1, "a", 3)
+
+
+class TestBloomAdmission:
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 5])
+    def test_admits_exactly_at_the_threshold_sighting(self, threshold):
+        admission = BloomAdmission(threshold=threshold, capacity=256)
+        key = ("shape", 64, 128, 256)
+        for sighting in range(1, threshold):
+            assert admission.observe(*key) is False
+            assert admission.admitted(*key) is False
+        assert admission.observe(*key) is True
+        assert admission.admitted(*key) is True
+        # Further sightings stay admitted.
+        assert admission.observe(*key) is True
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_never_admitted_late_across_many_keys(self, seed):
+        # False positives may admit a key early; the no-false-negative
+        # property of the stages means no key is EVER admitted after
+        # its threshold-th sighting.
+        threshold = 3
+        admission = BloomAdmission(
+            threshold=threshold, capacity=512, seed=seed
+        )
+        for i in range(512):
+            key = ("k", i)
+            admitted_at = None
+            for sighting in range(1, threshold + 1):
+                if admission.observe(*key):
+                    admitted_at = sighting
+                    break
+            assert admitted_at is not None and admitted_at <= threshold
+
+    def test_threshold_property_and_validation(self):
+        assert BloomAdmission(threshold=4).threshold == 4
+        with pytest.raises(ValueError, match="threshold"):
+            BloomAdmission(threshold=0)
+
+    def test_distinct_keys_do_not_admit_each_other(self):
+        admission = BloomAdmission(threshold=2, capacity=256)
+        admission.observe("a", 1)
+        assert admission.observe("b", 2) is False
+        assert admission.admitted("a", 1) is False

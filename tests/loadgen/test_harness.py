@@ -120,6 +120,61 @@ class TestRunLoad:
         assert "p999" in rendered
 
 
+class TestHooks:
+    def test_on_request_sees_every_scheduled_index_once(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=2000.0),
+            duration_s=0.4,
+            workers=3,
+            pace=False,
+        )
+        seen = {}
+        lock = __import__("threading").Lock()
+
+        def on_request(index, due, shape, decision):
+            with lock:
+                seen[index] = (due, shape, decision.device_id)
+
+        report = run_load(router, config, on_request=on_request)
+        assert len(seen) == report.completed == report.offered
+        assert sorted(seen) == list(range(report.offered))
+        # Due times are the scheduled arrivals: non-negative, bounded.
+        assert all(0.0 <= due <= config.duration_s for due, _, _ in seen.values())
+        assert {dev for _, _, dev in seen.values()} <= {"dev0", "dev1"}
+
+    def test_unpaced_run_records_no_lateness(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=50_000.0),
+            duration_s=0.2,
+            workers=2,
+            pace=False,
+        )
+        report = run_load(router, config)
+        assert report.completed == report.offered > 0
+        assert report.late == 0
+        assert registry.counter("loadgen.late_arrivals").value == 0
+
+    def test_hook_errors_abort_the_run(self):
+        registry = MetricsRegistry()
+        router = _stub_router(registry)
+        config = LoadgenConfig(
+            profile=RateProfile(base_qps=500.0),
+            duration_s=0.2,
+            workers=1,
+            pace=False,
+        )
+
+        def exploding(index, due, shape, decision):
+            raise RuntimeError("hook boom")
+
+        with pytest.raises(RuntimeError, match="hook boom"):
+            run_load(router, config, on_request=exploding)
+
+
 class TestMergedQuantiles:
     def test_merges_across_label_sets(self):
         registry = MetricsRegistry()

@@ -1,0 +1,160 @@
+"""Concurrency stress: threads hammering one AdaptiveSelectionService.
+
+Mirrors ``test_stress.py``'s hammer/barrier idiom: 8 threads mix warm
+selects, batch selects and feedback records, and afterwards every
+counter must balance exactly — admission hits + misses equals total
+lookups, feedback equals total records, and each shape's served trials
+never exceed the arming budget ``feedbacks // trial_interval``.
+"""
+
+import threading
+
+from repro.adaptive import AdaptiveConfig
+from repro.kernels.params import config_space
+from repro.obs.registry import MetricsRegistry
+from repro.serving import AdaptiveSelectionService, SelectionService
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = tuple(config_space(tile_sizes=(1, 2), work_groups=((8, 8), (16, 16))))
+BASE = CONFIGS[0]
+N_THREADS = 8
+ROUNDS = 50
+SHAPES = tuple(GemmShape(m=8 * (i + 1), k=16, n=16) for i in range(16))
+
+
+class _Library:
+    def __init__(self, configs):
+        self.configs = tuple(configs)
+
+
+class _StubPolicy:
+    def __init__(self):
+        self.library = _Library(CONFIGS[:4])
+
+    def select(self, shape):
+        return BASE
+
+    def select_batch(self, shapes):
+        return tuple(BASE for _ in shapes)
+
+
+def hammer(worker, n_threads=N_THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any error."""
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def body(tid):
+        try:
+            barrier.wait()
+            worker(tid)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=body, args=(tid,)) for tid in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def make_service(trial_fraction=0.125):
+    registry = MetricsRegistry()
+    inner = SelectionService(
+        _StubPolicy(), registry=registry, name="stress"
+    )
+    return AdaptiveSelectionService(
+        inner,
+        config=AdaptiveConfig(
+            trial_fraction=trial_fraction,
+            seed=0,
+            min_trials=2,
+            promote_margin=1.0,
+            admission_threshold=1,
+        ),
+        registry=registry,
+    )
+
+
+class TestConcurrentAdaptiveServing:
+    def test_counter_totals_are_exact_under_mixed_load(self):
+        service = make_service()
+
+        def worker(tid):
+            for r in range(ROUNDS):
+                shape = SHAPES[(tid + r) % len(SHAPES)]
+                config = service.select(shape)
+                assert config in CONFIGS[:4]
+                service.record(shape, config, 1e-3 + 1e-5 * (r % 7))
+                if r % 5 == 0:
+                    batch = service.select_batch(SHAPES[:4])
+                    assert all(c in CONFIGS[:4] for c in batch)
+                if r % 9 == 0:
+                    service.adaptive_stats()  # snapshots interleave
+
+        hammer(worker)
+        stats = service.adaptive_stats()
+        selects = N_THREADS * ROUNDS
+        batch_items = N_THREADS * len(range(0, ROUNDS, 5)) * 4
+        # Every lookup lands in exactly one of hits/misses.
+        assert stats.requests == selects + batch_items
+        assert stats.feedback == selects
+        assert stats.tracked_shapes == len(SHAPES)
+        # Trials counted == trial events logged; both within budget.
+        assert stats.trials <= stats.feedback
+
+    def test_per_shape_trials_never_exceed_the_arming_budget(self):
+        service = make_service(trial_fraction=0.25)
+
+        def worker(tid):
+            for r in range(ROUNDS):
+                shape = SHAPES[(tid * 3 + r) % len(SHAPES)]
+                config = service.select(shape)
+                service.record(shape, config, 1e-3)
+
+        hammer(worker)
+        interval = service.config.trial_interval
+        total_trials = 0
+        for state in service.tracked().values():
+            assert state.trials <= state.feedbacks // interval
+            total_trials += state.trials
+        assert total_trials == service.adaptive_stats().trials
+        assert sum(
+            state.feedbacks for state in service.tracked().values()
+        ) == service.adaptive_stats().feedback
+
+    def test_every_thread_sees_a_candidate_config(self):
+        service = make_service(trial_fraction=1.0)
+        results = [None] * N_THREADS
+
+        def worker(tid):
+            local = []
+            for r in range(ROUNDS):
+                shape = SHAPES[r % len(SHAPES)]
+                local.append(service.select(shape))
+                service.record(shape, local[-1], 1e-3)
+            results[tid] = local
+
+        hammer(worker)
+        served = {config for local in results for config in local}
+        # Trials may serve any candidate, but never something outside
+        # the candidate set.
+        assert served <= set(CONFIGS[:4])
+
+    def test_exploration_off_stays_passthrough_under_contention(self):
+        service = make_service(trial_fraction=0.0)
+
+        def worker(tid):
+            for r in range(ROUNDS):
+                shape = SHAPES[(tid + r) % len(SHAPES)]
+                assert service.select(shape) == BASE
+                service.record(shape, BASE, 1e-3)
+
+        hammer(worker)
+        stats = service.adaptive_stats()
+        assert stats.trials == 0
+        assert stats.promotions == 0
+        assert stats.active_overrides == 0

@@ -12,6 +12,7 @@ from repro.kernels.params import config_space
 from repro.sycl.device import Device
 from repro.testing import (
     OracleReport,
+    adaptive_select_oracle,
     batch_select_oracle,
     queue_equivalence_oracle,
     random_shapes,
@@ -81,6 +82,48 @@ class TestBatchSelectOracle:
         report = batch_select_oracle(_Lying(), cases=16, seed=3, batch=16)
         assert not report.ok
         with pytest.raises(AssertionError, match="select_batch chose"):
+            report.raise_on_failure()
+
+
+class TestAdaptiveSelectOracle:
+    @pytest.fixture(scope="class")
+    def tree_policy(self, small_dataset):
+        pruned = TopNPruner().select(small_dataset, 4)
+        return make_selector("DecisionTree", pruned, random_state=0).fit(
+            small_dataset
+        )
+
+    def test_200_randomized_cases_agree(self, tree_policy):
+        report = adaptive_select_oracle(
+            tree_policy, cases=200, seed=0
+        ).raise_on_failure()
+        assert report.ok and report.cases >= 200
+
+    def test_deterministic_across_runs(self, tree_policy):
+        a = adaptive_select_oracle(tree_policy, cases=50, seed=7)
+        b = adaptive_select_oracle(tree_policy, cases=50, seed=7)
+        assert a == b
+
+    def test_oracle_detects_a_stateful_policy(self):
+        # A policy whose answers depend on call order breaks the
+        # pass-through equivalence: the reference and adaptive services
+        # memoise different answers per shape, and the oracle must see
+        # the disagreement.  (No library/pruned attribute either, so
+        # the dummy-candidate fallback path is exercised too.)
+        class _Stateful:
+            def __init__(self):
+                self.calls = 0
+
+            def select(self, shape):
+                self.calls += 1
+                return ("answer", self.calls)
+
+            def select_batch(self, shapes):
+                return tuple(self.select(s) for s in shapes)
+
+        report = adaptive_select_oracle(_Stateful(), cases=32, seed=1)
+        assert not report.ok
+        with pytest.raises(AssertionError, match="adaptive chose"):
             report.raise_on_failure()
 
 
