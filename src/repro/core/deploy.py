@@ -127,6 +127,27 @@ class DeployedSelector:
         self.library = library
         self.selector = selector
 
+    @classmethod
+    def from_mapped(
+        cls, directory, *, mmap: bool = True, verify: bool = True
+    ) -> "DeployedSelector":
+        """Load from a zero-copy mapped layout (no pickle, digest-checked).
+
+        The inverse of :func:`repro.pipeline.mapped.write_mapped_selector`:
+        tree arrays arrive as read-only ``np.load(mmap_mode="r")`` views
+        over the page cache, so N processes loading the same directory
+        share one physical copy of the tree.  With ``verify=True`` (the
+        default) every array's SHA-256 and the combined metadata digest
+        are checked first; corruption raises
+        :class:`repro.pipeline.mapped.MappedIntegrityError` instead of
+        serving wrong selections.
+        """
+        from repro.pipeline.mapped import load_mapped_selector
+
+        deployed = load_mapped_selector(directory, mmap=mmap, verify=verify)
+        assert isinstance(deployed, cls)
+        return deployed
+
     def select(self, shape: GemmShape) -> KernelConfig:
         """The configuration the library will launch for ``shape``."""
         return self.selector.select(shape)

@@ -26,6 +26,7 @@ from repro.loadgen.harness import (
     LoadgenConfig,
     SyntheticFleet,
     run_load,
+    synthetic_deployed,
     synthetic_fleet,
     synthetic_router,
 )
@@ -33,13 +34,17 @@ from repro.loadgen.report import (
     DriftSummary,
     LoadReport,
     QuantileSummary,
+    WorkerLoad,
+    git_revision,
     merged_quantiles,
+    report_document,
 )
 from repro.loadgen.workload import (
     DEFAULT_NETWORKS,
     ShapeStream,
     network_shape_pool,
 )
+from repro.loadgen.sharded import run_sharded_load
 
 __all__ = [
     "DEFAULT_NETWORKS",
@@ -53,13 +58,18 @@ __all__ = [
     "RateProfile",
     "ShapeStream",
     "SyntheticFleet",
+    "WorkerLoad",
     "drift_adaptive_config",
+    "git_revision",
     "merged_quantiles",
     "network_shape_pool",
     "poisson_arrivals",
     "replay_drift",
+    "report_document",
     "run_drift_load",
     "run_load",
+    "run_sharded_load",
+    "synthetic_deployed",
     "synthetic_fleet",
     "synthetic_router",
 ]

@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.loadgen.arrivals import RateProfile, poisson_arrivals
-from repro.loadgen.report import LoadReport, QuantileSummary, merged_quantiles
+from repro.loadgen.report import (
+    LoadReport,
+    QuantileSummary,
+    WorkerLoad,
+    merged_quantiles,
+)
 from repro.loadgen.workload import DEFAULT_NETWORKS, ShapeStream, network_shape_pool
 from repro.obs.registry import MetricsRegistry
 from repro.serving.router import FleetRouter, RoutedDecision
@@ -42,6 +47,7 @@ __all__ = [
     "LoadgenConfig",
     "SyntheticFleet",
     "run_load",
+    "synthetic_deployed",
     "synthetic_fleet",
     "synthetic_router",
 ]
@@ -209,6 +215,21 @@ def run_load(
         wall = max(w.end_s for w in workers) - min(w.start_s for w in workers)
     else:
         wall = 0.0
+    per_worker = tuple(
+        WorkerLoad(
+            worker=i,
+            offered=len(w._work),
+            completed=w.completed,
+            late=w.late,
+            offered_qps=len(w._work) / config.duration_s,
+            achieved_qps=(
+                w.completed / (w.end_s - w.start_s)
+                if w.end_s > w.start_s
+                else 0.0
+            ),
+        )
+        for i, w in enumerate(workers)
+    )
     return LoadReport(
         duration_s=config.duration_s,
         wall_s=wall,
@@ -220,6 +241,8 @@ def run_load(
         lookup_latency=merged_quantiles(registry, "serving.lookup_seconds"),
         dispatched=dispatched,
         rerouted=rerouted,
+        paced=config.pace,
+        workers=per_worker,
     )
 
 
@@ -239,42 +262,24 @@ class SyntheticFleet:
     registry: MetricsRegistry
 
 
-def synthetic_fleet(
-    *,
-    replicas: int = 2,
-    registry: Optional[MetricsRegistry] = None,
-    routing_policy: str = "round-robin",
-    cache_capacity: int = 4096,
-    budget: int = 4,
-    seed: int = 0,
-    compiled: bool = False,
-    adaptive: Optional["AdaptiveConfig"] = None,
-) -> SyntheticFleet:
-    """A self-contained fleet for load runs: N replicas of one selector.
+def synthetic_deployed(
+    *, budget: int = 4, seed: int = 0
+) -> "DeployedSelector":
+    """A tuned selector over synthetic measurements — sub-second setup.
 
     Generates a reduced performance dataset (small configuration space
-    over every 7th network shape — sub-second), tunes a decision-tree
-    :class:`~repro.core.deploy.DeployedSelector` on it, and fronts it
-    with ``replicas`` identical :class:`~repro.serving.SelectionService`
-    instances named ``dev0..devN-1`` behind one router.  With
-    ``compiled=True`` each service fronts the selector's
-    :meth:`~repro.core.deploy.DeployedSelector.compiled` hot path
-    instead of the NumPy tree walk.  With ``adaptive=`` each service is
-    wrapped in an
-    :class:`~repro.serving.adaptive.AdaptiveSelectionService` carrying
-    that config (each replica adapts independently).
+    over every 7th network shape) and tunes a decision-tree
+    :class:`~repro.core.deploy.DeployedSelector` on it.  The common
+    fixture behind :func:`synthetic_fleet` and the process-parallel
+    shard demos (:class:`~repro.shard.ShardedFleet.from_deployed`).
     """
     from repro.bench.runner import BenchmarkRunner, RunnerConfig
     from repro.core.dataset import PerformanceDataset
     from repro.core.deploy import tune
     from repro.kernels.params import config_space
-    from repro.serving.service import SelectionService
     from repro.sycl.device import Device
     from repro.workloads.extract import extract_dataset_shapes
 
-    if replicas < 1:
-        raise ValueError(f"replicas must be >= 1, got {replicas}")
-    registry = registry if registry is not None else MetricsRegistry()
     configs = config_space(
         tile_sizes=(1, 2, 4),
         work_groups=((8, 8), (1, 64), (16, 16), (64, 1)),
@@ -288,7 +293,38 @@ def synthetic_fleet(
         ),
     )
     dataset = PerformanceDataset.from_benchmark(runner.run(all_shapes[::7]))
-    deployed = tune(dataset, n_configs=budget, random_state=seed)
+    return tune(dataset, n_configs=budget, random_state=seed)
+
+
+def synthetic_fleet(
+    *,
+    replicas: int = 2,
+    registry: Optional[MetricsRegistry] = None,
+    routing_policy: str = "round-robin",
+    cache_capacity: int = 4096,
+    budget: int = 4,
+    seed: int = 0,
+    compiled: bool = False,
+    adaptive: Optional["AdaptiveConfig"] = None,
+) -> SyntheticFleet:
+    """A self-contained fleet for load runs: N replicas of one selector.
+
+    Builds a :func:`synthetic_deployed` selector and fronts it with
+    ``replicas`` identical :class:`~repro.serving.SelectionService`
+    instances named ``dev0..devN-1`` behind one router.  With
+    ``compiled=True`` each service fronts the selector's
+    :meth:`~repro.core.deploy.DeployedSelector.compiled` hot path
+    instead of the NumPy tree walk.  With ``adaptive=`` each service is
+    wrapped in an
+    :class:`~repro.serving.adaptive.AdaptiveSelectionService` carrying
+    that config (each replica adapts independently).
+    """
+    from repro.serving.service import SelectionService
+
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    registry = registry if registry is not None else MetricsRegistry()
+    deployed = synthetic_deployed(budget=budget, seed=seed)
     policy = deployed.compiled() if compiled else deployed
     fallback = deployed.library.configs[0]
     router = FleetRouter(default_policy=routing_policy, registry=registry)

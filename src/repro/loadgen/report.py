@@ -11,13 +11,32 @@ per fleet device) where needed.
 
 from __future__ import annotations
 
+import subprocess
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.metrics import Histogram, histogram_quantile
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["DriftSummary", "LoadReport", "QuantileSummary", "merged_quantiles"]
+__all__ = [
+    "DriftSummary",
+    "LoadReport",
+    "QuantileSummary",
+    "REPORT_SCHEMA",
+    "WorkerLoad",
+    "git_revision",
+    "merged_quantiles",
+    "report_document",
+]
+
+#: Schema tag embedded in exported report documents.
+REPORT_SCHEMA = "repro.loadgen-report/v1"
+
+#: achieved/offered below this ratio (paced runs) flags saturation.
+_SATURATION_RATIO = 0.9
+
+#: late arrivals above this fraction of offered flags saturation.
+_SATURATION_LATE_FRACTION = 0.05
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -186,6 +205,35 @@ class DriftSummary:
 
 
 @dataclass(frozen=True)
+class WorkerLoad:
+    """Offered-vs-achieved throughput for one generator worker."""
+
+    worker: int
+    offered: int
+    completed: int
+    late: int
+    offered_qps: float
+    achieved_qps: float
+
+    def render(self) -> str:
+        return (
+            f"  worker {self.worker}: offered {self.offered_qps:,.0f} qps "
+            f"({self.offered} reqs), achieved {self.achieved_qps:,.0f} qps, "
+            f"{self.late} late"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "offered": self.offered,
+            "completed": self.completed,
+            "late": self.late,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+        }
+
+
+@dataclass(frozen=True)
 class LoadReport:
     """The outcome of one load run, ready to render or export.
 
@@ -210,6 +258,28 @@ class LoadReport:
     rerouted: int
     #: Adaptive-vs-static columns; only set by drifted scenarios.
     drift: Optional[DriftSummary] = None
+    #: False when the schedule replayed flat-out (virtual time) — the
+    #: saturation check only applies to paced runs.
+    paced: bool = True
+    #: Per-generator-worker offered-vs-achieved breakdown.
+    workers: Tuple[WorkerLoad, ...] = ()
+
+    @property
+    def saturated(self) -> bool:
+        """True when the harness could not sustain the offered rate.
+
+        Only meaningful for paced runs: flat-out replays have no
+        schedule to fall behind.  Flags when more than
+        ``_SATURATION_LATE_FRACTION`` of arrivals fired late, or
+        achieved throughput fell below ``_SATURATION_RATIO`` of the
+        offered rate.
+        """
+        if not self.paced or self.offered == 0:
+            return False
+        if self.late > _SATURATION_LATE_FRACTION * self.offered:
+            return True
+        offered_qps = self.offered / self.duration_s
+        return self.achieved_qps < _SATURATION_RATIO * offered_qps
 
     def render(self) -> str:
         lines = [
@@ -221,6 +291,16 @@ class LoadReport:
             ),
             f"request latency: {self.request_latency.render()}",
         ]
+        if self.saturated:
+            offered_qps = self.offered / self.duration_s
+            lines.append(
+                f"WARNING: generator saturated — offered "
+                f"{offered_qps:,.0f} qps but achieved "
+                f"{self.achieved_qps:,.0f} qps with {self.late} late "
+                f"arrivals; latency figures reflect a slower effective "
+                f"rate"
+            )
+            lines.extend(w.render() for w in self.workers)
         if self.lookup_latency is not None:
             lines.append(f"service lookup:  {self.lookup_latency.render()}")
         if self.dispatched:
@@ -261,4 +341,46 @@ class LoadReport:
             "dispatched": dict(self.dispatched),
             "rerouted": self.rerouted,
             "drift": None if self.drift is None else self.drift.to_dict(),
+            "paced": self.paced,
+            "saturated": self.saturated,
+            "workers": [w.to_dict() for w in self.workers],
         }
+
+
+def git_revision() -> Optional[str]:
+    """The current git commit SHA, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def report_document(
+    report: LoadReport,
+    *,
+    config: Optional[Dict[str, Any]] = None,
+    command: Optional[str] = None,
+) -> Dict[str, Any]:
+    """``report.to_dict()`` plus a ``meta`` block for CI artifacts.
+
+    The report's own keys stay at the top level (existing consumers
+    read them there); ``meta`` is an extra key carrying the schema tag,
+    the git SHA of the producing checkout, and the full run
+    configuration — enough to reproduce the run from the JSON alone.
+    """
+    doc = report.to_dict()
+    doc["meta"] = {
+        "schema": REPORT_SCHEMA,
+        "git_sha": git_revision(),
+        "config": dict(config) if config is not None else None,
+        "command": command,
+    }
+    return doc

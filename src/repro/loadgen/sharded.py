@@ -1,0 +1,207 @@
+"""Process-parallel load: the harness driving a :class:`ShardedFleet`.
+
+:func:`run_sharded_load` replays the same Poisson/diurnal schedule and
+Zipf-skewed shape stream as :func:`~repro.loadgen.harness.run_load`,
+but issues requests in chunks through
+:meth:`~repro.shard.ShardedFleet.select_batch` — the natural unit for
+a front door that shards by shape hash and micro-batches per worker.
+Each generator thread owns a strided slice of the schedule and walks it
+chunk by chunk; under pacing it sleeps until a chunk's first arrival is
+due and counts every arrival the generator could not issue on schedule
+as late.
+
+After the run the front door pulls each worker's metrics delta
+(:meth:`~repro.shard.ShardedFleet.pull_metrics`), so the report's
+``lookup_latency`` is the *fleet-wide* merged view across every worker
+process — the same exactness-checked registry the chaos tests assert
+on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.loadgen.arrivals import poisson_arrivals
+from repro.loadgen.harness import _LATE_TOLERANCE_S, LoadgenConfig
+from repro.loadgen.report import (
+    LoadReport,
+    QuantileSummary,
+    WorkerLoad,
+    merged_quantiles,
+)
+from repro.loadgen.workload import ShapeStream, network_shape_pool
+from repro.workloads.gemm import GemmShape
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.shard.fleet import ShardedFleet
+
+__all__ = ["run_sharded_load"]
+
+
+class _ShardWorker(threading.Thread):
+    """One generator thread: chunked replay of a schedule slice."""
+
+    def __init__(
+        self,
+        fleet: "ShardedFleet",
+        work: List[Tuple[float, GemmShape]],
+        chunk_size: int,
+        barrier: threading.Barrier,
+        h_request,
+        pace: bool,
+    ):
+        super().__init__(daemon=True)
+        self._fleet = fleet
+        self._work = work
+        self._chunk_size = chunk_size
+        self._barrier = barrier
+        self._h_request = h_request
+        self._pace = pace
+        self.completed = 0
+        self.late = 0
+        self.rerouted = 0
+        self.dispatched: Dict[str, int] = {}
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via run_sharded_load
+        try:
+            self._run()
+        except BaseException as exc:
+            self.error = exc
+
+    def _run(self) -> None:
+        fleet = self._fleet
+        observe_n = self._h_request.observe_n
+        pace = self._pace
+        chunk_size = self._chunk_size
+        self._barrier.wait()
+        t0 = time.perf_counter()
+        self.start_s = t0
+        for at in range(0, len(self._work), chunk_size):
+            chunk = self._work[at : at + chunk_size]
+            if pace:
+                now = time.perf_counter() - t0
+                wait = chunk[0][0] - now
+                if wait > 0:
+                    time.sleep(wait)
+                issue_at = time.perf_counter() - t0
+                for due, _ in chunk:
+                    if issue_at - due > _LATE_TOLERANCE_S:
+                        self.late += 1
+            begin = time.perf_counter()
+            decisions = fleet.select_batch([shape for _, shape in chunk])
+            observe_n((time.perf_counter() - begin) / len(chunk), len(chunk))
+            for decision in decisions:
+                device = decision.device_id
+                self.dispatched[device] = self.dispatched.get(device, 0) + 1
+                if decision.rerouted:
+                    self.rerouted += 1
+            self.completed += len(decisions)
+        self.end_s = time.perf_counter()
+
+
+def run_sharded_load(
+    fleet: "ShardedFleet",
+    config: LoadgenConfig,
+    *,
+    chunk_size: int = 256,
+) -> LoadReport:
+    """Run one load scenario against a sharded fleet; returns the report.
+
+    ``config.workers`` generator threads each drive a strided slice of
+    the schedule in ``chunk_size`` batches.  ``config.routing_policy``
+    is ignored — routing is the shard hash.  The report's
+    ``lookup_latency`` comes from the fleet's merged registry after a
+    final ``pull_metrics()``; ``dispatched`` counts decisions per shard
+    worker as seen by the generator (exact, front-door side).
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    registry = fleet.registry
+    h_request = registry.histogram("loadgen.request_seconds")
+    c_requests = registry.counter("loadgen.requests")
+    c_late = registry.counter("loadgen.late_arrivals")
+
+    arrivals = poisson_arrivals(
+        config.profile, config.duration_s, seed=config.seed
+    )
+    stream = ShapeStream(
+        network_shape_pool(config.networks),
+        skew=config.zipf_skew,
+        seed=config.seed + 1,
+    )
+    shapes = stream.take(len(arrivals))
+    schedule = list(zip(arrivals, shapes))
+
+    n_workers = min(config.workers, max(1, len(schedule)))
+    barrier = threading.Barrier(n_workers)
+    workers = [
+        _ShardWorker(
+            fleet,
+            schedule[i::n_workers],
+            chunk_size,
+            barrier,
+            h_request,
+            config.pace,
+        )
+        for i in range(n_workers)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    for worker in workers:
+        if worker.error is not None:
+            raise worker.error
+
+    completed = sum(w.completed for w in workers)
+    late = sum(w.late for w in workers)
+    rerouted = sum(w.rerouted for w in workers)
+    dispatched: Dict[str, int] = {}
+    for worker in workers:
+        for device, count in worker.dispatched.items():
+            dispatched[device] = dispatched.get(device, 0) + count
+    c_requests.inc(completed)
+    c_late.inc(late)
+
+    # Merge every worker process's obs delta before reading quantiles:
+    # lookup_latency below is the fleet-wide view, not the front door's.
+    fleet.pull_metrics()
+
+    if schedule:
+        wall = max(w.end_s for w in workers) - min(w.start_s for w in workers)
+    else:
+        wall = 0.0
+    per_worker = tuple(
+        WorkerLoad(
+            worker=i,
+            offered=len(w._work),
+            completed=w.completed,
+            late=w.late,
+            offered_qps=len(w._work) / config.duration_s,
+            achieved_qps=(
+                w.completed / (w.end_s - w.start_s)
+                if w.end_s > w.start_s
+                else 0.0
+            ),
+        )
+        for i, w in enumerate(workers)
+    )
+    return LoadReport(
+        duration_s=config.duration_s,
+        wall_s=wall,
+        offered=len(schedule),
+        completed=completed,
+        late=late,
+        achieved_qps=completed / wall if wall > 0 else 0.0,
+        request_latency=QuantileSummary.from_histogram(h_request),
+        lookup_latency=merged_quantiles(registry, "serving.lookup_seconds"),
+        dispatched=dispatched,
+        rerouted=rerouted,
+        paced=config.pace,
+        workers=per_worker,
+    )

@@ -12,6 +12,7 @@ The legacy ``stats()`` snapshots (``ServiceStats``, ``FleetStats``,
 is double-counted.
 """
 
+from repro.obs.aggregate import SnapshotDeltaTracker
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -39,6 +40,7 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "OBS_SCHEMA",
+    "SnapshotDeltaTracker",
     "SpanRecord",
     "Tracer",
     "default_registry",

@@ -1,0 +1,85 @@
+"""Cross-process metric aggregation: incremental snapshot shipping.
+
+A worker process cannot share a :class:`~repro.obs.registry.MetricsRegistry`
+with its parent, so it ships :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+documents over its control pipe instead.  Re-sending cumulative
+snapshots would double-count on every merge, so
+:class:`SnapshotDeltaTracker` turns the cumulative registry state into
+*increments*: each :meth:`~SnapshotDeltaTracker.delta` call reports only
+what counters and histograms gained since the previous call (gauges are
+state, not flow, and ship absolute).  The receiving side folds every
+delta into one fleet-wide registry with
+:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`; because both
+sides add under per-metric locks, the merged counter totals are exact no
+matter how deltas interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SnapshotDeltaTracker"]
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _entry_key(entry: Dict[str, Any]) -> _Key:
+    return (entry["name"], tuple(sorted(entry.get("labels", {}).items())))
+
+
+class SnapshotDeltaTracker:
+    """Turns cumulative registry snapshots into mergeable increments.
+
+    Not thread-safe: one tracker belongs to one shipping loop (the shard
+    worker calls :meth:`delta` from its single request thread).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._counter_last: Dict[_Key, int] = {}
+        self._histogram_last: Dict[_Key, Tuple[Tuple[int, ...], int, float]] = {}
+
+    def delta(self) -> Dict[str, Any]:
+        """Everything the registry gained since the previous call.
+
+        Counters and histograms report increments (entries with nothing
+        new are omitted); gauges report their current value.  Histogram
+        ``min``/``max`` stay absolute — cumulative extrema merge
+        correctly on the receiving side, increments would not.
+        """
+        snap = self._registry.snapshot()
+        counters: List[Dict[str, Any]] = []
+        for entry in snap["counters"]:
+            key = _entry_key(entry)
+            gained = int(entry["value"]) - self._counter_last.get(key, 0)
+            self._counter_last[key] = int(entry["value"])
+            if gained:
+                counters.append({**entry, "value": gained})
+        histograms: List[Dict[str, Any]] = []
+        for entry in snap["histograms"]:
+            key = _entry_key(entry)
+            empty = ((0,) * len(entry["counts"]), 0, 0.0)
+            last_counts, last_count, last_sum = self._histogram_last.get(key, empty)
+            counts = tuple(int(c) for c in entry["counts"])
+            count = int(entry["count"])
+            if len(last_counts) != len(counts):
+                last_counts, last_count, last_sum = empty
+            gained_counts = [a - b for a, b in zip(counts, last_counts)]
+            gained_count = count - last_count
+            self._histogram_last[key] = (counts, count, float(entry["sum"]))
+            if gained_count:
+                histograms.append(
+                    {
+                        **entry,
+                        "counts": gained_counts,
+                        "count": gained_count,
+                        "sum": float(entry["sum"]) - last_sum,
+                    }
+                )
+        return {
+            "counters": counters,
+            "gauges": snap["gauges"],
+            "histograms": histograms,
+        }

@@ -109,38 +109,32 @@ class SplitCodec(Codec):
 
 
 class SelectorCodec(Codec):
-    """A deployed selector: tree arrays as ``.npz`` plus JSON metadata.
+    """A deployed selector: tree arrays plus JSON metadata, two layouts.
 
     Supports the paper's deployable artefact — a decision-tree selector
     (or a degenerate constant selector) over a pruned set.  Other
     estimator families have no array-only representation here and are
     rejected at save time rather than silently mis-serialized.
+
+    ``save`` writes the compact ``tree.npz`` + ``selector.json`` pair
+    and, alongside it, the zero-copy ``mapped/`` layout
+    (:mod:`repro.pipeline.mapped`): uncompressed per-array ``.npy``
+    files with a SHA-256 digest, which shard workers map read-only so
+    every process shares one physical copy of the tree.  ``load``
+    prefers the mapped layout (digest-verified) and falls back to the
+    ``.npz`` pair for artifacts written before it existed.
     """
 
     name = "selector"
 
-    def save(self, value: Any, directory: Path) -> None:
-        selector = value.selector
-        constant = getattr(selector, "_constant", None)
-        tree = getattr(selector.estimator, "tree_", None)
-        meta = {
-            "classifier": selector.name,
-            "pruned": selector.pruned,
-            "constant": constant,
-            "n_features_in": getattr(
-                selector.estimator, "n_features_in_", None
-            ),
-            "classes": getattr(selector.estimator, "classes_", None),
-            "has_tree": tree is not None and constant is None,
-        }
-        if meta["has_tree"]:
-            from repro.ml.tree.structure import Tree
+    MAPPED_DIR = "mapped"
 
-            if not isinstance(tree, Tree) or selector.name != "DecisionTree":
-                raise TypeError(
-                    "selector codec can only persist decision-tree or "
-                    f"constant selectors, not {selector.name!r}"
-                )
+    def save(self, value: Any, directory: Path) -> None:
+        from repro.pipeline.mapped import selector_meta, write_mapped_selector
+
+        meta = selector_meta(value)  # validates the selector family
+        if meta["has_tree"]:
+            tree = value.selector.estimator.tree_
             np.savez_compressed(
                 directory / "tree.npz",
                 feature=tree.feature,
@@ -151,28 +145,25 @@ class SelectorCodec(Codec):
                 impurity=tree.impurity,
                 n_samples=tree.n_samples,
             )
-        elif constant is None:
-            raise TypeError(
-                "selector codec requires a fitted decision-tree or "
-                "constant selector"
-            )
         (directory / "selector.json").write_text(dumps(meta))
+        write_mapped_selector(value, directory / self.MAPPED_DIR)
 
     def load(self, directory: Path) -> Any:
-        from repro.core.deploy import DeployedSelector
-        from repro.core.selection.classifiers import make_selector
-        from repro.kernels.registry import KernelLibrary
+        from repro.pipeline.mapped import (
+            MAPPED_META_FILE,
+            load_mapped_selector,
+            rebuild_deployed,
+        )
         from repro.ml.tree.structure import Tree
 
+        mapped_dir = directory / self.MAPPED_DIR
+        if (mapped_dir / MAPPED_META_FILE).exists():
+            return load_mapped_selector(mapped_dir)
         meta = loads((directory / "selector.json").read_text())
-        pruned = meta["pruned"]
-        selector = make_selector(meta["classifier"], pruned)
-        selector._constant = (
-            None if meta["constant"] is None else int(meta["constant"])
-        )
+        tree = None
         if meta["has_tree"]:
             with np.load(directory / "tree.npz") as data:
-                selector.estimator.tree_ = Tree(
+                tree = Tree(
                     feature=data["feature"],
                     threshold=data["threshold"],
                     left=data["left"],
@@ -181,12 +172,7 @@ class SelectorCodec(Codec):
                     impurity=data["impurity"],
                     n_samples=data["n_samples"],
                 )
-        if meta["classes"] is not None:
-            selector.estimator.classes_ = np.asarray(meta["classes"])
-        if meta["n_features_in"] is not None:
-            selector.estimator.n_features_in_ = int(meta["n_features_in"])
-        selector._fitted = True
-        return DeployedSelector(KernelLibrary(pruned.configs), selector)
+        return rebuild_deployed(meta, tree)
 
 
 class ProfileCodec(Codec):

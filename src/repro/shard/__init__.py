@@ -1,0 +1,22 @@
+"""repro.shard — process-parallel sharded serving.
+
+One front door (:class:`ShardedFleet`) owns N worker processes, each
+hosting a full :class:`~repro.serving.service.SelectionService` replica
+built from the same zero-copy mapped selector artifact
+(:mod:`repro.pipeline.mapped`).  Traffic shards by shape hash,
+concurrent callers micro-batch before dispatch, dead workers restart
+with their in-flight shapes rerouted, and every worker ships obs
+snapshot deltas back to one fleet-wide registry — the horizontal-scale
+layer ROADMAP item 5 asks for.
+"""
+
+from repro.shard.fleet import ShardedFleet, ShardStats, WorkerStartupError
+from repro.shard.protocol import WorkerSpec, shard_of
+
+__all__ = [
+    "ShardedFleet",
+    "ShardStats",
+    "WorkerSpec",
+    "WorkerStartupError",
+    "shard_of",
+]

@@ -1,0 +1,78 @@
+"""Front-door / worker wire protocol: primitive tuples over a pipe.
+
+Messages are plain tuples of ints, strings and dicts of scalars — the
+pipe's pickling is pure IPC transport for primitives, never for model
+state.  Selectors reach workers as a *path to mapped bytes* plus an
+expected digest (see :mod:`repro.pipeline.mapped`), and decisions come
+back as indices into the shared pruned library, so no
+:class:`~repro.kernels.params.KernelConfig` or estimator object ever
+crosses the pipe.
+
+Request/response pairs carry a monotonically increasing ``req_id``;
+the dispatcher owns its connection exclusively, so any id mismatch
+means a torn worker and triggers failover.
+
+Parent -> worker::
+
+    ("select", req_id, [shape_tuple, ...])   # (m, k, n, batch) each
+    ("snapshot", req_id)                     # ship a metrics delta
+    ("ping", req_id)                         # heartbeat
+    ("stop",)                                # drain and exit
+
+Worker -> parent::
+
+    ("ready", worker_name, pid, digest)      # startup handshake
+    ("ok", req_id, [library_index, ...])
+    ("snapshot", req_id, delta_dict)
+    ("pong", req_id)
+    ("stopped", delta_dict)                  # final metrics flush
+    ("fatal", message)                       # unrecoverable; exits
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["WorkerSpec", "shard_of"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to boot, in primitives only.
+
+    Safe under any multiprocessing start method: the child re-imports
+    :mod:`repro.shard.worker` and rebuilds its whole serving stack from
+    the mapped artifact path — the parent's objects never transfer.
+    """
+
+    name: str
+    mapped_dir: str
+    #: Expected artifact digest; the worker refuses to serve from bytes
+    #: whose verified digest differs (None skips the cross-check, the
+    #: per-array SHA-256 verification still runs unless ``verify=False``).
+    digest: Optional[str] = None
+    compiled: bool = False
+    cache_capacity: int = 4096
+    verify: bool = True
+    mmap: bool = True
+
+
+def shard_of(key: Sequence[int], n_shards: int) -> int:
+    """The shard owning a shape key — stable across processes and runs.
+
+    CRC32 over the packed ``(m, k, n, batch)`` tuple: deterministic
+    (unlike ``hash()`` under PYTHONHASHSEED) and uniform enough that
+    Zipf-skewed shape streams spread across workers.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    packed = struct.pack(f"<{len(key)}q", *key)
+    return zlib.crc32(packed) % n_shards
+
+
+def pack_keys(shapes: Sequence[Tuple[int, ...]]) -> Tuple[Tuple[int, ...], ...]:
+    """Normalize shape keys for the wire (plain int tuples)."""
+    return tuple(tuple(int(x) for x in key) for key in shapes)

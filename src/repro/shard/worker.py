@@ -1,0 +1,112 @@
+"""The shard worker: one process, one full serving replica.
+
+:func:`worker_main` is the child-process entry point.  It rebuilds the
+entire serving stack from the mapped artifact named in its
+:class:`~repro.shard.protocol.WorkerSpec` — digest-verified, zero-copy,
+no pickle — then answers ``select`` batches with indices into the
+shared pruned library and ships obs metrics as incremental snapshot
+deltas (:class:`~repro.obs.aggregate.SnapshotDeltaTracker`), so the
+front door's merged registry stays exact no matter how replies
+interleave.
+
+Everything the worker imports is imported at module level: under the
+``fork`` start method the child never takes the import lock, and under
+``spawn``/``forkserver`` the module re-imports cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.kernels.params import KernelConfig
+from repro.obs.aggregate import SnapshotDeltaTracker
+from repro.obs.registry import MetricsRegistry
+from repro.pipeline.mapped import load_mapped_selector, mapped_digest
+from repro.serving.service import SelectionService
+from repro.shard.protocol import WorkerSpec
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["worker_main"]
+
+
+def _build_service(spec: WorkerSpec, registry: MetricsRegistry):
+    """The worker's serving stack plus the config -> index table."""
+    directory = Path(spec.mapped_dir)
+    if spec.digest is not None and spec.verify:
+        actual = mapped_digest(directory)
+        if actual != spec.digest:
+            from repro.pipeline.mapped import MappedIntegrityError
+
+            raise MappedIntegrityError(
+                f"worker {spec.name}: mapped artifact at {directory} has "
+                f"digest {actual[:12]}..., front door expects "
+                f"{spec.digest[:12]}..."
+            )
+    deployed = load_mapped_selector(
+        directory, mmap=spec.mmap, verify=spec.verify
+    )
+    policy: Any = deployed.compiled() if spec.compiled else deployed
+    service = SelectionService(
+        policy,
+        capacity=spec.cache_capacity,
+        fallback=deployed.library.configs[0],
+        registry=registry,
+        name=spec.name,
+    )
+    index: Dict[KernelConfig, int] = {
+        config: i for i, config in enumerate(deployed.library.configs)
+    }
+    return service, index
+
+
+def worker_main(conn: Any, spec: WorkerSpec) -> None:
+    """Serve select/snapshot/ping requests until ``stop`` or EOF.
+
+    Any startup failure — a corrupted mapped artifact most importantly
+    — is reported as a ``("fatal", message)`` handshake so the front
+    door can raise a clean error instead of diagnosing a dead pipe.
+    """
+    registry = MetricsRegistry()
+    tracker = SnapshotDeltaTracker(registry)
+    try:
+        service, index = _build_service(spec, registry)
+        digest = spec.digest or mapped_digest(Path(spec.mapped_dir))
+    except BaseException as exc:  # noqa: BLE001 - reported, then exit
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", spec.name, os.getpid(), digest))
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            kind = message[0]
+            if kind == "select":
+                _, req_id, keys = message
+                shapes = [GemmShape(*key) for key in keys]
+                configs = service.select_batch(shapes)
+                answer: List[int] = [index[config] for config in configs]
+                conn.send(("ok", req_id, answer))
+            elif kind == "snapshot":
+                conn.send(("snapshot", message[1], tracker.delta()))
+            elif kind == "ping":
+                conn.send(("pong", message[1]))
+            elif kind == "stop":
+                conn.send(("stopped", tracker.delta()))
+                break
+            else:
+                conn.send(("fatal", f"unknown message kind {kind!r}"))
+                break
+    except BaseException as exc:  # noqa: BLE001 - reported, then exit
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()

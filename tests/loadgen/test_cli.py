@@ -50,6 +50,13 @@ class TestLoadgenRun:
         assert doc["completed"] == doc["offered"] > 0
         assert doc["request_latency"]["p99_s"] > 0
         assert set(doc["dispatched"]) == {"dev0", "dev1"}
+        # Provenance meta: schema tag, producing git SHA, full config.
+        meta = doc["meta"]
+        assert meta["schema"].startswith("repro.loadgen-report/")
+        assert meta["git_sha"] is None or len(meta["git_sha"]) == 40
+        assert meta["config"]["qps"] == 400.0
+        assert meta["config"]["compiled"] is True
+        assert meta["command"] == "repro loadgen run"
 
         obs = json.loads(obs_path.read_text())
         histograms = {m["name"] for m in obs["metrics"]["histograms"]}

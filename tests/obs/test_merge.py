@@ -1,0 +1,164 @@
+"""merge_snapshot and SnapshotDeltaTracker: exactness and conflicts."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, SnapshotDeltaTracker
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serving.lookups", {"service": "a"}).inc(7)
+    reg.counter("serving.lookups", {"service": "b"}).inc(3)
+    reg.counter("plain").inc(1)
+    reg.gauge("fleet.outstanding", {"device": "d0"}).set(4.5)
+    h = reg.histogram("serving.lookup_seconds", {"service": "a"})
+    for value in (1e-6, 3e-6, 2e-3):
+        h.observe(value)
+    reg.histogram("custom", bounds=(1.0, 2.0)).observe(1.5)
+    return reg
+
+
+class TestMergeSnapshot:
+    def test_merge_into_empty_is_exact_inverse_of_snapshot(self):
+        source = populated_registry()
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_counters_add_across_merges(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("hits", {"w": "0"}).inc(5)
+        target.merge_snapshot(source.snapshot())
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("hits", {"w": "0"}).value == 10
+
+    def test_gauges_adopt_latest_value(self):
+        target = MetricsRegistry()
+        target.gauge("depth").set(9.0)
+        source = MetricsRegistry()
+        source.gauge("depth").set(2.0)
+        target.merge_snapshot(source.snapshot())
+        assert target.gauge("depth").value == 2.0
+
+    def test_histograms_add_counts_and_merge_extrema(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("lat", bounds=(1.0, 10.0)).observe(0.5)
+        b.histogram("lat", bounds=(1.0, 10.0)).observe(50.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(a.snapshot())
+        target.merge_snapshot(b.snapshot())
+        h = target.histogram("lat", bounds=(1.0, 10.0))
+        assert h.count == 2
+        assert h.minimum == 0.5
+        assert h.maximum == 50.0
+        assert h.bucket_counts() == (1, 0, 1)
+
+    def test_empty_histogram_does_not_poison_extrema(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=(1.0,)).observe(0.25)
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=(1.0,))  # registered, never observed
+        target.merge_snapshot(source.snapshot())
+        h = target.histogram("lat", bounds=(1.0,))
+        assert h.count == 1
+        assert h.minimum == 0.25
+
+    def test_kind_conflict_raises_typeerror(self):
+        target = MetricsRegistry()
+        target.counter("clash")
+        source = MetricsRegistry()
+        source.gauge("clash").set(1.0)
+        with pytest.raises(TypeError, match="clash"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_mismatched_bounds_raise(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=(1.0, 2.0))
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=(5.0,)).observe(1.0)
+        with pytest.raises(ValueError, match="bounds"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_disjoint_label_sets_stay_separate(self):
+        target = MetricsRegistry()
+        a = MetricsRegistry()
+        a.counter("lookups", {"worker": "0"}).inc(2)
+        b = MetricsRegistry()
+        b.counter("lookups", {"worker": "1"}).inc(5)
+        target.merge_snapshot(a.snapshot())
+        target.merge_snapshot(b.snapshot())
+        assert target.counter("lookups", {"worker": "0"}).value == 2
+        assert target.counter("lookups", {"worker": "1"}).value == 5
+
+    def test_concurrent_merges_total_exactly(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("n").inc(1)
+        source.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = source.snapshot()
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda: [target.merge_snapshot(snap) for _ in range(per_thread)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert target.counter("n").value == 8 * per_thread
+        assert target.histogram("h", bounds=(1.0,)).count == 8 * per_thread
+
+
+class TestSnapshotDeltaTracker:
+    def test_deltas_ship_only_increments(self):
+        reg = MetricsRegistry()
+        tracker = SnapshotDeltaTracker(reg)
+        reg.counter("n").inc(3)
+        first = tracker.delta()
+        assert first["counters"][0]["value"] == 3
+        assert tracker.delta()["counters"] == []  # nothing new
+        reg.counter("n").inc(2)
+        assert tracker.delta()["counters"][0]["value"] == 2
+
+    def test_histogram_deltas_carry_incremental_counts(self):
+        reg = MetricsRegistry()
+        tracker = SnapshotDeltaTracker(reg)
+        h = reg.histogram("h", bounds=(1.0, 2.0))
+        h.observe(0.5)
+        tracker.delta()
+        h.observe(1.5)
+        h.observe(1.7)
+        delta = tracker.delta()
+        (entry,) = delta["histograms"]
+        assert entry["count"] == 2
+        assert entry["counts"] == [0, 2, 0]
+        assert entry["sum"] == pytest.approx(3.2)
+
+    def test_gauges_ship_absolute(self):
+        reg = MetricsRegistry()
+        tracker = SnapshotDeltaTracker(reg)
+        reg.gauge("depth").set(4.0)
+        tracker.delta()
+        assert tracker.delta()["gauges"][0]["value"] == 4.0
+
+    def test_merged_deltas_reconstruct_source_totals(self):
+        source = MetricsRegistry()
+        tracker = SnapshotDeltaTracker(source)
+        merged = MetricsRegistry()
+        for round_number in range(1, 6):
+            source.counter("n", {"w": "0"}).inc(round_number)
+            source.histogram("h").observe(1e-6 * round_number)
+            merged.merge_snapshot(tracker.delta())
+        assert merged.counter("n", {"w": "0"}).value == source.counter(
+            "n", {"w": "0"}
+        ).value
+        assert merged.histogram("h").count == source.histogram("h").count
+        assert merged.histogram("h").total == pytest.approx(
+            source.histogram("h").total
+        )

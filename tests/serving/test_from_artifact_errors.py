@@ -78,8 +78,10 @@ class TestWrongArtifacts:
 
 class TestCorruptedPayloads:
     def _payload_files(self, store, fingerprint):
+        # The selector payload is nested (tree.npz + selector.json plus
+        # the zero-copy mapped/ layout): corrupt every file, recursively.
         payload_dir = store.root / "objects" / fingerprint / "payload"
-        return sorted(payload_dir.iterdir())
+        return sorted(p for p in payload_dir.rglob("*") if p.is_file())
 
     def test_truncated_payload_raises_payload_error(self, store):
         for path in self._payload_files(store, TRAIN_FP):

@@ -1,0 +1,117 @@
+"""Failover chaos: worker death mid-run must never fail a lookup.
+
+The acceptance bar for sharded serving: SIGKILL one worker while
+traffic flows, and (a) every select still answers, (b) the dead worker
+restarts and serves again, (c) the merged obs counters stay exact —
+requests in == decisions out, nothing double-counted or lost.
+"""
+
+import time
+
+import pytest
+
+from repro.pipeline.mapped import load_mapped_selector
+from repro.shard import ShardedFleet
+
+
+@pytest.fixture
+def fleet(mapped_dir):
+    fleet = ShardedFleet(
+        mapped_dir,
+        processes=2,
+        batch_wait_s=0.002,
+        heartbeat_interval_s=0.2,
+        request_timeout_s=15.0,
+    )
+    yield fleet
+    fleet.close()
+
+
+class TestKillOneWorker:
+    def test_mid_run_death_reroutes_with_zero_failed_lookups(
+        self, fleet, mapped_dir, shape_pool
+    ):
+        reference = load_mapped_selector(mapped_dir)
+        expected = {
+            shape.as_tuple(): config
+            for shape, config in zip(
+                shape_pool, reference.select_batch(shape_pool)
+            )
+        }
+        rounds = 30
+        kill_at = 10
+        served = 0
+        for round_number in range(rounds):
+            if round_number == kill_at:
+                fleet.kill_worker(0)
+            decisions = fleet.select_batch(shape_pool)
+            served += len(decisions)
+            for shape, decision in zip(shape_pool, decisions):
+                assert decision.config == expected[shape.as_tuple()]
+        assert served == rounds * len(shape_pool)
+
+        # Exactness: every request the front door accepted produced a
+        # decision, even across the kill.
+        requests = fleet.registry.counter("shard.requests").value
+        decisions_total = fleet.registry.counter("shard.decisions").value
+        assert requests == served == decisions_total
+
+        stats = fleet.stats()
+        assert stats.restarts >= 1
+        assert stats.rerouted > 0
+
+    def test_killed_worker_restarts_and_serves_again(
+        self, fleet, shape_pool
+    ):
+        # Find a shape homed on worker0 so we can prove the restarted
+        # process answers its own shard again.
+        from repro.shard import shard_of
+
+        homed = next(
+            s for s in shape_pool if shard_of(s.as_tuple(), 2) == 0
+        )
+        assert fleet.select(homed).device_id == "worker0"
+        fleet.kill_worker(0)
+        # The very next lookups must succeed (rerouted while down).
+        fleet.select(homed)
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            if fleet.workers_alive == 2:
+                break
+            time.sleep(0.05)
+        assert fleet.workers_alive == 2
+        decision = fleet.select(homed)
+        assert decision.device_id == "worker0"
+        assert fleet.stats(pull=False).restarts >= 1
+
+    def test_idle_death_is_noticed_by_the_heartbeat(self, fleet):
+        # No traffic at all: the monitor's ping must detect the death
+        # and drive the restart on its own.
+        fleet.kill_worker(1)
+        deadline = time.monotonic() + 20.0
+        restarted = False
+        while time.monotonic() < deadline:
+            if fleet.registry.counter("shard.restarts").value >= 1:
+                restarted = True
+                break
+            time.sleep(0.05)
+        assert restarted
+        assert fleet.workers_alive == 2
+
+
+class TestNoRestart:
+    def test_all_workers_dead_surfaces_a_clean_error(
+        self, mapped_dir, shape_pool
+    ):
+        with ShardedFleet(
+            mapped_dir,
+            processes=1,
+            restart=False,
+            heartbeat_interval_s=0.2,
+            request_timeout_s=5.0,
+        ) as fleet:
+            fleet.select(shape_pool[0])
+            fleet.kill_worker(0)
+            with pytest.raises(RuntimeError, match="no healthy shard workers"):
+                for _ in range(5):
+                    fleet.select(shape_pool[0])

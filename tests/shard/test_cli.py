@@ -1,0 +1,188 @@
+"""The `repro shard` subcommand and `repro loadgen run --processes`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def small_args():
+    # Tiny synthetic selector, short flat-out runs: tier-1 friendly.
+    return ["--budget", "2", "--seed", "0"]
+
+
+class TestShardServe:
+    def test_serves_and_exports_shard_metrics(
+        self, small_args, capsys, tmp_path
+    ):
+        obs_path = tmp_path / "obs.json"
+        code = main(
+            [
+                "shard",
+                "serve",
+                "--processes",
+                "2",
+                "--requests",
+                "600",
+                "--batch-size",
+                "128",
+                "--obs-export",
+                str(obs_path),
+            ]
+            + small_args
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 600 requests" in out
+        assert "workers alive" in out
+
+        doc = json.loads(obs_path.read_text())
+        counters = {m["name"]: m for m in doc["metrics"]["counters"]}
+        assert counters["shard.requests"]["value"] == 600
+        assert counters["shard.decisions"]["value"] == 600
+        # Worker-side metrics arrived over the control pipe too.
+        assert "serving.lookups" in counters
+
+    def test_kill_mid_run_still_answers_everything(
+        self, small_args, capsys
+    ):
+        code = main(
+            [
+                "shard",
+                "serve",
+                "--processes",
+                "2",
+                "--requests",
+                "800",
+                "--batch-size",
+                "100",
+                "--kill",
+                "0",
+            ]
+            + small_args
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "killing worker 0" in out
+        assert "served 800 requests" in out
+
+
+class TestShardStats:
+    def test_renders_only_shard_metrics(self, small_args, capsys, tmp_path):
+        obs_path = tmp_path / "obs.json"
+        assert (
+            main(
+                [
+                    "shard",
+                    "serve",
+                    "--processes",
+                    "1",
+                    "--requests",
+                    "200",
+                    "--obs-export",
+                    str(obs_path),
+                ]
+                + small_args
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["shard", "stats", "--snapshot", str(obs_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard.requests" in out
+        assert "serving.lookups" not in out
+
+    def test_missing_snapshot_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["shard", "stats", "--snapshot", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "no obs snapshot" in capsys.readouterr().err
+
+    def test_requires_a_snapshot_path(self, capsys):
+        code = main(["shard", "stats"])
+        assert code == 1
+        assert "--snapshot" in capsys.readouterr().err
+
+
+class TestShardBench:
+    def test_scaling_report_with_meta(self, small_args, capsys, tmp_path):
+        report_path = tmp_path / "scaling.json"
+        code = main(
+            [
+                "shard",
+                "bench",
+                "--processes",
+                "2",
+                "--qps",
+                "2000",
+                "--duration",
+                "0.3",
+                "--workers",
+                "2",
+                "--min-scaling",
+                "3.0",
+                "--report-json",
+                str(report_path),
+            ]
+            + small_args
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scaling:" in out
+
+        doc = json.loads(report_path.read_text())
+        assert doc["scaling"] > 0
+        assert doc["efficiency"] > 0
+        assert doc["processes"] == 2
+        assert doc["usable_cpus"] >= 1
+        assert doc["baseline"]["completed"] == doc["baseline"]["offered"]
+        assert doc["completed"] == doc["offered"]
+        meta = doc["meta"]
+        assert meta["command"] == "repro shard bench"
+        assert meta["config"]["processes"] == 2
+        assert meta["git_sha"] is None or len(meta["git_sha"]) == 40
+
+
+class TestLoadgenProcesses:
+    def test_sharded_loadgen_run_with_report_meta(
+        self, small_args, capsys, tmp_path
+    ):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "loadgen",
+                "run",
+                "--processes",
+                "2",
+                "--qps",
+                "2000",
+                "--duration",
+                "0.3",
+                "--workers",
+                "2",
+                "--no-pace",
+                "--report-json",
+                str(report_path),
+            ]
+            + small_args
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard worker processes" in out
+        assert "workers alive" in out
+
+        doc = json.loads(report_path.read_text())
+        assert doc["completed"] == doc["offered"] > 0
+        assert doc["meta"]["command"] == "repro loadgen run"
+        assert doc["meta"]["config"]["processes"] == 2
+
+    def test_processes_is_incompatible_with_adaptive(self, capsys):
+        code = main(
+            ["loadgen", "run", "--processes", "2", "--adaptive"]
+        )
+        assert code == 1
+        assert "--adaptive" in capsys.readouterr().err
