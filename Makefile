@@ -8,12 +8,14 @@ install:
 test:
 	PYTHONPATH=src python -m pytest -x -q
 
-# Mirrors the CI deep job: integration/fault/oracle/adaptive suites
-# plus the cross-process pipeline and fleet cache round trips.
+# Mirrors the CI deep job: integration/fault/oracle/adaptive/onboard
+# suites plus the cross-process pipeline, fleet and onboarding cache
+# round trips (budget change re-runs only the onboard-* branch).
 deep:
 	PYTHONPATH=src python -m pytest \
 		tests/integration tests/testing tests/serving tests/pipeline \
-		tests/fleet tests/obs tests/adaptive tests/shard -q -p no:randomly
+		tests/fleet tests/obs tests/adaptive tests/shard tests/onboard \
+		-q -p no:randomly
 	PYTHONPATH=src python -m repro.cli pipeline run \
 		--store /tmp/repro-store --networks mobilenet_v2
 	PYTHONPATH=src python -m repro.cli pipeline run \
@@ -24,6 +26,19 @@ deep:
 	PYTHONPATH=src python -m repro.cli fleet build \
 		--store /tmp/repro-fleet-store --networks mobilenet_v2 \
 		--device-ids r9-nano compute-heavy latency-bound --assert-all-cached
+	PYTHONPATH=src python -m repro.cli onboard run \
+		--store /tmp/repro-fleet-store --target compute-heavy \
+		--device-ids r9-nano compute-heavy latency-bound \
+		--networks mobilenet_v2 --trees 8 --rounds 3
+	PYTHONPATH=src python -m repro.cli onboard run \
+		--store /tmp/repro-fleet-store --target compute-heavy \
+		--device-ids r9-nano compute-heavy latency-bound \
+		--networks mobilenet_v2 --trees 8 --rounds 3 --assert-all-cached
+	PYTHONPATH=src python -m repro.cli onboard run \
+		--store /tmp/repro-fleet-store --target compute-heavy \
+		--device-ids r9-nano compute-heavy latency-bound \
+		--networks mobilenet_v2 --trees 8 --rounds 3 \
+		--budget-fraction 0.12 --assert-sources-cached
 
 # Mirrors the CI lint job (requires ruff + mypy on PATH).
 lint:
@@ -37,12 +52,13 @@ bench:
 # Mirrors the CI bench-smoke job: throughput, obs-overhead, compiled
 # hot-path, adaptive-layer and shard-scaling gates plus a 5 s loadgen
 # smoke with a qps floor, a multiprocess scaling run with a core-count
-# aware floor, and a drifted run with a gap-closure floor.
+# aware floor, a drifted run with a gap-closure floor, and the
+# onboarding quality/cost gate (95% quality at a 10% budget).
 bench-smoke:
 	PYTHONPATH=src python -m pytest \
 		benchmarks/test_bench_serving.py benchmarks/test_bench_obs.py \
 		benchmarks/test_bench_codegen.py benchmarks/test_bench_adaptive.py \
-		benchmarks/test_bench_shard.py \
+		benchmarks/test_bench_shard.py benchmarks/test_bench_onboard.py \
 		-q -p no:randomly --benchmark-json=bench-results.json
 	PYTHONPATH=src python -m repro.cli loadgen run \
 		--qps 40000 --duration 5 --workers 4 --compiled \

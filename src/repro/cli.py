@@ -865,9 +865,53 @@ def _build_fleet_config(args):
     return FleetPipelineConfig(**kwargs)
 
 
+def _plain_dict(value):
+    """A dataclass as a JSON-friendly dict (enums to their values)."""
+    import dataclasses
+    import enum
+
+    out = {}
+    for f in dataclasses.fields(value):
+        v = getattr(value, f.name)
+        out[f.name] = v.value if isinstance(v, enum.Enum) else v
+    return out
+
+
 def _cmd_fleet(args) -> int:
     if args.action == "devices":
         from repro.fleet import available_profiles, get_profile
+
+        if getattr(args, "as_json", False):
+            import json
+
+            from repro.fleet import FLEET_STAGES, fleet_fingerprints, stage_name
+            from repro.onboard import OnboardBudget
+            from repro.onboard.impute import device_features
+
+            config = _build_fleet_config(args)
+            fleet_ids = {p.device_id for p in config.profiles()}
+            fingerprints = fleet_fingerprints(config)
+            doc = []
+            for device_id in available_profiles():
+                profile = get_profile(device_id)
+                entry = {
+                    "device_id": device_id,
+                    "description": profile.description,
+                    "spec": _plain_dict(profile.spec),
+                    "model_params": _plain_dict(profile.model_params),
+                    "onboard_features": [
+                        float(x) for x in device_features(profile.spec)
+                    ],
+                    "default_onboard_budget": _plain_dict(OnboardBudget()),
+                }
+                if device_id in fleet_ids:
+                    entry["fingerprints"] = {
+                        stage: fingerprints[stage_name(stage, device_id)]
+                        for stage in FLEET_STAGES
+                    }
+                doc.append(entry)
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
 
         for device_id in available_profiles():
             profile = get_profile(device_id)
@@ -1014,6 +1058,191 @@ def _cmd_fleet(args) -> int:
         return 0
 
     raise ValueError(f"unknown fleet action {args.action!r}")
+
+
+def _build_onboard_config(args, **budget_overrides):
+    from repro.onboard import OnboardBudget, OnboardPipelineConfig
+
+    budget_kwargs = {
+        "fraction": args.budget_fraction,
+        "sampler": args.sampler,
+        "seed": args.onboard_seed,
+        "rounds": args.rounds,
+        "n_trees": args.trees,
+    }
+    budget_kwargs.update(budget_overrides)
+    return OnboardPipelineConfig(
+        target=args.target,
+        budget=OnboardBudget(**budget_kwargs),
+        sources=tuple(args.sources) if args.sources else None,
+        fleet=_build_fleet_config(args),
+    )
+
+
+def _onboard_doc(report, config, command):
+    from repro.loadgen import report_document
+
+    return report_document(
+        report,
+        config={
+            "target": config.target,
+            "sources": list(config.source_ids()),
+            "budget": _plain_dict(config.budget),
+        },
+        command=command,
+    )
+
+
+def _cmd_onboard(args) -> int:
+    import json
+
+    from repro.onboard import onboard_fingerprints, run_onboard_pipeline
+    from repro.pipeline import ArtifactStore
+
+    store = ArtifactStore(args.store)
+
+    if args.action == "run":
+        config = _build_onboard_config(args)
+        run = run_onboard_pipeline(
+            store, config, max_workers=args.workers, force=args.force
+        )
+        report = run.report()
+        print(run.stats.render())
+        print()
+        print(report.render())
+        if args.report_json is not None:
+            doc = _onboard_doc(report, config, "repro onboard run")
+            Path(args.report_json).write_text(json.dumps(doc, indent=2))
+            print(f"\nreport JSON written to {args.report_json}")
+        if args.assert_all_cached and not run.stats.all_cached:
+            print(
+                "ERROR: expected a fully cached onboarding run but these "
+                f"stages executed: {', '.join(run.stats.executed_stages)}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.assert_sources_cached:
+            spilled = [
+                name
+                for name in run.stats.executed_stages
+                if not name.startswith("onboard-")
+            ]
+            if spilled:
+                print(
+                    "ERROR: a budget change must re-run only onboard-* "
+                    f"stages, but these executed too: {', '.join(spilled)}",
+                    file=sys.stderr,
+                )
+                return 1
+        if args.min_quality is not None and report.quality < args.min_quality:
+            print(
+                f"ERROR: onboard quality {report.quality:.3f} below the "
+                f"--min-quality gate {args.min_quality:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.action == "report":
+        from repro.fleet import stage_name
+
+        config = _build_onboard_config(args)
+        fingerprint = onboard_fingerprints(config)[
+            stage_name("onboard-report", config.target)
+        ]
+        artifact = store.get(fingerprint)
+        if artifact is None:
+            print(
+                f"no onboard report for {config.target!r} under this budget "
+                f"(fingerprint {fingerprint[:12]}); build it with "
+                "`repro onboard run`",
+                file=sys.stderr,
+            )
+            return 1
+        report = artifact.value
+        print(report.render())
+        if args.report_json is not None:
+            doc = _onboard_doc(report, config, "repro onboard report")
+            Path(args.report_json).write_text(json.dumps(doc, indent=2))
+        return 0
+
+    if args.action == "compare":
+        rows = []
+        for sampler in args.samplers:
+            for fraction in args.fractions:
+                config = _build_onboard_config(
+                    args, sampler=sampler, fraction=fraction
+                )
+                run = run_onboard_pipeline(
+                    store, config, max_workers=args.workers, force=args.force
+                )
+                rows.append((sampler, fraction, config, run.report()))
+        print(
+            f"{'sampler':12s} {'budget':>7s} {'cells':>12s} "
+            f"{'onboard':>8s} {'full':>8s} {'quality':>8s} {'agree':>7s}"
+        )
+        for sampler, fraction, config, report in rows:
+            print(
+                f"{sampler:12s} {fraction:6.1%} "
+                f"{report.cells_attempted:5d}/{report.total_cells:<6d} "
+                f"{report.onboard_score:8.4f} {report.full_score:8.4f} "
+                f"{report.quality:7.1%} {report.top1_agreement:6.1%}"
+            )
+        if args.report_json is not None:
+            curve = {
+                "target": args.target,
+                "curve": [
+                    {
+                        "sampler": sampler,
+                        "fraction": fraction,
+                        **report.to_dict(),
+                    }
+                    for sampler, fraction, _, report in rows
+                ],
+            }
+            doc = _onboard_doc(rows[-1][3], rows[-1][2], "repro onboard compare")
+            doc["compare"] = curve
+            Path(args.report_json).write_text(json.dumps(doc, indent=2))
+            print(f"\nreport JSON written to {args.report_json}")
+        failures = []
+        if args.min_quality is not None:
+            gated = [
+                r
+                for s, f, _, r in rows
+                if s == args.gate_sampler and abs(f - args.gate_fraction) < 1e-9
+            ]
+            if not gated:
+                failures.append(
+                    f"--min-quality gate needs sampler {args.gate_sampler!r} "
+                    f"at fraction {args.gate_fraction} in the sweep"
+                )
+            elif gated[0].quality < args.min_quality:
+                failures.append(
+                    f"{args.gate_sampler} quality {gated[0].quality:.3f} at "
+                    f"{args.gate_fraction:.0%} budget below the gate "
+                    f"{args.min_quality:.3f}"
+                )
+        if args.require_active_beats_random:
+            by_sampler = {}
+            for sampler, fraction, _, report in rows:
+                if abs(fraction - args.gate_fraction) < 1e-9:
+                    by_sampler[sampler] = report.quality
+            if "active" not in by_sampler or "random" not in by_sampler:
+                failures.append(
+                    "--require-active-beats-random needs both samplers at "
+                    f"the gate fraction {args.gate_fraction}"
+                )
+            elif by_sampler["active"] <= by_sampler["random"]:
+                failures.append(
+                    f"active quality {by_sampler['active']:.3f} does not "
+                    f"beat random {by_sampler['random']:.3f} at "
+                    f"{args.gate_fraction:.0%} budget"
+                )
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    raise ValueError(f"unknown onboard action {args.action!r}")
 
 
 def _cmd_obs(args) -> int:
@@ -1221,7 +1450,143 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="route: write a repro.obs JSON snapshot (see `repro obs`)",
     )
+    p.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="devices: emit device features + branch fingerprints as JSON",
+    )
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "onboard",
+        help="budgeted device onboarding: partial sweep + cross-device "
+        "imputation instead of a full table",
+    )
+    p.add_argument("action", choices=("run", "report", "compare"))
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=Path(".repro-store"),
+        help="artifact store root directory (shared with `repro fleet`)",
+    )
+    p.add_argument(
+        "--target",
+        required=True,
+        metavar="ID",
+        help="device to onboard (must have a fleet branch for comparison)",
+    )
+    p.add_argument(
+        "--sources",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="source devices the imputation model learns from "
+        "(default: every other fleet device)",
+    )
+    p.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.10,
+        help="share of the (shape x config) table to measure",
+    )
+    p.add_argument(
+        "--sampler",
+        default="active",
+        choices=("random", "stratified", "active"),
+        help="cell-picking strategy (run/report)",
+    )
+    p.add_argument(
+        "--onboard-seed", type=int, default=0, help="sampler seed"
+    )
+    p.add_argument(
+        "--rounds", type=int, default=4, help="active refinement rounds"
+    )
+    p.add_argument(
+        "--trees", type=int, default=16, help="imputation forest size"
+    )
+    p.add_argument(
+        "--fractions",
+        nargs="*",
+        type=float,
+        default=(0.05, 0.10),
+        metavar="F",
+        help="compare: budget fractions to sweep",
+    )
+    p.add_argument(
+        "--samplers",
+        nargs="*",
+        default=("random", "active"),
+        metavar="S",
+        help="compare: samplers to sweep",
+    )
+    p.add_argument(
+        "--gate-sampler",
+        default="active",
+        help="compare: sampler the --min-quality gate applies to",
+    )
+    p.add_argument(
+        "--gate-fraction",
+        type=float,
+        default=0.10,
+        help="compare: fraction the quality/beats-random gates apply to",
+    )
+    p.add_argument(
+        "--min-quality",
+        type=float,
+        default=None,
+        help="exit 1 unless onboard quality (share of the full-sweep "
+        "score) reaches this value (run/compare; CI gate)",
+    )
+    p.add_argument(
+        "--require-active-beats-random",
+        action="store_true",
+        help="compare: exit 1 unless active quality beats random at the "
+        "gate fraction (CI gate)",
+    )
+    p.add_argument(
+        "--device-ids",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="fleet device profiles (default: the builtin four)",
+    )
+    p.add_argument(
+        "--networks",
+        nargs="*",
+        default=None,
+        metavar="NET",
+        help="restrict the sweep to these networks (default: all three)",
+    )
+    p.add_argument("--split-seed", type=int, default=0)
+    p.add_argument("--test-size", type=float, default=0.2)
+    p.add_argument("--pruner", default="decision tree")
+    p.add_argument("--budget", type=int, default=8)
+    p.add_argument("--classifier", default="DecisionTree")
+    p.add_argument("--seed", type=int, default=0, help="random_state")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--force", action="store_true", help="re-run all stages (run)"
+    )
+    p.add_argument(
+        "--assert-all-cached",
+        action="store_true",
+        help="exit 1 unless every stage was a cache hit (run; CI guard)",
+    )
+    p.add_argument(
+        "--assert-sources-cached",
+        action="store_true",
+        help="exit 1 if any non-onboard stage executed (run; proves a "
+        "budget change re-runs exactly the onboard branch)",
+    )
+    p.add_argument(
+        "--report-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the onboard report (plus meta) as JSON",
+    )
+    p.set_defaults(func=_cmd_onboard)
 
     p = sub.add_parser(
         "serve-stats",

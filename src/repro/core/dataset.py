@@ -69,9 +69,29 @@ class PerformanceDataset:
             raise ValueError(
                 "gflops must be positive (NaN marks a failed measurement)"
             )
-        if not np.all(np.any(np.isfinite(self.gflops), axis=1)):
+        self._check_rows("constructed")
+
+    def _check_rows(self, context: str) -> None:
+        """Reject all-NaN rows with a diagnostic naming the shapes.
+
+        An all-NaN row means every configuration for that shape failed
+        (or, in an onboarding partial sweep, was never sampled); letting
+        it through would silently turn ``normalized()`` into a zero row
+        and ``best_config_indices()`` into an argmax over ``-inf`` that
+        always answers config 0.  The constructor rejects such tables,
+        and the row-reading views re-check so a dataset arriving through
+        a decoding path that skipped validation still fails loudly.
+        """
+        dead = ~np.any(np.isfinite(self.gflops), axis=1)
+        if np.any(dead):
+            rows = np.flatnonzero(dead)
+            named = ", ".join(str(self.shapes[i]) for i in rows[:3])
+            more = f" (+{len(rows) - 3} more)" if len(rows) > 3 else ""
             raise ValueError(
-                "every shape needs at least one successful measurement"
+                f"{len(rows)} shape(s) have no successful measurement "
+                f"({context} dataset, device {self.device_name!r}): "
+                f"{named}{more} — every shape needs at least one finite "
+                "gflops cell; sample more cells or drop the shapes"
             )
 
     # -- constructors -----------------------------------------------------
@@ -125,6 +145,7 @@ class PerformanceDataset:
         downstream consumers (clustering, labels, geomeans) therefore see
         a finite table.
         """
+        self._check_rows("normalized")
         best = np.nanmax(self.gflops, axis=1, keepdims=True)
         return np.nan_to_num(self.gflops / best, nan=0.0)
 
@@ -134,6 +155,7 @@ class PerformanceDataset:
 
     def best_config_indices(self) -> np.ndarray:
         """Index of the optimal configuration for every shape."""
+        self._check_rows("label extraction over a")
         return np.argmax(np.nan_to_num(self.gflops, nan=-np.inf), axis=1)
 
     def win_counts(self) -> np.ndarray:

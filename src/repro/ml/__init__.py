@@ -19,8 +19,10 @@ Implemented estimators
 * :class:`~repro.ml.tree.DecisionTreeClassifier` /
   :class:`~repro.ml.tree.DecisionTreeRegressor` — CART with depth-first
   and best-first (``max_leaf_nodes``) growth; multi-output regression.
-* :class:`~repro.ml.forest.RandomForestClassifier` — bagged trees with
-  feature subsampling.
+* :class:`~repro.ml.forest.RandomForestClassifier` /
+  :class:`~repro.ml.forest.RandomForestRegressor` — bagged trees with
+  feature subsampling (the regressor exposes cross-tree prediction
+  spread as an uncertainty signal).
 * :class:`~repro.ml.neighbors.KNeighborsClassifier` — exact kNN on a
   KD-tree.
 * :class:`~repro.ml.svm.SVC` — SMO-trained support vector classifier with
@@ -36,7 +38,7 @@ from repro.ml.kmeans import KMeans
 from repro.ml.neighbors import KDTree, KNeighborsClassifier
 from repro.ml.online import BloomAdmission, BloomFilter, DecayedMeanVar
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
-from repro.ml.forest import RandomForestClassifier
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.svm import SVC
 from repro.ml.hdbscan import HDBSCAN
 
@@ -56,6 +58,7 @@ __all__ = [
     "NotFittedError",
     "PCA",
     "RandomForestClassifier",
+    "RandomForestRegressor",
     "SVC",
     "StandardScaler",
     "check_is_fitted",

@@ -1,0 +1,82 @@
+"""The onboarding budget: every fingerprinted knob of a partial sweep.
+
+:class:`OnboardBudget` is the root params artifact of a device's
+``onboard-*`` branch in the fleet DAG (codec ``json``): the cell
+fraction, the sampler, its seed, and the imputation-model knobs all
+live here, so changing any of them re-fingerprints — and re-runs —
+exactly the onboard stages of exactly that device, while every full
+sweep branch stays a cache hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OnboardBudget", "SAMPLERS"]
+
+#: Known cell samplers, in increasing order of sophistication.
+SAMPLERS = ("random", "stratified", "active")
+
+
+@dataclass(frozen=True)
+class OnboardBudget:
+    """How much to measure when onboarding a device, and how.
+
+    Attributes
+    ----------
+    fraction:
+        Share of the full (shape x config) table to actually benchmark,
+        in (0, 1].  ROADMAP item 2's headline setting is 0.10.
+    sampler:
+        Cell-picking strategy — ``random`` (seeded uniform baseline),
+        ``stratified`` (per shape-family config coverage), or ``active``
+        (uncertainty-driven: iteratively measure where the imputation
+        model's ensemble disagrees most).
+    seed:
+        Root seed for the sampler's deterministic streams.
+    rounds:
+        Refinement rounds for the active sampler (ignored otherwise);
+        round 1 is the stratified warm start, later rounds spend the
+        remaining budget on the highest-uncertainty cells.
+    n_trees / max_depth / max_samples:
+        The imputation forest (see
+        :class:`repro.ml.forest.RandomForestRegressor`).
+    calibrate:
+        Apply the few-shot per-config residual correction fitted on the
+        measured cells (:mod:`repro.onboard.transfer`).
+    """
+
+    fraction: float = 0.10
+    sampler: str = "active"
+    seed: int = 0
+    rounds: int = 4
+    n_trees: int = 16
+    max_depth: int = 14
+    max_samples: int = 4096
+    calibrate: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.sampler not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; known: {list(SAMPLERS)}"
+            )
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        for fld in ("n_trees", "max_depth", "max_samples"):
+            if getattr(self, fld) < 1:
+                raise ValueError(f"{fld} must be >= 1")
+
+    def cells(self, n_shapes: int, n_configs: int) -> int:
+        """The cell budget for one table, floored at one cell per shape.
+
+        The floor keeps every partial sweep a constructible
+        :class:`~repro.core.dataset.PerformanceDataset` (no all-NaN
+        rows) and is capped at the full table.
+        """
+        total = n_shapes * n_configs
+        want = int(round(self.fraction * total))
+        return min(total, max(n_shapes, want))

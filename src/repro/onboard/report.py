@@ -1,0 +1,173 @@
+"""Onboarding quality report: what did the budget buy?
+
+:class:`OnboardReport` is the terminal artifact of a device's
+``onboard-*`` pipeline branch.  It answers ROADMAP item 2's question
+directly: at this cell fraction, how close is the budgeted selector to
+the one a full 640-cell sweep would have produced?
+
+All scores are geometric-mean achieved performance versus the absolute
+oracle on the *full-sweep* branch's held-out test shapes — both
+selectors are judged against ground truth, never against imputed
+numbers.  ``slowdown`` is the reciprocal (1.0 = oracle-perfect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.dataset import DatasetSplit
+from repro.core.deploy import DeployedSelector
+from repro.core.selection.evaluate import evaluate_selector
+from repro.onboard.budget import OnboardBudget
+from repro.onboard.sweep import PartialSweep
+
+__all__ = ["OnboardReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class OnboardReport:
+    """Budgeted-vs-full selector quality for one onboarded device."""
+
+    device_id: str
+    sampler: str
+    fraction: float
+    cells_attempted: int
+    cells_measured: int
+    cells_failed: int
+    total_cells: int
+    #: Geomean achieved vs oracle on the held-out test shapes.
+    onboard_score: float
+    onboard_accuracy: float
+    full_score: float
+    full_accuracy: float
+    #: Fraction of all shapes where both selectors pick the same config.
+    top1_agreement: float
+    #: Zero-shot cross-device baseline (no target measurements), if run.
+    zero_shot_score: Optional[float] = None
+
+    @property
+    def quality(self) -> float:
+        """Onboard score as a share of the full-sweep score."""
+        return self.onboard_score / self.full_score if self.full_score else 0.0
+
+    @property
+    def onboard_slowdown(self) -> float:
+        return 1.0 / self.onboard_score if self.onboard_score else float("inf")
+
+    @property
+    def full_slowdown(self) -> float:
+        return 1.0 / self.full_score if self.full_score else float("inf")
+
+    @property
+    def measured_fraction(self) -> float:
+        return self.cells_measured / self.total_cells if self.total_cells else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["quality"] = self.quality
+        doc["onboard_slowdown"] = self.onboard_slowdown
+        doc["full_slowdown"] = self.full_slowdown
+        doc["measured_fraction"] = self.measured_fraction
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "OnboardReport":
+        fields = {
+            "device_id",
+            "sampler",
+            "fraction",
+            "cells_attempted",
+            "cells_measured",
+            "cells_failed",
+            "total_cells",
+            "onboard_score",
+            "onboard_accuracy",
+            "full_score",
+            "full_accuracy",
+            "top1_agreement",
+            "zero_shot_score",
+        }
+        return cls(**{k: v for k, v in doc.items() if k in fields})
+
+    def render(self) -> str:
+        lines = [
+            f"onboard report — device {self.device_id!r}",
+            f"  sampler            {self.sampler} "
+            f"(budget {self.fraction:.1%} of {self.total_cells} cells)",
+            f"  cells              {self.cells_attempted} attempted, "
+            f"{self.cells_measured} measured, {self.cells_failed} failed "
+            f"({self.measured_fraction:.1%} of table)",
+            f"  onboard selector   score {self.onboard_score:.4f} "
+            f"(slowdown {self.onboard_slowdown:.3f}x, "
+            f"accuracy {self.onboard_accuracy:.1%})",
+            f"  full-sweep         score {self.full_score:.4f} "
+            f"(slowdown {self.full_slowdown:.3f}x, "
+            f"accuracy {self.full_accuracy:.1%})",
+            f"  quality            {self.quality:.1%} of full-sweep score",
+            f"  top-1 agreement    {self.top1_agreement:.1%}",
+        ]
+        if self.zero_shot_score is not None:
+            lines.append(
+                f"  zero-shot baseline score {self.zero_shot_score:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def _agreement(
+    onboard: DeployedSelector,
+    full: DeployedSelector,
+    shapes: Sequence,
+) -> float:
+    """Share of shapes where both selectors choose the same config.
+
+    Compared by :class:`~repro.kernels.params.KernelConfig` value, not
+    pruned-set position — the two branches prune independently, so their
+    index spaces differ even when the decisions agree.
+    """
+    if not shapes:
+        return 0.0
+    ours = onboard.select_batch(shapes)
+    theirs = full.select_batch(shapes)
+    same = sum(1 for a, b in zip(ours, theirs) if a == b)
+    return same / len(shapes)
+
+
+def build_report(
+    *,
+    device_id: str,
+    budget: OnboardBudget,
+    sweep: PartialSweep,
+    onboard: DeployedSelector,
+    full: DeployedSelector,
+    truth_split: DatasetSplit,
+    zero_shot_score: Optional[float] = None,
+) -> OnboardReport:
+    """Score the budgeted selector against the full-sweep one.
+
+    ``truth_split`` must come from the *full-sweep* branch: its test
+    dataset is measured ground truth for every config, so both
+    evaluations share the same oracle.  Agreement is computed over all
+    shapes (train and test) — that is the population a fleet router
+    actually serves.
+    """
+    onboard_eval = evaluate_selector(onboard.selector, truth_split.test)
+    full_eval = evaluate_selector(full.selector, truth_split.test)
+    all_shapes = tuple(truth_split.train.shapes) + tuple(
+        truth_split.test.shapes
+    )
+    return OnboardReport(
+        device_id=device_id,
+        sampler=budget.sampler,
+        fraction=budget.fraction,
+        cells_attempted=sweep.n_attempted,
+        cells_measured=sweep.n_measured,
+        cells_failed=sweep.failed,
+        total_cells=sweep.total_cells,
+        onboard_score=onboard_eval.score,
+        onboard_accuracy=onboard_eval.accuracy,
+        full_score=full_eval.score,
+        full_accuracy=full_eval.accuracy,
+        top1_agreement=_agreement(onboard, full, all_shapes),
+        zero_shot_score=zero_shot_score,
+    )

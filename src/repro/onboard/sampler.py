@@ -1,0 +1,177 @@
+"""Budgeted cell samplers: which (shape, config) cells to benchmark.
+
+A sampler turns a cell budget into a concrete set of ``(row, col)``
+cells of the performance table, deterministically from a seed
+(:func:`repro.utils.rng.stream`, so the choice is stable across
+processes and platforms).  Every plan guarantees at least one cell per
+shape row — the partial sweep must stay a constructible
+:class:`~repro.core.dataset.PerformanceDataset` (no all-NaN rows).
+
+Three strategies, matching ROADMAP item 2:
+
+* ``random`` — seeded uniform without replacement; the baseline every
+  smarter sampler must beat.
+* ``stratified`` — shapes are grouped into families (log2 size
+  buckets); each family walks its own seeded permutation of the config
+  space, so a family's rows collectively cover the configuration axis
+  evenly instead of leaving clusters unmeasured.
+* ``active`` — uncertainty-driven: the warm start is stratified, then
+  each refinement round measures the cells where the imputation
+  forest's trees disagree most, weighted toward cells predicted to be
+  near their row's best (a wrong winner costs selector quality; a wrong
+  also-ran does not).  The measurement loop lives in
+  :mod:`repro.onboard.sweep`; this module supplies the pure cell picks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.onboard.budget import SAMPLERS
+from repro.utils.rng import stream
+from repro.workloads.gemm import GemmShape
+
+__all__ = [
+    "pick_informative_cells",
+    "plan_cells",
+    "shape_family",
+]
+
+
+def shape_family(shape: GemmShape) -> Tuple[int, int, int, int]:
+    """A coarse size-class key: log2 buckets of (m, k, n) plus batching.
+
+    Shapes from the same network layer family (e.g. the stack of
+    convolution-as-GEMM shapes that only differ in spatial extent) land
+    in nearby buckets, so stratifying over families spreads the budget
+    across genuinely different performance regimes instead of spending
+    it all on the most numerous layer type.
+    """
+    return (
+        int(np.log2(max(1, shape.m))),
+        int(np.log2(max(1, shape.k))),
+        int(np.log2(max(1, shape.n))),
+        int(shape.batch > 1),
+    )
+
+
+def _quotas(n_rows: int, n_cells: int, order: np.ndarray) -> np.ndarray:
+    """Per-row cell quotas: the budget split as evenly as possible.
+
+    Every row gets at least one cell; the remainder lands one cell at a
+    time along ``order`` (a seeded permutation, so no row index is
+    systematically favoured).
+    """
+    base = n_cells // n_rows
+    quotas = np.full(n_rows, base, dtype=np.int64)
+    extra = n_cells - base * n_rows
+    if extra:
+        quotas[order[:extra]] += 1
+    return quotas
+
+
+def _random_plan(
+    n_rows: int, n_cols: int, n_cells: int, rng: np.random.Generator
+) -> np.ndarray:
+    # One guaranteed cell per row, then uniform over the remaining pool.
+    first = rng.integers(0, n_cols, size=n_rows)
+    flat = np.arange(n_rows, dtype=np.int64) * n_cols + first
+    remaining = n_cells - n_rows
+    if remaining > 0:
+        pool = np.setdiff1d(
+            np.arange(n_rows * n_cols, dtype=np.int64), flat
+        )
+        flat = np.concatenate(
+            [flat, rng.choice(pool, size=remaining, replace=False)]
+        )
+    return flat
+
+
+def _stratified_plan(
+    shapes: Sequence[GemmShape],
+    n_cols: int,
+    n_cells: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    n_rows = len(shapes)
+    order = rng.permutation(n_rows)
+    quotas = _quotas(n_rows, n_cells, order)
+    families: Dict[Tuple[int, int, int, int], List[int]] = {}
+    for i, shape in enumerate(shapes):
+        families.setdefault(shape_family(shape), []).append(i)
+    flat: List[np.ndarray] = []
+    for key in sorted(families):
+        rows = families[key]
+        # The family's rows walk one shared permutation of the config
+        # axis: consecutive quotas take consecutive permutation slices,
+        # so min(family budget, n_cols) distinct configs get measured.
+        perm = rng.permutation(n_cols)
+        cursor = 0
+        for row in rows:
+            take = int(quotas[row])
+            idx = (cursor + np.arange(take)) % n_cols
+            cols = np.unique(perm[idx])
+            flat.append(row * n_cols + cols.astype(np.int64))
+            cursor += take
+    return np.concatenate(flat)
+
+
+def plan_cells(
+    sampler: str,
+    shapes: Sequence[GemmShape],
+    n_configs: int,
+    n_cells: int,
+    seed: int,
+) -> np.ndarray:
+    """The (sorted, unique) flat cell indices one sampler measures.
+
+    For ``active`` this is only the warm start (the stratified plan);
+    refinement rounds are chosen online by
+    :func:`~repro.onboard.sweep.run_partial_sweep` via
+    :func:`pick_informative_cells`.  Flat index = ``row * n_configs +
+    col``; decode with ``divmod``.
+    """
+    if sampler not in SAMPLERS:
+        raise ValueError(
+            f"unknown sampler {sampler!r}; known: {list(SAMPLERS)}"
+        )
+    n_rows = len(shapes)
+    if n_rows == 0 or n_configs == 0:
+        raise ValueError("shapes and configs must be non-empty")
+    n_cells = min(n_cells, n_rows * n_configs)
+    if n_cells < n_rows:
+        raise ValueError(
+            f"budget of {n_cells} cells cannot cover {n_rows} shapes "
+            "(need at least one cell per shape)"
+        )
+    rng = stream(seed, "onboard", "plan", sampler)
+    if sampler == "random":
+        flat = _random_plan(n_rows, n_configs, n_cells, rng)
+    else:  # stratified, and the active sampler's warm start
+        flat = _stratified_plan(shapes, n_configs, n_cells, rng)
+    return np.unique(flat)
+
+
+def pick_informative_cells(
+    score: np.ndarray, measured: np.ndarray, k: int
+) -> np.ndarray:
+    """Flat indices of the ``k`` highest-scoring unmeasured cells.
+
+    ``score`` is the active sampler's acquisition value per cell
+    (ensemble disagreement weighted by predicted closeness to the row
+    winner); ``measured`` masks cells already benchmarked.  Ties break
+    toward the lower flat index (stable sort), keeping round contents
+    deterministic.
+    """
+    if score.shape != measured.shape:
+        raise ValueError(
+            f"score {score.shape} and measured {measured.shape} differ"
+        )
+    flat_score = np.where(measured, -np.inf, score).ravel()
+    candidates = np.flatnonzero(np.isfinite(flat_score))
+    if k >= len(candidates):
+        return np.sort(candidates)
+    order = np.argsort(-flat_score[candidates], kind="stable")
+    return np.sort(candidates[order[:k]])

@@ -1,0 +1,211 @@
+"""Cross-device transfer and few-shot calibration.
+
+Two transfer paths out of N existing fleet branches:
+
+* :class:`TransferSelector` — the zero-shot baseline: one classifier
+  over ``(device features, shape features)`` trained on every source
+  device's best-config labels, asked to pick configs for a device it
+  has never measured.  This is Lawson's portability experiment
+  (arXiv:2008.13145) and the floor any budgeted sweep must beat.
+* :func:`calibrated_dataset` — the budgeted path: the joint imputation
+  forest (:mod:`repro.onboard.impute`) predicts the new device's full
+  table, a per-config residual correction fitted on the budgeted
+  measurements (few-shot calibration) removes the model's systematic
+  per-config bias, and the measured cells overwrite their predictions.
+  The result is a full :class:`~repro.core.dataset.PerformanceDataset`
+  the standard prune/train pipeline consumes unchanged.
+
+The residual correction is multiplicative (additive in log space) and
+*per config column*: row-constant errors cancel in the per-shape
+normalization anyway, so config-axis bias is the only systematic error
+that can flip a selector's decision.  Corrections shrink toward the
+global residual as measured support thins, so a config column with one
+noisy measurement cannot hijack its whole column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.kernels.params import KernelConfig
+from repro.ml.forest import RandomForestClassifier
+from repro.onboard.budget import OnboardBudget
+from repro.onboard.impute import (
+    ImputationModel,
+    SourceBranch,
+    device_features,
+    impute_dataset,
+    shape_features,
+)
+from repro.onboard.sweep import PartialSweep
+from repro.sycl.device import DeviceSpec
+from repro.utils.rng import derive_seed
+from repro.workloads.gemm import GemmShape
+
+__all__ = [
+    "ResidualCorrection",
+    "TransferSelector",
+    "calibrated_dataset",
+    "fit_residual_correction",
+]
+
+
+@dataclass(frozen=True)
+class ResidualCorrection:
+    """Few-shot per-config bias fix, in log-gflops space."""
+
+    global_shift: float
+    per_config: np.ndarray
+    support: np.ndarray
+
+    def apply(self, predicted_log: np.ndarray) -> np.ndarray:
+        if predicted_log.shape[1] != self.per_config.size:
+            raise ValueError(
+                f"prediction has {predicted_log.shape[1]} configs; "
+                f"correction was fitted on {self.per_config.size}"
+            )
+        return predicted_log + self.global_shift + self.per_config[None, :]
+
+
+def fit_residual_correction(
+    measured_gflops: np.ndarray,
+    predicted_log: np.ndarray,
+    *,
+    shrinkage: float = 1.0,
+) -> ResidualCorrection:
+    """Fit the correction from the budgeted measurements.
+
+    ``measured_gflops`` is the partial table (NaN where unmeasured);
+    residuals are ``log(measured) - predicted``.  Each config column's
+    mean residual deviation from the global mean is shrunk by
+    ``n / (n + shrinkage)`` where ``n`` is the column's measured count.
+    """
+    if measured_gflops.shape != predicted_log.shape:
+        raise ValueError(
+            f"measured {measured_gflops.shape} and predicted "
+            f"{predicted_log.shape} grids differ"
+        )
+    mask = np.isfinite(measured_gflops)
+    if not mask.any():
+        return ResidualCorrection(
+            global_shift=0.0,
+            per_config=np.zeros(measured_gflops.shape[1]),
+            support=np.zeros(measured_gflops.shape[1], dtype=np.int64),
+        )
+    residual = np.where(
+        mask, np.log(np.where(mask, measured_gflops, 1.0)) - predicted_log, 0.0
+    )
+    support = mask.sum(axis=0)
+    global_shift = float(residual.sum() / mask.sum())
+    col_sum = residual.sum(axis=0)
+    deviation = np.where(
+        support > 0,
+        col_sum / np.maximum(support, 1) - global_shift,
+        0.0,
+    )
+    shrink = support / (support + shrinkage)
+    return ResidualCorrection(
+        global_shift=global_shift,
+        per_config=deviation * shrink,
+        support=support.astype(np.int64),
+    )
+
+
+def calibrated_dataset(
+    sources: Sequence[SourceBranch],
+    target_spec: DeviceSpec,
+    sweep: PartialSweep,
+    budget: Optional[OnboardBudget] = None,
+    *,
+    seed: int = 0,
+) -> PerformanceDataset:
+    """The onboarded device's full table: measured + calibrated imputation."""
+    budget = budget if budget is not None else OnboardBudget()
+    model = ImputationModel(budget).fit(
+        tuple(sources), target_spec, sweep.dataset, seed=seed
+    )
+    predicted, _ = model.predict_target()
+    if budget.calibrate:
+        correction = fit_residual_correction(sweep.dataset.gflops, predicted)
+        predicted = correction.apply(predicted)
+    return impute_dataset(sweep.dataset, predicted)
+
+
+class TransferSelector:
+    """Zero-shot cross-device selection: no measurements on the target.
+
+    A bagged-tree classifier over stacked ``(device features, shape
+    features)`` rows with each source device's per-shape best config as
+    the label.  :meth:`predict_indices` answers positions in the shared
+    config tuple; :meth:`predict_configs` resolves them.
+    """
+
+    def __init__(self, *, n_estimators: int = 24, random_state: int = 0):
+        self.n_estimators = n_estimators
+        self.random_state = random_state
+
+    def fit(self, sources: Sequence[SourceBranch]) -> "TransferSelector":
+        if not sources:
+            raise ValueError("transfer needs at least one source branch")
+        ref = sources[0].dataset
+        for src in sources[1:]:
+            if src.dataset.configs != ref.configs:
+                raise ValueError(
+                    f"source {src.device_id!r} config space differs from "
+                    f"{sources[0].device_id!r}"
+                )
+        self.configs_: Tuple[KernelConfig, ...] = tuple(ref.configs)
+        rows: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        for src in sources:
+            dev = device_features(src.spec)
+            feats = np.vstack(
+                [shape_features(s) for s in src.dataset.shapes]
+            )
+            block = np.hstack(
+                [np.broadcast_to(dev, (len(feats), dev.size)), feats]
+            )
+            rows.append(block)
+            labels.append(src.dataset.best_config_indices())
+        self._classifier = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            random_state=derive_seed(self.random_state, "onboard", "transfer"),
+        )
+        self._classifier.fit(np.vstack(rows), np.concatenate(labels))
+        return self
+
+    def _features(
+        self, spec: DeviceSpec, shapes: Sequence[GemmShape]
+    ) -> np.ndarray:
+        dev = device_features(spec)
+        feats = np.vstack([shape_features(s) for s in shapes])
+        return np.hstack(
+            [np.broadcast_to(dev, (len(feats), dev.size)), feats]
+        )
+
+    def predict_indices(
+        self, spec: DeviceSpec, shapes: Sequence[GemmShape]
+    ) -> np.ndarray:
+        """Predicted best-config positions in the shared config tuple."""
+        return self._classifier.predict(
+            self._features(spec, tuple(shapes))
+        ).astype(np.int64)
+
+    def predict_configs(
+        self, spec: DeviceSpec, shapes: Sequence[GemmShape]
+    ) -> Tuple[KernelConfig, ...]:
+        indices = self.predict_indices(spec, shapes)
+        return tuple(self.configs_[int(i)] for i in indices)
+
+    def score(self, spec: DeviceSpec, truth: PerformanceDataset) -> float:
+        """Geomean normalized performance of the zero-shot picks."""
+        from repro.utils.maths import geometric_mean
+
+        indices = self.predict_indices(spec, truth.shapes)
+        normalized = truth.normalized()
+        achieved = normalized[np.arange(truth.n_shapes), indices]
+        return float(geometric_mean(np.maximum(achieved, 1e-9)))

@@ -211,6 +211,77 @@ class ProfileCodec(Codec):
         return value
 
 
+class PartialSweepCodec(Codec):
+    """A budgeted :class:`~repro.onboard.sweep.PartialSweep`.
+
+    The holey table reuses the dataset ``.npz`` layout (NaN cells are
+    its native masking convention), the attempted cell indices are a
+    plain ``.npy``, and the sampling provenance (sampler, seed, failure
+    count) is tagged JSON.
+    """
+
+    name = "partial-sweep"
+
+    def save(self, value: Any, directory: Path) -> None:
+        from repro.onboard.sweep import PartialSweep
+
+        if not isinstance(value, PartialSweep):
+            raise TypeError(
+                "partial-sweep codec persists PartialSweep values, "
+                f"not {type(value).__name__}"
+            )
+        value.dataset.save(directory / "dataset.npz")
+        np.save(directory / "cells.npy", value.cells)
+        meta = {
+            "sampler": value.sampler,
+            "seed": value.seed,
+            "failed": value.failed,
+        }
+        (directory / "sweep.json").write_text(dumps(meta))
+
+    def load(self, directory: Path) -> Any:
+        from repro.core.dataset import PerformanceDataset
+        from repro.onboard.sweep import PartialSweep
+
+        meta = loads((directory / "sweep.json").read_text())
+        return PartialSweep(
+            dataset=PerformanceDataset.load(directory / "dataset.npz"),
+            cells=np.load(directory / "cells.npy"),
+            sampler=meta["sampler"],
+            seed=meta["seed"],
+            failed=meta["failed"],
+        )
+
+
+class OnboardReportCodec(Codec):
+    """An :class:`~repro.onboard.report.OnboardReport` as tagged JSON.
+
+    Type-gated like :class:`ProfileCodec`: only the report dataclass may
+    be persisted under this codec name.
+    """
+
+    name = "onboard-report"
+
+    @staticmethod
+    def _check(value: Any) -> None:
+        from repro.onboard.report import OnboardReport
+
+        if not isinstance(value, OnboardReport):
+            raise TypeError(
+                "onboard-report codec persists OnboardReport values, "
+                f"not {type(value).__name__}"
+            )
+
+    def save(self, value: Any, directory: Path) -> None:
+        self._check(value)
+        (directory / "report.json").write_text(dumps(value))
+
+    def load(self, directory: Path) -> Any:
+        value = loads((directory / "report.json").read_text())
+        self._check(value)
+        return value
+
+
 for _codec in (
     JsonCodec(),
     BenchResultCodec(),
@@ -218,5 +289,7 @@ for _codec in (
     SplitCodec(),
     SelectorCodec(),
     ProfileCodec(),
+    PartialSweepCodec(),
+    OnboardReportCodec(),
 ):
     register_codec(_codec)

@@ -111,8 +111,12 @@ class AdaptiveSelectionService:
         registry: Optional[MetricsRegistry] = None,
         name: Optional[str] = None,
         event_log: int = 512,
+        auto_record: bool = False,
     ) -> None:
         self._service = service
+        # Opt-in: FleetRouter.complete() forwards observed latencies to
+        # record() so serving loops need no explicit feedback calls.
+        self._auto_record = bool(auto_record)
         self._config = config if config is not None else AdaptiveConfig()
         self._candidates = (
             tuple(candidates)
@@ -210,6 +214,11 @@ class AdaptiveSelectionService:
     @property
     def candidates(self) -> Tuple[KernelConfig, ...]:
         return self._candidates
+
+    @property
+    def auto_record(self) -> bool:
+        """Whether router completions feed :meth:`record` implicitly."""
+        return self._auto_record
 
     def select(self, shape: GemmShape) -> KernelConfig:
         state = self._states_get(shape.as_tuple())

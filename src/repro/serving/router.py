@@ -371,16 +371,38 @@ class FleetRouter:
                 device_id=did, config=config, rerouted=rerouted
             )
 
-    def complete(self, device_id: str, n: int = 1) -> None:
+    def complete(
+        self,
+        device_id: str,
+        n: int = 1,
+        *,
+        shape: Optional[GemmShape] = None,
+        config: Optional[KernelConfig] = None,
+        seconds: Optional[float] = None,
+    ) -> None:
         """Mark ``n`` routed requests on a device as finished.
 
         Feeds the ``least-outstanding`` policy: callers report
         completion when the launched kernel retires, so the policy
         tracks true in-flight load rather than total dispatch counts.
+
+        When ``shape``/``config``/``seconds`` describe the retired
+        kernel and the device's service opted into ``auto_record``
+        (:class:`~repro.serving.adaptive.AdaptiveSelectionService`),
+        the observed latency is forwarded to the service's ``record``
+        — serving loops then need no explicit feedback calls.
         """
         with self._lock:
             entry = self._entry(device_id)
             entry.g_outstanding.set(max(0.0, entry.g_outstanding.value - n))
+            service = entry.service
+        if (
+            shape is not None
+            and config is not None
+            and seconds is not None
+            and getattr(service, "auto_record", False)
+        ):
+            service.record(shape, config, seconds)
 
     # -- policy internals ----------------------------------------------------
 

@@ -144,3 +144,60 @@ class TestValidation:
                 configs=small_dataset.configs,
                 gflops=bad,
             )
+
+
+class TestAllNanRows:
+    """An all-NaN row must fail loudly, never argmax to config 0."""
+
+    def _with_dead_row(self, dataset, row=1):
+        bad = dataset.gflops.copy()
+        bad[row, :] = np.nan
+        return bad
+
+    def test_constructor_names_the_dead_shape(self, small_dataset):
+        bad = self._with_dead_row(small_dataset)
+        with pytest.raises(ValueError) as excinfo:
+            PerformanceDataset(
+                shapes=small_dataset.shapes,
+                configs=small_dataset.configs,
+                gflops=bad,
+            )
+        message = str(excinfo.value)
+        assert "no successful measurement" in message
+        assert str(small_dataset.shapes[1]) in message
+
+    def test_partial_rows_are_still_allowed(self, small_dataset):
+        holey = small_dataset.gflops.copy()
+        holey[:, 1:] = np.nan  # one finite cell per row is enough
+        dataset = PerformanceDataset(
+            shapes=small_dataset.shapes,
+            configs=small_dataset.configs,
+            gflops=holey,
+        )
+        assert np.array_equal(
+            dataset.best_config_indices(),
+            np.zeros(dataset.n_shapes, dtype=np.int64),
+        )
+
+    def _bypass_validation(self, dataset, bad):
+        # Simulate a decoding path that skipped __post_init__.
+        broken = object.__new__(PerformanceDataset)
+        object.__setattr__(broken, "shapes", dataset.shapes)
+        object.__setattr__(broken, "configs", dataset.configs)
+        object.__setattr__(broken, "gflops", bad)
+        object.__setattr__(broken, "device_name", dataset.device_name)
+        return broken
+
+    def test_normalized_rechecks(self, small_dataset):
+        broken = self._bypass_validation(
+            small_dataset, self._with_dead_row(small_dataset)
+        )
+        with pytest.raises(ValueError, match="normalized"):
+            broken.normalized()
+
+    def test_label_extraction_rechecks(self, small_dataset):
+        broken = self._bypass_validation(
+            small_dataset, self._with_dead_row(small_dataset)
+        )
+        with pytest.raises(ValueError, match="label extraction"):
+            broken.best_config_indices()

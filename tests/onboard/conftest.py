@@ -1,0 +1,83 @@
+"""Onboarding fixtures: four full-sweep branches at reduced scale.
+
+Every fixture is session-scoped and deterministic: sweeps use the
+counter-based noise model, so the full tables (and everything derived
+from them) are bit-identical across runs — the determinism tests below
+rely on that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchmarkRunner, RunnerConfig
+from repro.core.dataset import PerformanceDataset
+from repro.fleet.profile import fleet_profiles
+from repro.onboard import OnboardBudget, SourceBranch
+from repro.workloads.extract import extract_dataset_shapes
+
+FLEET_IDS = ("r9-nano", "compute-heavy", "bandwidth-lean", "latency-bound")
+
+#: Fast settings for unit tests; the CI quality gates run the defaults.
+FAST_BUDGET = OnboardBudget(
+    fraction=0.12, sampler="active", seed=0, rounds=3, n_trees=8
+)
+
+
+@pytest.fixture(scope="session")
+def onboard_runner_config() -> RunnerConfig:
+    return RunnerConfig(warmup_iterations=1, timed_iterations=3)
+
+
+@pytest.fixture(scope="session")
+def onboard_shapes(all_shapes):
+    # Every other mobilenet-leaning shape: 11 rows, all families present.
+    shapes, _ = extract_dataset_shapes(networks=("mobilenet_v2",))
+    return tuple(shapes[::2])
+
+
+@pytest.fixture(scope="session")
+def branches(onboard_shapes, small_configs, onboard_runner_config):
+    """device_id -> (profile, full-sweep dataset) for the builtin four."""
+    out = {}
+    for profile in fleet_profiles(FLEET_IDS):
+        runner = BenchmarkRunner(
+            profile.device(),
+            configs=small_configs,
+            runner_config=onboard_runner_config,
+            model_params=profile.model_params,
+        )
+        out[profile.device_id] = (
+            profile,
+            PerformanceDataset.from_benchmark(runner.run(onboard_shapes)),
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def make_runner(small_configs, onboard_runner_config):
+    """Factory: a fresh benchmark runner for one profile's device."""
+
+    def _make(profile):
+        return BenchmarkRunner(
+            profile.device(),
+            configs=small_configs,
+            runner_config=onboard_runner_config,
+            model_params=profile.model_params,
+        )
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def sources_for(branches):
+    """Factory: every branch except the target, as SourceBranch tuples."""
+
+    def _sources(target: str):
+        return tuple(
+            SourceBranch(device_id=did, spec=prof.spec, dataset=ds)
+            for did, (prof, ds) in branches.items()
+            if did != target
+        )
+
+    return _sources

@@ -1,0 +1,49 @@
+"""OnboardBudget: validation and the per-table cell arithmetic."""
+
+import pytest
+
+from repro.onboard import SAMPLERS, OnboardBudget
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        budget = OnboardBudget()
+        assert budget.fraction == pytest.approx(0.10)
+        assert budget.sampler in SAMPLERS
+
+    @pytest.mark.parametrize("fraction", (0.0, -0.1, 1.5))
+    def test_fraction_out_of_range_rejected(self, fraction):
+        with pytest.raises(ValueError, match="fraction"):
+            OnboardBudget(fraction=fraction)
+
+    def test_full_table_fraction_allowed(self):
+        assert OnboardBudget(fraction=1.0).cells(10, 64) == 640
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            OnboardBudget(sampler="psychic")
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ValueError, match="rounds"):
+            OnboardBudget(rounds=0)
+
+    @pytest.mark.parametrize("field", ("n_trees", "max_depth", "max_samples"))
+    def test_forest_knobs_must_be_positive(self, field):
+        with pytest.raises(ValueError, match=field):
+            OnboardBudget(**{field: 0})
+
+
+class TestCells:
+    def test_ten_percent_of_the_table(self):
+        assert OnboardBudget(fraction=0.10).cells(21, 640) == 1344
+
+    def test_floored_at_one_cell_per_shape(self):
+        # 1% of a 10 x 20 table is 2 cells; 10 shapes need 10.
+        assert OnboardBudget(fraction=0.01).cells(10, 20) == 10
+
+    def test_capped_at_the_full_table(self):
+        assert OnboardBudget(fraction=1.0).cells(3, 4) == 12
+
+    def test_rounding_is_nearest(self):
+        # 0.25 * 30 = 7.5 -> 8 under round-half-even... 7.5 rounds to 8.
+        assert OnboardBudget(fraction=0.25).cells(5, 6) == 8

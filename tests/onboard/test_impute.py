@@ -1,0 +1,186 @@
+"""Imputation: features, priors, geometry checks, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PerformanceDataset
+from repro.onboard import CellFeaturizer, ImputationModel, impute_dataset
+from repro.onboard.budget import OnboardBudget
+from repro.onboard.impute import (
+    _leave_one_out_prior,
+    config_features,
+    device_features,
+    shape_features,
+)
+
+FAST = OnboardBudget(fraction=0.12, sampler="active", rounds=2, n_trees=4)
+
+
+def _punch_holes(dataset: PerformanceDataset, keep_per_row: int = 3):
+    """NaN out all but the first few cells of every row."""
+    gflops = dataset.gflops.copy()
+    gflops[:, keep_per_row:] = np.nan
+    return PerformanceDataset(
+        shapes=dataset.shapes,
+        configs=dataset.configs,
+        gflops=gflops,
+        device_name=dataset.device_name,
+    )
+
+
+class TestFeatures:
+    def test_feature_block_widths(self, branches, onboard_shapes):
+        profile, dataset = branches["r9-nano"]
+        assert device_features(profile.spec).shape == (11,)
+        assert shape_features(onboard_shapes[0]).shape == (6,)
+        assert config_features(dataset.configs[0]).shape == (10,)
+
+    def test_features_are_finite(self, branches, onboard_shapes):
+        profile, dataset = branches["r9-nano"]
+        assert np.all(np.isfinite(device_features(profile.spec)))
+        for shape in onboard_shapes:
+            assert np.all(np.isfinite(shape_features(shape)))
+        for config in dataset.configs[:8]:
+            assert np.all(np.isfinite(config_features(config)))
+
+    def test_cell_matrix_geometry(self, branches):
+        profile, dataset = branches["r9-nano"]
+        feat = CellFeaturizer(dataset.shapes, dataset.configs)
+        n_cells = dataset.n_shapes * dataset.n_configs
+        prior = np.zeros((dataset.n_shapes, dataset.n_configs))
+        X = feat.cell_matrix(profile.spec, prior, prior)
+        # 11 device + 6 shape + 10 config + 2 prior columns.
+        assert X.shape == (n_cells, 29)
+        assert np.all(np.isfinite(X))
+
+    def test_cell_matrix_row_major_layout(self, branches):
+        profile, dataset = branches["r9-nano"]
+        feat = CellFeaturizer(dataset.shapes, dataset.configs)
+        prior = np.zeros((dataset.n_shapes, dataset.n_configs))
+        X = feat.cell_matrix(profile.spec, prior, prior)
+        # Row i*n_configs + j carries shape i's and config j's features.
+        i, j = 2, 5
+        row = X[i * dataset.n_configs + j]
+        assert np.array_equal(row[11:17], shape_features(dataset.shapes[i]))
+        assert np.array_equal(row[17:27], config_features(dataset.configs[j]))
+
+
+class TestLeaveOneOutPrior:
+    def test_loo_excludes_own_table(self):
+        a = np.full((2, 2), 1.0)
+        b = np.full((2, 2), 3.0)
+        c = np.full((2, 2), 5.0)
+        loo_means, loo_stds, all_mean, all_std = _leave_one_out_prior(
+            [a, b, c]
+        )
+        assert np.allclose(loo_means[0], 4.0)  # mean of b, c
+        assert np.allclose(loo_means[1], 3.0)  # mean of a, c
+        assert np.allclose(loo_means[2], 2.0)  # mean of a, b
+        assert np.allclose(all_mean, 3.0)
+        assert np.allclose(loo_stds[0], np.std([3.0, 5.0]))
+        assert np.allclose(all_std, np.std([1.0, 3.0, 5.0]))
+
+    def test_single_source_prior_is_flat(self):
+        loo_means, loo_stds, all_mean, all_std = _leave_one_out_prior(
+            [np.full((2, 2), 7.0)]
+        )
+        assert np.allclose(loo_means[0], 0.0)
+        assert np.allclose(loo_stds[0], 0.0)
+        assert np.allclose(all_mean, 7.0)
+        assert np.allclose(all_std, 0.0)
+
+
+class TestImputationModel:
+    def test_no_sources_rejected(self, branches):
+        profile, _ = branches["r9-nano"]
+        with pytest.raises(ValueError, match="at least one source"):
+            ImputationModel(FAST).fit((), profile.spec)
+
+    def test_mismatched_source_geometry_rejected(
+        self, branches, sources_for
+    ):
+        profile, dataset = branches["r9-nano"]
+        sources = list(sources_for("r9-nano"))
+        shrunk = PerformanceDataset(
+            shapes=dataset.shapes[:-1],
+            configs=dataset.configs,
+            gflops=dataset.gflops[:-1],
+            device_name=sources[0].dataset.device_name,
+        )
+        sources[0] = type(sources[0])(
+            device_id=sources[0].device_id,
+            spec=sources[0].spec,
+            dataset=shrunk,
+        )
+        with pytest.raises(ValueError, match="geometry differs"):
+            ImputationModel(FAST).fit(sources, profile.spec)
+
+    def test_mismatched_partial_geometry_rejected(
+        self, branches, sources_for
+    ):
+        profile, dataset = branches["r9-nano"]
+        partial = PerformanceDataset(
+            shapes=dataset.shapes,
+            configs=dataset.configs[:-1],
+            gflops=dataset.gflops[:, :-1],
+            device_name=dataset.device_name,
+        )
+        with pytest.raises(ValueError, match="partial sweep geometry"):
+            ImputationModel(FAST).fit(
+                sources_for("r9-nano"), profile.spec, partial
+            )
+
+    def test_predictions_cover_the_grid(self, branches, sources_for):
+        profile, dataset = branches["r9-nano"]
+        partial = _punch_holes(dataset)
+        model = ImputationModel(FAST).fit(
+            sources_for("r9-nano"), profile.spec, partial
+        )
+        mean, std = model.predict_target()
+        grid = (dataset.n_shapes, dataset.n_configs)
+        assert mean.shape == grid and std.shape == grid
+        assert np.all(np.isfinite(mean))
+        assert np.all(std >= 0.0)
+
+    def test_fit_predict_is_deterministic(self, branches, sources_for):
+        profile, dataset = branches["r9-nano"]
+        partial = _punch_holes(dataset)
+        grids = []
+        for _ in range(2):
+            model = ImputationModel(FAST).fit(
+                sources_for("r9-nano"), profile.spec, partial, seed=11
+            )
+            grids.append(model.predict_target())
+        assert np.array_equal(grids[0][0], grids[1][0])
+        assert np.array_equal(grids[0][1], grids[1][1])
+
+    def test_seed_changes_the_forest(self, branches, sources_for):
+        profile, dataset = branches["r9-nano"]
+        partial = _punch_holes(dataset)
+        means = []
+        for seed in (0, 1):
+            model = ImputationModel(FAST).fit(
+                sources_for("r9-nano"), profile.spec, partial, seed=seed
+            )
+            means.append(model.predict_target()[0])
+        assert not np.array_equal(means[0], means[1])
+
+
+class TestImputeDataset:
+    def test_measured_cells_survive_verbatim(self, branches):
+        _, dataset = branches["r9-nano"]
+        partial = _punch_holes(dataset)
+        pred = np.zeros((dataset.n_shapes, dataset.n_configs))
+        filled = impute_dataset(partial, pred)
+        measured = np.isfinite(partial.gflops)
+        assert np.array_equal(
+            filled.gflops[measured], partial.gflops[measured]
+        )
+        assert np.allclose(filled.gflops[~measured], 1.0)  # exp(0)
+        assert np.all(np.isfinite(filled.gflops))
+
+    def test_prediction_grid_mismatch_rejected(self, branches):
+        _, dataset = branches["r9-nano"]
+        partial = _punch_holes(dataset)
+        with pytest.raises(ValueError, match="does not match"):
+            impute_dataset(partial, np.zeros((2, 2)))

@@ -1,0 +1,156 @@
+"""Router-driven adaptive feedback: ``auto_record`` parity with record().
+
+The oracle: a serving loop that reports completions through
+``FleetRouter.complete(..., shape=, config=, seconds=)`` against an
+``auto_record=True`` adaptive service must leave the bandit in exactly
+the state an explicit ``service.record(...)`` loop produces — same
+promotions, same stats, same subsequent picks.
+"""
+
+from repro.adaptive import AdaptiveConfig
+from repro.kernels.params import config_space
+from repro.obs.registry import MetricsRegistry
+from repro.serving import AdaptiveSelectionService, SelectionService
+from repro.serving.router import FleetRouter
+from repro.workloads.gemm import GemmShape
+
+CONFIGS = tuple(config_space(tile_sizes=(1, 2), work_groups=((8, 8), (16, 16))))
+BASE = CONFIGS[0]
+SHAPE = GemmShape(m=64, k=64, n=64)
+
+#: Latency oracle: one config is clearly fastest, the base is slow.
+FAST = CONFIGS[1]
+_SECONDS = {config: (0.001 if config == FAST else 0.010) for config in CONFIGS}
+
+
+class _Library:
+    def __init__(self, configs):
+        self.configs = tuple(configs)
+
+
+class _StubPolicy:
+    def __init__(self):
+        self.library = _Library(CONFIGS[:4])
+
+    def select(self, shape):
+        return BASE
+
+    def select_batch(self, shapes):
+        return tuple(BASE for _ in shapes)
+
+
+def make_adaptive(*, auto_record):
+    registry = MetricsRegistry()
+    inner = SelectionService(_StubPolicy(), registry=registry, name="auto")
+    return AdaptiveSelectionService(
+        inner,
+        config=AdaptiveConfig(
+            trial_fraction=0.5,
+            seed=0,
+            min_trials=2,
+            promote_margin=1.2,
+            admission_threshold=2,
+        ),
+        registry=registry,
+        auto_record=auto_record,
+    )
+
+
+def drive(select, feedback, rounds=40):
+    """One serving loop: select, 'run' the kernel, report its latency."""
+    picks = []
+    for _ in range(rounds):
+        config = select()
+        picks.append(config)
+        feedback(config, _SECONDS[config])
+    return picks
+
+
+class TestAutoRecordFlag:
+    def test_default_is_off(self):
+        assert make_adaptive(auto_record=False).auto_record is False
+        registry = MetricsRegistry()
+        inner = SelectionService(_StubPolicy(), registry=registry)
+        assert AdaptiveSelectionService(inner).auto_record is False
+
+    def test_opt_in(self):
+        assert make_adaptive(auto_record=True).auto_record is True
+
+
+class TestRouterParity:
+    def _route(self, service):
+        router = FleetRouter(registry=service.registry)
+        router.add_device("dev", service)
+        return router
+
+    def test_complete_matches_explicit_record(self):
+        auto = make_adaptive(auto_record=True)
+        explicit = make_adaptive(auto_record=False)
+        auto_router = self._route(auto)
+        explicit_router = self._route(explicit)
+
+        auto_picks = drive(
+            lambda: auto_router.select(SHAPE).config,
+            lambda config, seconds: auto_router.complete(
+                "dev", shape=SHAPE, config=config, seconds=seconds
+            ),
+        )
+        explicit_picks = drive(
+            lambda: explicit_router.select(SHAPE).config,
+            lambda config, seconds: (
+                explicit.record(SHAPE, config, seconds),
+                explicit_router.complete("dev"),
+            ),
+        )
+
+        # Identical seeds + identical feedback => identical trajectories.
+        assert auto_picks == explicit_picks
+        assert auto.adaptive_stats() == explicit.adaptive_stats()
+        assert [e.kind for e in auto.events()] == [
+            e.kind for e in explicit.events()
+        ]
+        # Both loops found the fast config and promoted it.
+        assert auto.select(SHAPE) == FAST
+        assert explicit.select(SHAPE) == FAST
+        # The router's outstanding gauge drained in both loops.
+        assert auto_router.stats().outstanding["dev"] == 0
+        assert explicit_router.stats().outstanding["dev"] == 0
+
+    def test_auto_record_off_ignores_latency_kwargs(self):
+        service = make_adaptive(auto_record=False)
+        router = self._route(service)
+        drive(
+            lambda: router.select(SHAPE).config,
+            lambda config, seconds: router.complete(
+                "dev", shape=SHAPE, config=config, seconds=seconds
+            ),
+        )
+        # No feedback ever reached the bandit: nothing promoted, and
+        # the feedback counter never moved.
+        assert service.adaptive_stats().promotions == 0
+        assert service.select(SHAPE) == BASE
+        feedback = service.registry.counter(
+            "adaptive.feedback", {"service": "auto"}
+        )
+        assert feedback.value == 0
+
+    def test_partial_kwargs_do_not_record(self):
+        service = make_adaptive(auto_record=True)
+        router = self._route(service)
+        router.select(SHAPE)
+        router.complete("dev", shape=SHAPE, config=BASE)  # no seconds
+        router.complete("dev", seconds=0.001)  # no shape/config
+        feedback = service.registry.counter(
+            "adaptive.feedback", {"service": "auto"}
+        )
+        assert feedback.value == 0
+
+    def test_plain_service_without_auto_record_is_safe(self):
+        registry = MetricsRegistry()
+        inner = SelectionService(_StubPolicy(), registry=registry)
+        router = FleetRouter(registry=registry)
+        router.add_device("dev", inner)
+        router.select(SHAPE)
+        # A bare SelectionService has no auto_record; kwargs are ignored.
+        router.complete("dev", shape=SHAPE, config=BASE, seconds=0.001)
+        assert router.stats().outstanding["dev"] == 0
