@@ -9,12 +9,15 @@ test:
 	PYTHONPATH=src python -m pytest -x -q
 
 # Mirrors the CI deep job: integration/fault/oracle/adaptive/onboard
-# suites plus the cross-process pipeline, fleet and onboarding cache
-# round trips (budget change re-runs only the onboard-* branch).
+# suites plus the transfer-aware perfmodel, transformer-workload and
+# kernel-family suites, then the cross-process pipeline, fleet and
+# onboarding cache round trips (budget change re-runs only the
+# onboard-* branch).
 deep:
 	PYTHONPATH=src python -m pytest \
 		tests/integration tests/testing tests/serving tests/pipeline \
 		tests/fleet tests/obs tests/adaptive tests/shard tests/onboard \
+		tests/perfmodel tests/workloads tests/kernels tests/experiments \
 		-q -p no:randomly
 	PYTHONPATH=src python -m repro.cli pipeline run \
 		--store /tmp/repro-store --networks mobilenet_v2
@@ -42,23 +45,25 @@ deep:
 
 # Mirrors the CI lint job (requires ruff + mypy on PATH).
 lint:
-	ruff check src/repro/obs src/repro/serving
-	ruff format --check src/repro/obs src/repro/serving
-	mypy src/repro/obs src/repro/serving
+	ruff check src/repro
+	ruff format --check src/repro
+	mypy src/repro
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
 # Mirrors the CI bench-smoke job: throughput, obs-overhead, compiled
-# hot-path, adaptive-layer and shard-scaling gates plus a 5 s loadgen
-# smoke with a qps floor, a multiprocess scaling run with a core-count
-# aware floor, a drifted run with a gap-closure floor, and the
-# onboarding quality/cost gate (95% quality at a 10% budget).
+# hot-path, adaptive-layer, shard-scaling and transfer-aware placement
+# gates plus a 5 s loadgen smoke with a qps floor, a multiprocess
+# scaling run with a core-count aware floor, a drifted run with a
+# gap-closure floor, the onboarding quality/cost gate (95% quality at
+# a 10% budget) and the full-stride placement-flip experiment gate.
 bench-smoke:
 	PYTHONPATH=src python -m pytest \
 		benchmarks/test_bench_serving.py benchmarks/test_bench_obs.py \
 		benchmarks/test_bench_codegen.py benchmarks/test_bench_adaptive.py \
 		benchmarks/test_bench_shard.py benchmarks/test_bench_onboard.py \
+		benchmarks/test_bench_placement.py \
 		-q -p no:randomly --benchmark-json=bench-results.json
 	PYTHONPATH=src python -m repro.cli loadgen run \
 		--qps 40000 --duration 5 --workers 4 --compiled \
@@ -71,6 +76,8 @@ bench-smoke:
 		--adaptive --no-pace --qps 4000 --duration 3 --workers 4 \
 		--zipf 1.3 --drift-at 0.35 --min-gap-closure 0.5 \
 		--report-json loadgen-drift-report.json
+	PYTHONPATH=src python -m repro.cli placement run \
+		--report-json placement-flip-report.json
 
 report:
 	python examples/reproduce_paper.py

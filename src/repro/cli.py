@@ -122,6 +122,11 @@ def _cmd_experiments(args) -> int:
 
         print(run_sparse_generalization().render())
         return 0
+    if args.which == "placement":
+        from repro.experiments.placement import run_placement_flip
+
+        print(run_placement_flip().render())
+        return 0
     dataset = _load_or_generate(args)
     from repro.experiments.tradeoff import run_tradeoff
     from repro.experiments.variance import run_variance
@@ -139,6 +144,42 @@ def _cmd_experiments(args) -> int:
         print(run_all(dataset).render())
     else:
         print(runners[args.which](dataset).render())
+    return 0
+
+
+def _cmd_placement(args) -> int:
+    import json
+
+    from repro.experiments.placement import run_placement_flip
+
+    result = run_placement_flip(
+        budget=args.budget,
+        shape_stride=args.stride,
+        split_seed=args.seed,
+        random_state=args.seed,
+    )
+    print(result.render())
+    if args.report_json is not None:
+        args.report_json.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"report written to {args.report_json}")
+    failures = []
+    if result.flip_fraction < args.min_flip_fraction:
+        failures.append(
+            f"flip fraction {result.flip_fraction:.2f} < "
+            f"required {args.min_flip_fraction:.2f}"
+        )
+    if result.margin < args.min_margin:
+        failures.append(
+            f"mixed-traffic margin {result.margin * 100:+.1f}pts < "
+            f"required {args.min_margin * 100:+.1f}pts"
+        )
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1
+    print("placement gates passed")
     return 0
 
 
@@ -548,9 +589,15 @@ def _cmd_loadgen(args) -> int:
         )
     else:
         report = run_load(router, config, registry=registry)
+    if args.adaptive:
+        policy_name = "adaptive drift"
+    elif args.compiled:
+        policy_name = "compiled"
+    else:
+        policy_name = "tree-walk"
     print(
         f"loadgen: {args.replicas} replicas "
-        f"({'adaptive drift' if args.adaptive else 'compiled' if args.compiled else 'tree-walk'} policy), "
+        f"({policy_name} policy), "
         f"{config.workers} workers, zipf {config.zipf_skew}"
     )
     print(report.render())
@@ -656,7 +703,11 @@ def _cmd_shard(args) -> int:
             kill_at = args.requests // 2
             issued = 0
             for start in range(0, args.requests, args.batch_size):
-                if args.kill is not None and issued <= kill_at < issued + args.batch_size:
+                kill_now = (
+                    args.kill is not None
+                    and issued <= kill_at < issued + args.batch_size
+                )
+                if kill_now:
                     print(f"killing worker {args.kill} mid-run...")
                     fleet.kill_worker(args.kill)
                 chunk = shapes[start : start + args.batch_size]
@@ -1308,7 +1359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--network",
         default="vgg16",
-        choices=("vgg16", "resnet50", "mobilenet_v2"),
+        choices=("vgg16", "resnet50", "mobilenet_v2", "transformer"),
     )
     p.set_defaults(func=_cmd_shapes)
 
@@ -1319,11 +1370,42 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         choices=(
             "1", "2", "3", "4", "table1", "tradeoff", "variance", "sparse",
-            "all",
+            "placement", "all",
         ),
         help="which figure/table (or extension experiment) to run",
     )
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "placement",
+        help="transfer-aware placement-flip experiment with CI gates",
+    )
+    p.add_argument("action", choices=("run",))
+    p.add_argument("--budget", type=int, default=8)
+    p.add_argument("--stride", type=int, default=3, help="shape subsampling stride")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--min-flip-fraction",
+        type=float,
+        default=0.1,
+        help="fail unless at least this fraction of base shapes flip",
+    )
+    p.add_argument(
+        "--min-margin",
+        type=float,
+        default=0.02,
+        help=(
+            "fail unless the placement-aware selector beats the blind one "
+            "by this geomean margin on mixed traffic"
+        ),
+    )
+    p.add_argument(
+        "--report-json",
+        type=Path,
+        default=None,
+        help="write the result dict as JSON (the CI artifact)",
+    )
+    p.set_defaults(func=_cmd_placement)
 
     p = sub.add_parser("tune", help="run the pipeline, export the selector")
     _add_dataset_args(p)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.sycl.device import Device
 from repro.utils.rng import rng_from
 from repro.workloads.extract import extract_dataset_shapes
 from repro.workloads.gemm import GemmShape
+from repro.workloads.placement import place_shapes
 
 __all__ = [
     "DatasetSplit",
@@ -228,11 +229,18 @@ def sweep_stage(inputs, params, options) -> BenchmarkResult:
 
     Fingerprinted parameters: ``device_spec`` (a
     :class:`~repro.sycl.device.DeviceSpec`), ``networks``, ``runner``
-    (a :class:`RunnerConfig`), and optional ``model_params``.  Worker
-    count comes from ``options`` — it never affects the result.
+    (a :class:`RunnerConfig`), optional ``model_params``, and optional
+    ``placements`` (a tuple of :class:`~repro.workloads.placement.
+    DataPlacement` values crossing every extracted shape with a data
+    residency — absent from the params dict for legacy sweeps, so
+    existing fingerprints are untouched).  Worker count comes from
+    ``options`` — it never affects the result.
     """
     device = Device(params["device_spec"])
     shapes, _ = extract_dataset_shapes(networks=tuple(params["networks"]))
+    placements = params.get("placements")
+    if placements:
+        shapes = place_shapes(shapes, placements)
     runner = BenchmarkRunner(
         device,
         runner_config=params["runner"],
@@ -260,6 +268,7 @@ def generate_dataset(
     runner_config: Optional[RunnerConfig] = None,
     model_params: Optional[PerfModelParams] = None,
     networks: Sequence[str] = DEFAULT_NETWORKS,
+    placements: Optional[Sequence[str]] = None,
     cache_path: Optional[Union[str, Path]] = None,
     max_workers: Optional[int] = 1,
     store=None,
@@ -278,6 +287,13 @@ def generate_dataset(
     through the content-addressed pipeline instead: the sweep and
     dataset stages are fingerprinted and reused incrementally
     (``cache_path`` is then ignored).
+
+    With ``placements`` set (e.g. ``("device", "host")``), every
+    extracted shape is crossed with the given data residencies before
+    the sweep, so the table gains a placement axis.  The flat ``.npz``
+    cache cannot round-trip placed shapes, so ``cache_path`` is ignored
+    in that mode (the pipeline ``store`` path handles it fine — its
+    codec pickles shapes faithfully).
     """
     device = device or Device.r9_nano()
     effective_runner = runner_config or RunnerConfig()
@@ -291,8 +307,12 @@ def generate_dataset(
             runner_config=effective_runner,
             model_params=model_params,
             networks=tuple(networks),
+            placements=tuple(placements) if placements else None,
             max_workers=max_workers or 1,
         )
+
+    if placements:
+        cache_path = None
 
     if cache_path is not None:
         cache_path = Path(cache_path)
@@ -317,6 +337,8 @@ def generate_dataset(
                 )
 
     shapes, _ = extract_dataset_shapes(networks=networks)
+    if placements:
+        shapes = place_shapes(shapes, placements)
     runner = BenchmarkRunner(
         device,
         runner_config=runner_config,

@@ -21,10 +21,11 @@ from repro.core.pruning.evaluate import make_pruner
 from repro.core.selection.classifiers import make_selector
 from repro.core.selection.evaluate import evaluate_selector
 from repro.core.selection.selector import Selector
-from repro.kernels.matmul import TiledMatmulKernel, matmul
+from repro.kernels.matmul import matmul
 from repro.kernels.params import KernelConfig
 from repro.kernels.registry import KernelLibrary
 from repro.ml.tree.export import export_cpp, export_python
+from repro.sycl.kernel import Kernel
 from repro.sycl.queue import Queue
 from repro.workloads.gemm import GemmShape
 from repro.workloads.sparse import SparseGemmShape
@@ -158,9 +159,14 @@ class DeployedSelector:
         """Configurations for many shapes in one selector pass."""
         return self.selector.select_batch(shapes)
 
-    def kernel_for(self, shape: GemmShape) -> TiledMatmulKernel:
-        """A launchable kernel instance for ``shape``."""
-        return self.library.kernel(self.select(shape))
+    def kernel_for(self, shape: GemmShape) -> Kernel:
+        """A launchable kernel instance for ``shape``.
+
+        The selected configuration is instantiated through the library's
+        family dispatch, so vector-shaped problems get the GEMV kernel
+        and ``batch > 1`` stacks the batched kernel.
+        """
+        return self.library.kernel(self.select(shape), shape=shape)
 
     def matmul(self, queue: Queue, a: np.ndarray, b: np.ndarray):
         """Run a GEMM end to end through the selection process.
@@ -193,9 +199,15 @@ class DeployedSelector:
     def _feature_names(self) -> Tuple[str, ...]:
         """Argument names for the generated dispatch function.
 
-        Matches the feature width the selector was trained on: dense
-        selectors see (m, k, n, batch), sparsity-aware ones add density.
+        The selector records its feature vocabulary at fit time; that is
+        authoritative (sparse and placed shapes share a five-wide
+        feature space, so width alone is ambiguous).  Selectors rebuilt
+        from artifacts written before the vocabulary was recorded fall
+        back to the historical width heuristic.
         """
+        recorded = getattr(self.selector, "feature_names", None)
+        if recorded:
+            return tuple(recorded)
         width = getattr(self.selector.estimator, "n_features_in_", None)
         if width == SparseGemmShape.N_FEATURES:
             return SparseGemmShape.FEATURE_NAMES

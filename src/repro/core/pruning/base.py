@@ -6,7 +6,6 @@ import abc
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.dataset import PerformanceDataset
 from repro.kernels.params import KernelConfig

@@ -8,7 +8,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.core.dataset import PerformanceDataset
-from repro.core.pruning.base import PrunedSet, Pruner
+from repro.core.pruning.base import Pruner
 from repro.core.pruning.evaluate import achievable_performance
 from repro.core.selection.classifiers import default_selectors
 from repro.core.selection.selector import Selector

@@ -42,11 +42,21 @@ class Selector:
         self.estimator = estimator
         self.pruned = pruned
         self._fitted = False
+        #: Feature vocabulary recorded at fit time (the shape type's
+        #: FEATURE_NAMES).  Several shape extensions share a feature
+        #: width (sparse density and placement are both five-wide), so
+        #: downstream export/codegen must not infer names from width
+        #: alone.
+        self.feature_names: Optional[Tuple[str, ...]] = None
 
     def fit(self, dataset: PerformanceDataset) -> "Selector":
         """Train on a dataset's features against best-in-set labels."""
         X = dataset.features()
         y = selection_labels(dataset, self.pruned)
+        first = type(dataset.shapes[0])
+        self.feature_names = tuple(
+            getattr(first, "FEATURE_NAMES", GemmShape.FEATURE_NAMES)
+        )
         if len(np.unique(y)) < 2:
             # Degenerate training set: one in-set config dominates
             # everywhere.  Remember the constant instead of fitting.

@@ -17,6 +17,7 @@ from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.placement import PlacementFlipResult, run_placement_flip
 from repro.experiments.sparse import SparseGeneralization, run_sparse_generalization
 from repro.experiments.dataset_size import DatasetSizeResult, run_dataset_size
 from repro.experiments.variance import VarianceResult, run_variance
@@ -29,6 +30,7 @@ __all__ = [
     "Fig3Result",
     "DatasetSizeResult",
     "Fig4Result",
+    "PlacementFlipResult",
     "SparseGeneralization",
     "Table1Result",
     "TradeoffResult",
@@ -39,6 +41,7 @@ __all__ = [
     "run_fig3",
     "run_dataset_size",
     "run_fig4",
+    "run_placement_flip",
     "run_sparse_generalization",
     "run_table1",
     "run_tradeoff",

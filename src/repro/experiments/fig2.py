@@ -8,7 +8,7 @@ optimal at least once — the long tail that motivates learned pruning.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

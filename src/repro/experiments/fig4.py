@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.dataset import PerformanceDataset, generate_dataset
 from repro.core.pruning import default_pruners, sweep_pruners

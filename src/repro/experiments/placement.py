@@ -1,0 +1,234 @@
+"""Extension experiment: does data placement change kernel choice?
+
+SYCL-BLAS's SUMMA work showed device-to-host readback is several times
+slower than host-to-device upload, and that transfer time can rival
+compute for small problems.  This experiment quantifies what that means
+for *selection*:
+
+* the dense GEMM shapes are crossed with data placements (operands
+  device-resident vs host-resident) and benchmarked under the
+  transfer-aware performance model — host-placed small problems pay
+  visible H2D/D2H phases that depend on the chosen macro tile (padding
+  inflates the transferred footprint), so the optimal configuration can
+  flip between placements;
+* base shapes are split 80/20; the test set is the *mixed* (both
+  placements) rows of held-out base shapes;
+* two pipelines are compared at the same budget:
+
+  - **placement-blind** — pruned and fitted on device-resident rows
+    only (a library tuned the classic way, then deployed on traffic
+    where operands sometimes live in host memory);
+  - **placement-aware** — pruned and fitted on all rows, with the
+    placement flag as a fifth feature.
+
+The headline numbers: the fraction of base shapes whose best
+configuration flips between placements, and the geomean selection gap
+between the two pipelines on mixed traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.runner import BenchmarkRunner, RunnerConfig
+from repro.core.dataset import PerformanceDataset
+from repro.core.pruning.decision_tree import DecisionTreePruner
+from repro.core.selection.classifiers import make_selector
+from repro.core.selection.evaluate import evaluate_selector
+from repro.experiments.report import ascii_table
+from repro.sycl.device import Device
+from repro.utils.rng import rng_from
+from repro.workloads.extract import extract_dataset_shapes
+from repro.workloads.placement import DataPlacement, place_shapes
+
+__all__ = ["PlacementFlipResult", "run_placement_flip"]
+
+DEFAULT_PLACEMENTS: Tuple[str, ...] = (
+    DataPlacement.DEVICE.value,
+    DataPlacement.HOST.value,
+)
+
+
+@dataclass(frozen=True)
+class PlacementFlipResult:
+    """Flip statistics and the two pipelines' scores on mixed traffic."""
+
+    placements: Tuple[str, ...]
+    budget: int
+    #: Fraction of base shapes whose best-of-640 config differs between
+    #: device- and host-resident rows.
+    flip_fraction: float
+    n_base_shapes: int
+    #: Achievable ceiling of each pipeline's pruned set on the test rows.
+    ceiling_placement_blind: float
+    ceiling_placement_aware: float
+    #: Selector geomean scores vs the absolute optimum on the test rows.
+    score_placement_blind: float
+    score_placement_aware: float
+    #: Per-placement selector scores of the placement-aware pipeline.
+    per_placement_scores: Dict[str, float]
+    n_test_rows: int
+
+    @property
+    def margin(self) -> float:
+        """Geomean points the aware pipeline wins on mixed traffic."""
+        return self.score_placement_aware - self.score_placement_blind
+
+    def render(self) -> str:
+        rows = [
+            [
+                "placement-blind",
+                f"{self.ceiling_placement_blind * 100:.1f}",
+                f"{self.score_placement_blind * 100:.1f}",
+            ],
+            [
+                "placement-aware",
+                f"{self.ceiling_placement_aware * 100:.1f}",
+                f"{self.score_placement_aware * 100:.1f}",
+            ],
+        ]
+        table = ascii_table(
+            ["pipeline", "ceiling %", "selector %"],
+            rows,
+            title=(
+                f"Placement flip (budget {self.budget}, "
+                f"{self.n_test_rows} held-out mixed rows)"
+            ),
+        )
+        placement_lines = "\n".join(
+            f"  {name:>6}: {score * 100:5.1f}%"
+            for name, score in sorted(self.per_placement_scores.items())
+        )
+        return (
+            f"{table}\n\n"
+            f"best-config flip fraction: {self.flip_fraction * 100:.0f}% "
+            f"of {self.n_base_shapes} base shapes\n"
+            f"placement-aware score by placement:\n{placement_lines}\n"
+            f"mixed-traffic margin: {self.margin * 100:+.1f} points"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable report (the CI artifact payload)."""
+        return {
+            "placements": list(self.placements),
+            "budget": self.budget,
+            "flip_fraction": self.flip_fraction,
+            "n_base_shapes": self.n_base_shapes,
+            "ceiling_placement_blind": self.ceiling_placement_blind,
+            "ceiling_placement_aware": self.ceiling_placement_aware,
+            "score_placement_blind": self.score_placement_blind,
+            "score_placement_aware": self.score_placement_aware,
+            "per_placement_scores": dict(self.per_placement_scores),
+            "margin": self.margin,
+            "n_test_rows": self.n_test_rows,
+        }
+
+
+def _build_placed_dataset(
+    placements: Sequence[str],
+    *,
+    shape_stride: int,
+    device: Device,
+    seed: int,
+) -> PerformanceDataset:
+    dense_shapes, _ = extract_dataset_shapes()
+    base = dense_shapes[::shape_stride]
+    placed = place_shapes(base, placements)
+    runner = BenchmarkRunner(
+        device,
+        runner_config=RunnerConfig(timed_iterations=3, seed=seed),
+    )
+    return PerformanceDataset.from_benchmark(runner.run(placed))
+
+
+def _flip_fraction(dataset: PerformanceDataset) -> Tuple[float, int]:
+    """Fraction of base shapes whose best config differs by placement."""
+    best_by_base: Dict[Tuple[int, ...], set] = {}
+    table = np.nan_to_num(dataset.gflops, nan=-np.inf)
+    for i, shape in enumerate(dataset.shapes):
+        key = shape.unplaced().as_tuple()
+        best_by_base.setdefault(key, set()).add(int(np.argmax(table[i])))
+    n_bases = len(best_by_base)
+    flips = sum(1 for winners in best_by_base.values() if len(winners) > 1)
+    return flips / n_bases, n_bases
+
+
+def run_placement_flip(
+    *,
+    placements: Sequence[str] = DEFAULT_PLACEMENTS,
+    budget: int = 8,
+    shape_stride: int = 3,
+    split_seed: int = 0,
+    random_state: int = 0,
+    device: Optional[Device] = None,
+    dataset: Optional[PerformanceDataset] = None,
+) -> PlacementFlipResult:
+    """Run the experiment (see module docstring)."""
+    placements = tuple(DataPlacement.parse(p).value for p in placements)
+    if DataPlacement.DEVICE.value not in placements:
+        raise ValueError('placements must include "device" (the blind rows)')
+    if len(set(placements)) < 2:
+        raise ValueError("need at least two distinct placements to flip")
+    device = device or Device.r9_nano()
+    if dataset is None:
+        dataset = _build_placed_dataset(
+            placements, shape_stride=shape_stride, device=device, seed=2020
+        )
+
+    flip_fraction, n_bases = _flip_fraction(dataset)
+
+    # Split by *base shape* so test rows are unseen at every placement.
+    bases = sorted({s.unplaced().as_tuple() for s in dataset.shapes})
+    order = np.arange(len(bases))
+    rng_from(split_seed).shuffle(order)
+    n_test = max(1, len(bases) // 5)
+    test_bases = {bases[i] for i in order[:n_test]}
+
+    def rows(predicate):
+        return [i for i, s in enumerate(dataset.shapes) if predicate(s)]
+
+    def is_test_base(s):
+        return s.unplaced().as_tuple() in test_bases
+
+    train_all = dataset.subset(rows(lambda s: not is_test_base(s)))
+    train_device = dataset.subset(
+        rows(lambda s: not is_test_base(s) and not s.host_resident)
+    )
+    test_mixed = dataset.subset(rows(is_test_base))
+
+    pruner = DecisionTreePruner()
+    results = {}
+    for name, train in (("blind", train_device), ("aware", train_all)):
+        pruned = pruner.select(train, budget)
+        selector = make_selector(
+            "DecisionTree", pruned, random_state=random_state
+        ).fit(train)
+        evaluation = evaluate_selector(selector, test_mixed)
+        results[name] = (pruned, selector, evaluation)
+
+    aware_selector = results["aware"][1]
+    per_placement: Dict[str, float] = {}
+    for placement in placements:
+        sub_rows = [
+            i
+            for i, s in enumerate(test_mixed.shapes)
+            if s.placement == placement
+        ]
+        sub = test_mixed.subset(sub_rows)
+        per_placement[placement] = evaluate_selector(aware_selector, sub).score
+
+    return PlacementFlipResult(
+        placements=placements,
+        budget=budget,
+        flip_fraction=flip_fraction,
+        n_base_shapes=n_bases,
+        ceiling_placement_blind=results["blind"][2].ceiling,
+        ceiling_placement_aware=results["aware"][2].ceiling,
+        score_placement_blind=results["blind"][2].score,
+        score_placement_aware=results["aware"][2].score,
+        per_placement_scores=per_placement,
+        n_test_rows=test_mixed.n_shapes,
+    )

@@ -29,7 +29,6 @@ import numpy as np
 from repro.bench.runner import BenchmarkRunner, RunnerConfig
 from repro.core.dataset import PerformanceDataset
 from repro.core.pruning.decision_tree import DecisionTreePruner
-from repro.core.pruning.evaluate import achievable_performance
 from repro.core.selection.classifiers import make_selector
 from repro.core.selection.evaluate import evaluate_selector
 from repro.experiments.report import ascii_table
@@ -37,7 +36,7 @@ from repro.perfmodel.sparse import SparseGemmPerfModel
 from repro.sycl.device import Device
 from repro.utils.rng import rng_from
 from repro.workloads.extract import extract_dataset_shapes
-from repro.workloads.sparse import SparseGemmShape, sparsify
+from repro.workloads.sparse import sparsify
 
 __all__ = ["SparseGeneralization", "run_sparse_generalization"]
 

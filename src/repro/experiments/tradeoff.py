@@ -11,7 +11,7 @@ extra kernels stop paying for their bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.dataset import PerformanceDataset, generate_dataset
 from repro.core.pruning.base import Pruner

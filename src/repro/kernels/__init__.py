@@ -27,18 +27,29 @@ from repro.kernels.conv import (
     conv2d_winograd,
     im2col,
 )
+from repro.kernels.batched import BatchedMatmulKernel, batched_matmul
+from repro.kernels.families import (
+    FAMILIES,
+    family_for_shape,
+    make_kernel,
+)
+from repro.kernels.gemv import GemvKernel, gemv
 from repro.kernels.matmul import TiledMatmulKernel, matmul
 from repro.kernels.naive import NaiveMatmulKernel
 from repro.kernels.registry import CompiledKernel, KernelLibrary
 
 __all__ = [
+    "BatchedMatmulKernel",
     "CompiledKernel",
+    "FAMILIES",
+    "GemvKernel",
     "KernelConfig",
     "KernelLibrary",
     "NaiveMatmulKernel",
     "TILE_SIZES",
     "TiledMatmulKernel",
     "WORK_GROUP_SHAPES",
+    "batched_matmul",
     "conv2d_direct",
     "conv2d_im2col",
     "conv2d_winograd",
@@ -46,5 +57,8 @@ __all__ = [
     "config_from_index",
     "config_index",
     "config_space",
+    "family_for_shape",
+    "gemv",
+    "make_kernel",
     "matmul",
 ]

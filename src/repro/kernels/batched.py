@@ -1,0 +1,174 @@
+"""The batched-GEMM kernel family: many small multiplies, one launch.
+
+Winograd lowering emits ``(tile+2)^2`` independent GEMMs per layer and
+transformer attention emits one per head — all the same size, all far
+too small to fill the device alone.  Launching them as one batched
+kernel amortises the launch overhead and fills the SIMDs with the batch
+dimension; the performance model already credits exactly that (the
+batch multiplies the work-group count of a single launch), so this
+family is the executable counterpart instead of flattening the batch
+into a loop of separate GEMM launches.
+
+Each batch element reproduces the tiled matmul's k-blocked accumulation
+order exactly, so a loop-of-GEMMs oracle over the slices is bit-identical
+— the differential tests pin this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.kernels.params import KernelConfig
+from repro.sycl.buffer import Accessor, AccessMode, Buffer
+from repro.sycl.device import Device
+from repro.sycl.kernel import Kernel, ResourceUsage
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+from repro.utils.maths import ceil_div
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["BatchedMatmulKernel", "batched_matmul"]
+
+
+class BatchedMatmulKernel(Kernel):
+    """``C[i] = A[i] @ B[i]`` for a stack of same-shape operands."""
+
+    def __init__(self, config: KernelConfig):
+        self._config = config
+        self.name = f"tiled_batched_matmul<{config.short_name()}>"
+        self._models: Dict[int, object] = {}
+
+    @property
+    def config(self) -> KernelConfig:
+        return self._config
+
+    def nd_range_for(self, shape: GemmShape) -> NDRange:
+        """One batched launch: the batch rides the third global dimension."""
+        cfg = self._config
+        items_m = ceil_div(shape.m, cfg.rows)
+        items_n = ceil_div(shape.n, cfg.cols)
+        return NDRange(
+            (items_m, items_n, shape.batch), (cfg.wg_rows, cfg.wg_cols, 1)
+        )
+
+    def run(
+        self,
+        device: Device,
+        ndrange: NDRange,
+        accessors: Sequence[Accessor],
+    ) -> None:
+        a_acc, b_acc, c_acc = self._check_args(accessors)
+        a = a_acc.view()
+        b = b_acc.view()
+        c = c_acc.view()
+        acc = self._config.acc
+        k = a.shape[2]
+        # Per-slice evaluation with the matmul kernel's exact k-blocked
+        # accumulation order: bit-identical to a loop of single GEMMs
+        # over the slices (the batching is a launch optimisation, not a
+        # numerical one).
+        for i in range(a.shape[0]):
+            out = np.zeros_like(c[i], dtype=np.float64)
+            for k0 in range(0, k, acc):
+                out += a[i, :, k0 : k0 + acc].astype(np.float64) @ b[
+                    i, k0 : k0 + acc, :
+                ].astype(np.float64)
+            c[i, ...] = out.astype(c.dtype)
+
+    def estimate_seconds(
+        self,
+        device: Device,
+        ndrange: NDRange,
+        accessors: Sequence[Accessor],
+    ) -> float:
+        from repro.perfmodel.model import GemmPerfModel
+
+        a_acc, b_acc, _ = self._check_args(accessors)
+        shape = GemmShape(
+            m=a_acc.shape[1],
+            k=a_acc.shape[2],
+            n=b_acc.shape[2],
+            batch=a_acc.shape[0],
+        )
+        key = id(device.spec)
+        model = self._models.get(key)
+        if model is None:
+            model = GemmPerfModel(device)
+            self._models[key] = model
+        return model.time_seconds(shape, self._config)
+
+    def resource_usage(self, device: Device) -> ResourceUsage:
+        return ResourceUsage(vgprs_per_lane=self._config.registers_per_item)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_args(self, accessors: Sequence[Accessor]):
+        if len(accessors) != 3:
+            raise ValueError(
+                f"{self.name} expects accessors (A, B, C), got {len(accessors)}"
+            )
+        a, b, c = accessors
+        if len(a.shape) != 3 or len(b.shape) != 3 or len(c.shape) != 3:
+            raise ValueError(
+                f"{self.name} expects 3-D (batch, rows, cols) operands, "
+                f"got {a.shape} x {b.shape} -> {c.shape}"
+            )
+        if a.shape[0] != b.shape[0]:
+            raise ValueError(
+                f"batch counts disagree: A is {a.shape}, B is {b.shape}"
+            )
+        if a.shape[2] != b.shape[1]:
+            raise ValueError(
+                f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+            )
+        if c.shape != (a.shape[0], a.shape[1], b.shape[2]):
+            raise ValueError(
+                f"C must be {(a.shape[0], a.shape[1], b.shape[2])}, "
+                f"got {c.shape}"
+            )
+        return a, b, c
+
+
+def batched_matmul(
+    queue: Queue,
+    a: np.ndarray,
+    b: np.ndarray,
+    config: KernelConfig,
+) -> tuple:
+    """Convenience entry point: one batched GEMM launch on ``queue``.
+
+    ``a`` is ``(batch, m, k)``, ``b`` is ``(batch, k, n)``.  Returns
+    ``(C, event)`` with ``C`` of shape ``(batch, m, n)``.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if (
+        a.ndim != 3
+        or b.ndim != 3
+        or a.shape[0] != b.shape[0]
+        or a.shape[2] != b.shape[1]
+    ):
+        raise ValueError(
+            f"incompatible batched GEMM operands {a.shape} x {b.shape}"
+        )
+    kernel = BatchedMatmulKernel(config)
+    shape = GemmShape(
+        m=a.shape[1], k=a.shape[2], n=b.shape[2], batch=a.shape[0]
+    )
+    buf_a = Buffer.from_array(a, name="A")
+    buf_b = Buffer.from_array(b, name="B")
+    buf_c = Buffer(
+        (a.shape[0], a.shape[1], b.shape[2]), dtype=np.float32, name="C"
+    )
+    event = queue.submit(
+        kernel,
+        kernel.nd_range_for(shape),
+        args=(
+            buf_a.get_access(AccessMode.READ),
+            buf_b.get_access(AccessMode.READ),
+            buf_c.get_access(AccessMode.WRITE),
+        ),
+    )
+    return buf_c.to_host(), event

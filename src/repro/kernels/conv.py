@@ -21,11 +21,11 @@ Tensors are HWC for activations and ``(KH, KW, C, F)`` for weights.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from repro.kernels.matmul import TiledMatmulKernel, matmul
+from repro.kernels.matmul import matmul
 from repro.kernels.params import KernelConfig
 from repro.sycl.queue import Queue
 from repro.utils.maths import ceil_div

@@ -1,0 +1,74 @@
+"""Kernel families: which executable kernel serves a GEMM shape.
+
+The configuration space is one vocabulary (every family shares the
+tile/work-group parameters and their compiled templates), but the
+executable kernel differs by shape family:
+
+* ``gemm`` — the general tiled matmul;
+* ``gemv`` — matrix-vector degenerate (``m == 1`` or ``n == 1``),
+  e.g. fully-connected layers at image batch 1 and transformer decode
+  projections;
+* ``batched`` — ``batch > 1`` stacks of small GEMMs from Winograd
+  lowering and per-head attention, launched as one batched kernel
+  instead of a flattened loop.
+
+:func:`family_for_shape` is the single dispatch rule; the library and
+the deployed selector route through it so callers always receive the
+family-appropriate kernel for the config a selector picked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernels.batched import BatchedMatmulKernel
+from repro.kernels.gemv import GemvKernel
+from repro.kernels.matmul import TiledMatmulKernel
+from repro.kernels.params import KernelConfig
+from repro.sycl.kernel import Kernel
+from repro.workloads.gemm import GemmShape
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_BATCHED",
+    "FAMILY_GEMM",
+    "FAMILY_GEMV",
+    "family_for_shape",
+    "make_kernel",
+]
+
+FAMILY_GEMM = "gemm"
+FAMILY_GEMV = "gemv"
+FAMILY_BATCHED = "batched"
+
+FAMILIES: Tuple[str, ...] = (FAMILY_GEMM, FAMILY_GEMV, FAMILY_BATCHED)
+
+
+def family_for_shape(shape: GemmShape) -> str:
+    """The kernel family serving one GEMM shape.
+
+    A batched stack takes the batched kernel even when its slices are
+    vector-shaped (the batch dimension is what fills the device);
+    otherwise a unit output dimension selects the GEMV family.
+    """
+    if shape.batch > 1:
+        return FAMILY_BATCHED
+    if shape.m == 1 or shape.n == 1:
+        return FAMILY_GEMV
+    return FAMILY_GEMM
+
+
+def make_kernel(
+    config: KernelConfig, shape: Optional[GemmShape] = None
+) -> Kernel:
+    """Instantiate the family-appropriate kernel for ``config``.
+
+    Without a shape the general matmul is returned (the historical
+    behaviour of every call site that predates families).
+    """
+    family = FAMILY_GEMM if shape is None else family_for_shape(shape)
+    if family == FAMILY_BATCHED:
+        return BatchedMatmulKernel(config)
+    if family == FAMILY_GEMV:
+        return GemvKernel(config)
+    return TiledMatmulKernel(config)

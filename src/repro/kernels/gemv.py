@@ -1,0 +1,92 @@
+"""The GEMV kernel family: matrix-vector products under the tiled schedule.
+
+A GEMM degenerates to a matrix-vector product when either output
+dimension is 1 — fully-connected layers at image batch 1 (``m == 1``)
+and transformer decode projections are the dominant sources.  SYCL-DNN
+ships a dedicated ``gemv`` kernel for these because the square-tile
+matmul wastes a whole tile dimension on them; here the family shares
+the matmul's k-blocked accumulation schedule (so it is *numerically
+identical* to the GEMM path on the same shape — the differential tests
+pin this) while validating the degenerate geometry and reporting a
+vector-shaped launch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.matmul import TiledMatmulKernel
+from repro.kernels.params import KernelConfig
+from repro.sycl.buffer import Accessor, AccessMode, Buffer
+from repro.sycl.ndrange import NDRange
+from repro.sycl.queue import Queue
+from repro.utils.maths import ceil_div
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["GemvKernel", "gemv"]
+
+
+class GemvKernel(TiledMatmulKernel):
+    """``y = A @ x`` (or ``y = x^T @ B``) with the tiled k-blocked schedule.
+
+    Subclasses the matmul kernel so the accumulation order — and hence
+    every floating-point result — is the GEMM path's, bit for bit; only
+    the argument validation (one output dimension must be 1) and the
+    launch geometry differ.
+    """
+
+    def __init__(self, config: KernelConfig):
+        super().__init__(config)
+        self.name = f"tiled_gemv<{config.short_name()}>"
+
+    def nd_range_for(self, shape: GemmShape) -> NDRange:
+        """The launch collapses the unit output dimension to one item."""
+        cfg = self.config
+        items_m = 1 if shape.m == 1 else ceil_div(shape.m, cfg.rows)
+        items_n = 1 if shape.n == 1 else ceil_div(shape.n, cfg.cols)
+        return NDRange((items_m, items_n), (cfg.wg_rows, cfg.wg_cols))
+
+    def _check_args(self, accessors: Sequence[Accessor]):
+        a, b, c = super()._check_args(accessors)
+        if a.shape[0] != 1 and b.shape[1] != 1:
+            raise ValueError(
+                f"{self.name} expects a matrix-vector product (m == 1 or "
+                f"n == 1), got {a.shape} x {b.shape}"
+            )
+        return a, b, c
+
+
+def gemv(
+    queue: Queue,
+    a: np.ndarray,
+    x: np.ndarray,
+    config: KernelConfig,
+) -> tuple:
+    """Convenience entry point: ``y = A @ x`` on ``queue``.
+
+    ``x`` may be 1-D ``(k,)`` or a column ``(k, 1)``; the result comes
+    back 1-D.  Returns ``(y, event)``.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim == 1:
+        x = x[:, None]
+    if a.ndim != 2 or x.shape != (a.shape[1], 1):
+        raise ValueError(f"incompatible GEMV operands {a.shape} x {x.shape}")
+    kernel = GemvKernel(config)
+    shape = GemmShape(m=a.shape[0], k=a.shape[1], n=1)
+    buf_a = Buffer.from_array(a, name="A")
+    buf_x = Buffer.from_array(x, name="x")
+    buf_y = Buffer((a.shape[0], 1), dtype=np.float32, name="y")
+    event = queue.submit(
+        kernel,
+        kernel.nd_range_for(shape),
+        args=(
+            buf_a.get_access(AccessMode.READ),
+            buf_x.get_access(AccessMode.READ),
+            buf_y.get_access(AccessMode.WRITE),
+        ),
+    )
+    return buf_y.to_host()[:, 0], event

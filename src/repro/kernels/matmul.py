@@ -15,7 +15,7 @@ measurements the dataset is built from.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ kernels) and ten work-group shapes, for 640 total configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = [
     "KernelConfig",

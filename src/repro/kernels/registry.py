@@ -12,10 +12,13 @@ they occupy, and dispenses ready-to-launch kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.kernels.families import make_kernel
 from repro.kernels.matmul import TiledMatmulKernel
 from repro.kernels.params import KernelConfig
+from repro.sycl.kernel import Kernel
+from repro.workloads.gemm import GemmShape
 
 __all__ = ["CompiledKernel", "KernelLibrary"]
 
@@ -97,14 +100,22 @@ class KernelLibrary:
         except ValueError:
             raise KeyError(f"{config} is not in this library") from None
 
-    def kernel(self, config: KernelConfig) -> TiledMatmulKernel:
-        """Instantiate a launchable kernel for one bundled configuration."""
+    def kernel(
+        self, config: KernelConfig, shape: Optional[GemmShape] = None
+    ) -> Kernel:
+        """Instantiate a launchable kernel for one bundled configuration.
+
+        With a ``shape``, the family-appropriate kernel is dispensed
+        (GEMV for vector-shaped problems, the batched kernel for
+        ``batch > 1`` stacks — see :mod:`repro.kernels.families`);
+        without one, the general tiled matmul.
+        """
         if config not in self:
             raise KeyError(
                 f"{config} is not bundled in this library "
                 f"({self.num_configs} configs available)"
             )
-        return TiledMatmulKernel(config)
+        return make_kernel(config, shape)
 
     def kernel_by_index(self, index: int) -> TiledMatmulKernel:
         return TiledMatmulKernel(self._configs[index])

@@ -35,7 +35,12 @@ from typing import Dict, Optional, Tuple
 from repro.adaptive.bandit import AdaptiveConfig
 from repro.adaptive.replay import ReplayResult, run_replay
 from repro.kernels.params import KernelConfig
-from repro.loadgen.harness import LoadgenConfig, SyntheticFleet, run_load, synthetic_fleet
+from repro.loadgen.harness import (
+    LoadgenConfig,
+    SyntheticFleet,
+    run_load,
+    synthetic_fleet,
+)
 from repro.loadgen.report import DriftSummary, LoadReport
 from repro.loadgen.workload import network_shape_pool
 from repro.obs.registry import MetricsRegistry
@@ -150,7 +155,8 @@ class DriftedLatencyModel:
             with self._lock:
                 config = self._static.get(key)
                 if config is None:
-                    config = self._static_policy.select(shape)  # type: ignore[attr-defined]
+                    policy = self._static_policy
+                    config = policy.select(shape)  # type: ignore[attr-defined]
                     self._static[key] = config
         return config
 

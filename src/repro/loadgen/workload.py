@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.workloads.extract import extract_network_shapes
 from repro.workloads.gemm import GemmShape
+from repro.workloads.placement import place_shapes
 
 __all__ = ["DEFAULT_NETWORKS", "ShapeStream", "network_shape_pool"]
 
@@ -29,12 +30,16 @@ DEFAULT_NETWORKS: Tuple[str, ...] = ("vgg16", "resnet50", "mobilenet_v2")
 
 def network_shape_pool(
     networks: Sequence[str] = DEFAULT_NETWORKS,
+    *,
+    placements: Optional[Sequence[str]] = None,
 ) -> Tuple[GemmShape, ...]:
     """The concatenated unique GEMM shapes of the given networks.
 
     Per-network order is the deterministic extraction order; a shape
     lowered by several networks appears once (first network wins), so
-    Zipf ranks are stable across runs.
+    Zipf ranks are stable across runs.  With ``placements`` set (e.g.
+    ``("device", "host")``), the pool is crossed with the given data
+    residencies so the stream exercises transfer-aware selection.
     """
     pool: List[GemmShape] = []
     seen = set()
@@ -46,6 +51,8 @@ def network_shape_pool(
                 pool.append(shape)
     if not pool:
         raise ValueError(f"no shapes extracted from networks {list(networks)!r}")
+    if placements:
+        return tuple(place_shapes(pool, placements))
     return tuple(pool)
 
 

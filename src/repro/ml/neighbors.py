@@ -10,7 +10,7 @@ cares about *query latency*, which the latency benchmarks measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -65,7 +65,9 @@ class MinMaxScaler(BaseEstimator):
     def fit(self, X) -> "MinMaxScaler":
         lo, hi = self.feature_range
         if not lo < hi:
-            raise ValueError(f"feature_range must be increasing, got {self.feature_range}")
+            raise ValueError(
+                f"feature_range must be increasing, got {self.feature_range}"
+            )
         X = check_array(X, name="X")
         self.data_min_ = X.min(axis=0)
         self.data_max_ = X.max(axis=0)

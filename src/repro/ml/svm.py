@@ -15,7 +15,7 @@ setup, it applies no internal feature scaling.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 import numpy as np
 

@@ -28,23 +28,41 @@ DESIGN.md section 5 for the calibration targets and
 
 from repro.perfmodel.params import PerfModelParams
 from repro.perfmodel.occupancy import OccupancyResult, occupancy_for
-from repro.perfmodel.compute import ComputeEfficiency, compute_efficiency, latency_hiding
+from repro.perfmodel.compute import (
+    ComputeEfficiency,
+    compute_efficiency,
+    latency_hiding,
+)
 from repro.perfmodel.memory import MemoryTraffic, memory_traffic
+from repro.perfmodel.transfer import (
+    DataPlacement,
+    TransferBreakdown,
+    padded_operand_bytes,
+    resolve_placement,
+    transfer_copies,
+    transfer_phases,
+)
 from repro.perfmodel.model import GemmPerfModel, ModelBreakdown
 from repro.perfmodel.noise import measurement_noise_factor
 from repro.perfmodel.sparse import SparseGemmPerfModel
 
 __all__ = [
     "ComputeEfficiency",
+    "DataPlacement",
     "GemmPerfModel",
     "MemoryTraffic",
     "ModelBreakdown",
     "OccupancyResult",
     "PerfModelParams",
     "SparseGemmPerfModel",
+    "TransferBreakdown",
     "compute_efficiency",
     "latency_hiding",
     "measurement_noise_factor",
     "memory_traffic",
     "occupancy_for",
+    "padded_operand_bytes",
+    "resolve_placement",
+    "transfer_copies",
+    "transfer_phases",
 ]

@@ -9,8 +9,7 @@ both the deterministic expected time and noisy "measured" times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -24,6 +23,11 @@ from repro.perfmodel.memory import MemoryTraffic, memory_traffic
 from repro.perfmodel.noise import measurement_noise_factor, noise_factors
 from repro.perfmodel.occupancy import OccupancyResult, occupancy_for
 from repro.perfmodel.params import PerfModelParams
+from repro.perfmodel.transfer import (
+    DataPlacement,
+    resolve_placement,
+    transfer_phases,
+)
 from repro.sycl.device import Device, DeviceSpec
 from repro.utils.maths import ceil_div
 from repro.utils.rng import derive_seed
@@ -57,10 +61,29 @@ class ModelBreakdown:
     memory_seconds: float
     overhead_seconds: float
     total_seconds: float
+    #: Operand placement the estimate assumes (a DataPlacement value).
+    placement: str = DataPlacement.DEVICE.value
+    #: Device-side execution time alone (equals ``total_seconds`` for
+    #: device-resident operands).
+    kernel_seconds: float = 0.0
+    #: Full per-direction transfer times (zero when device-resident).
+    h2d_seconds: float = 0.0
+    d2h_seconds: float = 0.0
+    #: Transfer time hidden behind compute by the overlap model.
+    hidden_transfer_seconds: float = 0.0
+
+    @property
+    def visible_transfer_seconds(self) -> float:
+        """Transfer time extending the launch past the kernel."""
+        return self.h2d_seconds + self.d2h_seconds - self.hidden_transfer_seconds
 
     @property
     def bound(self) -> str:
-        """Which roofline side dominates: "compute" or "memory"."""
+        """The dominating phase: "compute", "memory" or "transfer"."""
+        if self.visible_transfer_seconds > max(
+            self.compute_seconds, self.memory_seconds
+        ):
+            return "transfer"
         return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
 
 
@@ -191,11 +214,26 @@ class GemmPerfModel:
         )
 
         # Imperfect overlap between the compute and memory pipelines.
-        total = (
+        kernel_total = (
             overhead_seconds
             + max(compute_seconds, memory_seconds)
             + 0.15 * min(compute_seconds, memory_seconds)
         )
+
+        # Host-resident operands add the H2D / D2H phases (partially
+        # hidden behind the kernel); device-resident shapes keep the
+        # transfer-free estimate bit-for-bit.
+        placement = resolve_placement(shape)
+        h2d_seconds = d2h_seconds = hidden_seconds = 0.0
+        total = kernel_total
+        if placement == DataPlacement.HOST.value:
+            transfers = transfer_phases(
+                shape, config, params, kernel_seconds=kernel_total
+            )
+            h2d_seconds = transfers.h2d_seconds
+            d2h_seconds = transfers.d2h_seconds
+            hidden_seconds = transfers.hidden_seconds
+            total = kernel_total + transfers.visible_seconds
 
         return ModelBreakdown(
             occupancy=occ,
@@ -212,6 +250,11 @@ class GemmPerfModel:
             memory_seconds=memory_seconds,
             overhead_seconds=overhead_seconds,
             total_seconds=total,
+            placement=placement,
+            kernel_seconds=kernel_total,
+            h2d_seconds=h2d_seconds,
+            d2h_seconds=d2h_seconds,
+            hidden_transfer_seconds=hidden_seconds,
         )
 
     def time_seconds(self, shape: GemmShape, config: KernelConfig) -> float:

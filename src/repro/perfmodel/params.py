@@ -47,6 +47,24 @@ class PerfModelParams:
     #: Seconds of fixed driver/runtime overhead added to every launch, on
     #: top of the device's kernel_launch_overhead_us.
     host_overhead_s: float = 2.0e-6
+    #: Host-to-device copy bandwidth (PCIe-class interconnect), GB/s.
+    h2d_bandwidth_gbps: float = 12.0
+    #: Device-to-host readback bandwidth, GB/s.  Readback is markedly
+    #: slower than upload (the SUMMA memcpy calibration measures ~3x),
+    #: so result copies hurt more per byte than operand staging.
+    d2h_bandwidth_gbps: float = 4.0
+    #: Fixed H2D setup latency per staged copy (driver round trip),
+    #: seconds.  Transfers are staged per macro-tile panel, so a config
+    #: with small macro tiles pays this many times over — the SUMMA
+    #: small-memcpy penalty.
+    h2d_overhead_s: float = 2.0e-6
+    #: Fixed D2H setup latency per staged copy, seconds.  Readback also
+    #: pays a completion sync, so its floor is higher than upload's.
+    d2h_overhead_s: float = 4.0e-6
+    #: Fraction of kernel time usable for hiding pipelined transfers
+    #: (0 = fully serialized phases, 1 = transfers fully hidden while
+    #: any compute remains).
+    transfer_overlap: float = 0.6
 
     def __post_init__(self) -> None:
         positives = (
@@ -54,6 +72,8 @@ class PerfModelParams:
             "latency_hiding_half_waves",
             "l2_usable_fraction",
             "min_coalescing_efficiency",
+            "h2d_bandwidth_gbps",
+            "d2h_bandwidth_gbps",
         )
         for name in positives:
             if getattr(self, name) <= 0:
@@ -65,6 +85,8 @@ class PerfModelParams:
             "alignment_penalty",
             "channel_camping_penalty",
             "host_overhead_s",
+            "h2d_overhead_s",
+            "d2h_overhead_s",
         )
         for name in non_negatives:
             if getattr(self, name) < 0:
@@ -77,3 +99,5 @@ class PerfModelParams:
             raise ValueError("PerfModelParams.quirk_coarse_weight must be in [0, 1]")
         if self.quirk_coarse_log_step <= 0:
             raise ValueError("PerfModelParams.quirk_coarse_log_step must be positive")
+        if not 0.0 <= self.transfer_overlap <= 1.0:
+            raise ValueError("PerfModelParams.transfer_overlap must be in [0, 1]")

@@ -1,0 +1,160 @@
+"""Host<->device transfer phases of the performance model.
+
+Models the three-phase structure of a host-resident GEMM launch — H2D
+operand copies, the kernel itself, and the D2H result copy — in the
+spirit of the SUMMA memcpy model: a fixed per-transfer setup overhead
+plus bytes over a per-direction bandwidth, with readback markedly
+slower than upload, and pipelined transfers partially hidden behind
+compute.
+
+The config-dependence that makes placement matter for *selection*:
+
+* the kernel reads and writes operands padded to macro-tile boundaries
+  (edge work-groups load full tiles through bounds-checked windows), so
+  a staging copy sized for the launch moves ``padded_m x k`` and
+  ``k x padded_n`` bytes — a large macro-tile config transfers more of
+  a small problem than a small-tile config does;
+* transfers are staged per macro-tile *panel* (operand row/column
+  panels up, result row panels back), and every copy pays a fixed
+  driver setup latency — so a small macro-tile config launches many
+  tiny latency-bound memcpys where a large one amortises the setup
+  over few big ones, exactly the small-copy penalty the SUMMA work
+  measured;
+* only *streamed* bytes can hide behind compute, bounded by an overlap
+  budget proportional to kernel time, and a result copy can only
+  overlap the kernel while later batch elements are still computing —
+  a single GEMM (``batch == 1``) exposes its full readback.
+
+Padding punishes oversized macro tiles on small problems; per-copy
+latency punishes undersized macro tiles on large ones.  The host-side
+optimum therefore depends on the shape and rarely coincides with the
+device-side optimum, which is what makes placement a selection feature
+rather than a constant offset.
+
+Device-resident shapes skip all of this: the model is bit-identical to
+the transfer-free model for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.kernels.params import KernelConfig
+from repro.perfmodel.params import PerfModelParams
+from repro.utils.maths import ceil_div
+from repro.workloads.gemm import GemmShape
+from repro.workloads.placement import DataPlacement
+
+__all__ = [
+    "DataPlacement",
+    "TransferBreakdown",
+    "padded_operand_bytes",
+    "resolve_placement",
+    "transfer_copies",
+    "transfer_phases",
+]
+
+_FP32 = 4
+
+
+def resolve_placement(shape: GemmShape) -> str:
+    """The operand placement a shape declares (device when unannotated)."""
+    return DataPlacement.parse(
+        getattr(shape, "placement", DataPlacement.DEVICE)
+    ).value
+
+
+def padded_operand_bytes(
+    shape: GemmShape, config: KernelConfig
+) -> Tuple[int, int]:
+    """(H2D, D2H) bytes of a staged launch, padded to macro tiles.
+
+    A and B are uploaded, C is read back; each output dimension is
+    rounded up to the config's macro-tile coverage (the same padding
+    that drives ``tile_utilization`` in the kernel-time model).
+    """
+    macro_m, macro_n = config.macro_tile
+    padded_m = ceil_div(shape.m, macro_m) * macro_m
+    padded_n = ceil_div(shape.n, macro_n) * macro_n
+    h2d = _FP32 * shape.batch * (padded_m * shape.k + shape.k * padded_n)
+    d2h = _FP32 * shape.batch * padded_m * padded_n
+    return h2d, d2h
+
+
+def transfer_copies(shape: GemmShape, config: KernelConfig) -> Tuple[int, int]:
+    """(H2D, D2H) staged copy counts for one launch.
+
+    A is uploaded per macro-row panel and B per macro-column panel
+    (``groups_m + groups_n`` copies per batch element); C is read back
+    per macro-row panel (``groups_m`` copies).  Each copy pays the
+    per-direction setup latency in :func:`transfer_phases`.
+    """
+    macro_m, macro_n = config.macro_tile
+    groups_m = ceil_div(shape.m, macro_m)
+    groups_n = ceil_div(shape.n, macro_n)
+    h2d = shape.batch * (groups_m + groups_n)
+    d2h = shape.batch * groups_m
+    return h2d, d2h
+
+
+@dataclass(frozen=True)
+class TransferBreakdown:
+    """The transfer phases of one host-resident launch."""
+
+    h2d_bytes: int
+    d2h_bytes: int
+    #: Staged copy counts per direction (panel-wise memcpys).
+    h2d_copies: int
+    d2h_copies: int
+    #: Full (unhidden) per-direction times, setup latencies included.
+    h2d_seconds: float
+    d2h_seconds: float
+    #: Transfer time overlapped with compute, never exceeding the
+    #: streamed (non-overhead) portion of either direction.
+    hidden_seconds: float
+
+    @property
+    def visible_seconds(self) -> float:
+        """Transfer time that extends the end-to-end launch."""
+        return self.h2d_seconds + self.d2h_seconds - self.hidden_seconds
+
+
+def transfer_phases(
+    shape: GemmShape,
+    config: KernelConfig,
+    params: PerfModelParams,
+    *,
+    kernel_seconds: float,
+) -> TransferBreakdown:
+    """Model the H2D / D2H phases around one kernel execution.
+
+    The overlap budget is ``transfer_overlap * kernel_seconds`` of
+    compute time available to hide streamed bytes.  Uploads claim it
+    first (operand prefetch for later k-panels and batch elements);
+    readback can only hide the fraction of C produced before the last
+    batch element finishes, so ``batch == 1`` exposes the whole D2H
+    stream.  Per-copy setup latencies are driver round trips and are
+    never hidden.
+    """
+    if kernel_seconds < 0:
+        raise ValueError(
+            f"kernel_seconds must be >= 0, got {kernel_seconds}"
+        )
+    h2d_bytes, d2h_bytes = padded_operand_bytes(shape, config)
+    h2d_copies, d2h_copies = transfer_copies(shape, config)
+    h2d_stream = h2d_bytes / (params.h2d_bandwidth_gbps * 1e9)
+    d2h_stream = d2h_bytes / (params.d2h_bandwidth_gbps * 1e9)
+    budget = params.transfer_overlap * kernel_seconds
+    h2d_hidden = min(h2d_stream, budget)
+    budget -= h2d_hidden
+    d2h_hidden = min(d2h_stream * (1.0 - 1.0 / shape.batch), budget)
+    return TransferBreakdown(
+        h2d_bytes=h2d_bytes,
+        d2h_bytes=d2h_bytes,
+        h2d_copies=h2d_copies,
+        d2h_copies=d2h_copies,
+        h2d_seconds=h2d_copies * params.h2d_overhead_s + h2d_stream,
+        d2h_seconds=d2h_copies * params.d2h_overhead_s + d2h_stream,
+        hidden_seconds=h2d_hidden + d2h_hidden,
+    )

@@ -10,7 +10,7 @@ knowing the pipeline that produced it.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Callable, Dict
+from typing import Any, Dict
 
 import numpy as np
 

@@ -66,6 +66,7 @@ _CORE_KEYS = (
     "constant",
     "n_features_in",
     "classes",
+    "feature_names",
     "has_tree",
 )
 
@@ -97,12 +98,16 @@ def selector_meta(deployed: Any) -> Dict[str, Any]:
     selector = deployed.selector
     constant = getattr(selector, "_constant", None)
     tree = getattr(selector.estimator, "tree_", None)
+    feature_names = getattr(selector, "feature_names", None)
     meta: Dict[str, Any] = {
         "classifier": selector.name,
         "pruned": selector.pruned,
         "constant": constant,
         "n_features_in": getattr(selector.estimator, "n_features_in_", None),
         "classes": getattr(selector.estimator, "classes_", None),
+        "feature_names": (
+            None if feature_names is None else list(feature_names)
+        ),
         "has_tree": tree is not None and constant is None,
     }
     if meta["has_tree"]:
@@ -143,6 +148,11 @@ def rebuild_deployed(meta: Dict[str, Any], tree: Optional[Any] = None) -> Any:
         selector.estimator.classes_ = np.asarray(meta["classes"])
     if meta["n_features_in"] is not None:
         selector.estimator.n_features_in_ = int(meta["n_features_in"])
+    # Artifacts written before the feature vocabulary was recorded have
+    # no such key; the selector then falls back to width inference.
+    names = meta.get("feature_names")
+    if names is not None:
+        selector.feature_names = tuple(str(n) for n in names)
     selector._fitted = True
     return DeployedSelector(KernelLibrary(pruned.configs), selector)
 

@@ -58,6 +58,10 @@ class PaperPipelineConfig:
 
     device_preset: str = "r9-nano"
     networks: Tuple[str, ...] = DEFAULT_NETWORKS
+    #: Optional data-placement axis for the sweep (e.g. ("device",
+    #: "host")).  ``None`` keeps the classic device-resident sweep and
+    #: leaves historical sweep fingerprints untouched.
+    placements: Optional[Tuple[str, ...]] = None
     runner: RunnerConfig = field(default_factory=RunnerConfig)
     model_params: Optional[PerfModelParams] = None
     test_size: float = 0.2
@@ -106,13 +110,19 @@ def _sweep_params(
     networks: Tuple[str, ...],
     runner: RunnerConfig,
     model_params: Optional[PerfModelParams],
+    placements: Optional[Tuple[str, ...]] = None,
 ) -> Dict[str, Any]:
-    return {
+    params: Dict[str, Any] = {
         "device_spec": device.spec,
         "networks": tuple(networks),
         "runner": runner,
         "model_params": model_params,
     }
+    # Only present when requested: adding the key unconditionally would
+    # re-fingerprint (and re-run) every existing device-resident sweep.
+    if placements:
+        params["placements"] = tuple(placements)
+    return params
 
 
 def paper_params(
@@ -123,7 +133,11 @@ def paper_params(
     device = Device.from_preset(config.device_preset)
     return {
         "sweep": _sweep_params(
-            device, config.networks, config.runner, config.model_params
+            device,
+            config.networks,
+            config.runner,
+            config.model_params,
+            config.placements,
         ),
         "split": {
             "test_size": config.test_size,
@@ -172,6 +186,7 @@ def generate_dataset_stages(
     runner_config: RunnerConfig,
     model_params: Optional[PerfModelParams],
     networks: Tuple[str, ...],
+    placements: Optional[Tuple[str, ...]] = None,
     max_workers: int = 1,
 ):
     """Sweep + dataset stages only (the ``generate_dataset`` fast path)."""
@@ -180,7 +195,9 @@ def generate_dataset_stages(
     pipeline.add(sweep)
     pipeline.add(dataset)
     params = {
-        "sweep": _sweep_params(device, networks, runner_config, model_params)
+        "sweep": _sweep_params(
+            device, networks, runner_config, model_params, placements
+        )
     }
     executor = PipelineExecutor(store, max_workers=max_workers)
     return executor.run(pipeline, params).value("dataset")

@@ -10,8 +10,8 @@ computes the fingerprint of every stage for a given parameter set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 from repro.pipeline.fingerprint import fingerprint_stage
 

@@ -12,7 +12,7 @@ destruction-time write-back.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ A kernel is an object with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.sycl.buffer import Accessor
 from repro.sycl.device import Device

@@ -163,4 +163,7 @@ class NDRange:
             )
 
     def __repr__(self) -> str:
-        return f"NDRange(global={self.global_range.dims}, local={self.local_range.dims})"
+        return (
+            f"NDRange(global={self.global_range.dims}, "
+            f"local={self.local_range.dims})"
+        )

@@ -6,7 +6,6 @@ import numpy as np
 
 from repro.tuning.base import Tuner
 from repro.tuning.objective import Objective
-from repro.tuning.space import ConfigSpace
 
 __all__ = ["RandomSearchTuner"]
 

@@ -9,7 +9,7 @@ gene representation the evolutionary tuner crosses over.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 

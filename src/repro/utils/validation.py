@@ -56,7 +56,10 @@ def check_array(
     copy: bool = False,
 ) -> np.ndarray:
     """Coerce input into a finite ndarray of the expected dimensionality."""
-    arr = np.array(data, dtype=dtype, copy=copy) if copy else np.asarray(data, dtype=dtype)
+    if copy:
+        arr = np.array(data, dtype=dtype, copy=True)
+    else:
+        arr = np.asarray(data, dtype=dtype)
     if ndim is not None:
         allowed = (ndim,) if isinstance(ndim, int) else tuple(ndim)
         if arr.ndim not in allowed:

@@ -17,34 +17,52 @@ from repro.workloads.lowering import (
     lower_network,
 )
 from repro.workloads.extract import (
+    KNOWN_NETWORKS,
     NetworkShapeSet,
     extract_dataset_shapes,
     extract_network_shapes,
 )
 from repro.workloads.networks import mobilenet_v2, resnet50, vgg16
+from repro.workloads.placement import (
+    DataPlacement,
+    PlacedGemmShape,
+    place_shapes,
+)
 from repro.workloads.sparse import SparseGemmShape, sparsify
 from repro.workloads.synthetic import random_gemm_shapes, shape_envelope
+from repro.workloads.transformer import (
+    TransformerSpec,
+    lower_transformer,
+    transformer_base,
+)
 
 __all__ = [
     "Conv2d",
+    "DataPlacement",
     "Dense",
     "GemmShape",
     "GlobalPool",
     "InputSpec",
+    "KNOWN_NETWORKS",
     "LoweredGemm",
     "NetworkShapeSet",
+    "PlacedGemmShape",
     "Pool2d",
     "SparseGemmShape",
+    "TransformerSpec",
     "extract_dataset_shapes",
     "extract_network_shapes",
     "lower_conv_im2col",
     "lower_conv_winograd",
     "lower_dense",
     "lower_network",
+    "lower_transformer",
     "mobilenet_v2",
+    "place_shapes",
     "random_gemm_shapes",
     "resnet50",
     "shape_envelope",
     "sparsify",
+    "transformer_base",
     "vgg16",
 ]

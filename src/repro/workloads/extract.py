@@ -17,9 +17,15 @@ from repro.workloads.gemm import GemmShape
 from repro.workloads.lowering import LoweredGemm, lower_network
 from repro.workloads.networks import mobilenet_v2, resnet50, vgg16
 from repro.workloads.networks.base import Network
+from repro.workloads.transformer import (
+    TransformerSpec,
+    lower_transformer,
+    transformer_base,
+)
 
 __all__ = [
     "DEFAULT_BATCHES",
+    "KNOWN_NETWORKS",
     "NetworkShapeSet",
     "extract_dataset_shapes",
     "extract_network_shapes",
@@ -33,6 +39,7 @@ DEFAULT_BATCHES: Dict[str, Tuple[int, ...]] = {
     "vgg16": (1, 4, 16),
     "resnet50": (1, 4),
     "mobilenet_v2": (1,),
+    "transformer": (1, 4),
 }
 
 _BUILDERS: Dict[str, Callable[[], Network]] = {
@@ -40,6 +47,16 @@ _BUILDERS: Dict[str, Callable[[], Network]] = {
     "resnet50": resnet50,
     "mobilenet_v2": mobilenet_v2,
 }
+
+#: Networks lowered straight from an architecture spec rather than the
+#: Conv2d/Dense layer tracer (transformers have no image pipeline).
+_SPEC_BUILDERS: Dict[str, Callable[[], TransformerSpec]] = {
+    "transformer": transformer_base,
+}
+
+KNOWN_NETWORKS: Tuple[str, ...] = tuple(
+    sorted({**_BUILDERS, **_SPEC_BUILDERS})
+)
 
 
 @dataclass(frozen=True)
@@ -70,17 +87,18 @@ def extract_network_shapes(
     Shapes are deduplicated on the full ``(m, k, n, batch)`` tuple and
     returned in deterministic sorted order.
     """
-    try:
-        builder = _BUILDERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown network {name!r}; known: {sorted(_BUILDERS)}"
-        ) from None
     if batches is None:
-        batches = DEFAULT_BATCHES[name]
-    instances = lower_network(
-        builder(), batches=batches, winograd_tiles=winograd_tiles
-    )
+        batches = DEFAULT_BATCHES.get(name, (1,))
+    if name in _SPEC_BUILDERS:
+        instances = lower_transformer(_SPEC_BUILDERS[name](), batches=batches)
+    elif name in _BUILDERS:
+        instances = lower_network(
+            _BUILDERS[name](), batches=batches, winograd_tiles=winograd_tiles
+        )
+    else:
+        raise ValueError(
+            f"unknown network {name!r}; known: {list(KNOWN_NETWORKS)}"
+        )
     unique = tuple(sorted({lg.shape for lg in instances}))
     return NetworkShapeSet(network=name, shapes=unique, instances=tuple(instances))
 

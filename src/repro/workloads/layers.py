@@ -9,8 +9,7 @@ sizes without running any tensors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 __all__ = ["Conv2d", "Dense", "GlobalPool", "InputSpec", "Pool2d"]
 

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import Conv2d, Dense, InputSpec
-from repro.workloads.networks.base import LayerInstance, Network
+from repro.workloads.networks.base import Network
 from repro.utils.maths import ceil_div
 
 __all__ = [

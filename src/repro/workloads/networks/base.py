@@ -9,7 +9,7 @@ shapes and carry no GEMM work, so they need no explicit representation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Union
 
 from repro.workloads.layers import Conv2d, Dense, GlobalPool, InputSpec, Pool2d

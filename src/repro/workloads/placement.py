@@ -1,0 +1,131 @@
+"""Data placement: where a GEMM's operands live before the launch.
+
+The paper benchmarks device-resident operands — the kernel's inputs are
+already in GPU memory when the timer starts.  Real serving traffic is
+not that tidy: activations produced by a host-side pipeline must cross
+the interconnect before the kernel can run, and the result must come
+back.  Once those transfer phases are modelled
+(:mod:`repro.perfmodel.transfer`), the best kernel configuration
+legitimately *changes* with placement — large macro-tiles pad their
+operand transfers to tile boundaries, so a config that wins on-device
+can lose end-to-end.
+
+:class:`PlacedGemmShape` extends the dense shape with the placement so
+selectors can condition on it, exactly as :class:`SparseGemmShape` does
+for density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.gemm import GemmShape
+
+__all__ = ["DataPlacement", "PlacedGemmShape", "place_shapes"]
+
+
+class DataPlacement(str, Enum):
+    """Where the operands of a GEMM live when it is enqueued.
+
+    ``DEVICE`` — operands already resident in device memory (the
+    paper's benchmark protocol); kernel time is end-to-end time.
+    ``HOST`` — operands start in host memory: H2D copies precede the
+    kernel and a D2H copy returns C, with partial overlap.
+    """
+
+    DEVICE = "device"
+    HOST = "host"
+
+    @classmethod
+    def parse(cls, value: Union["DataPlacement", str]) -> "DataPlacement":
+        """Normalise a placement-ish value, rejecting unknown spellings."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown data placement {value!r}; "
+                f"known: {[p.value for p in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class PlacedGemmShape(GemmShape):
+    """A GEMM shape annotated with its operand placement."""
+
+    placement: str = DataPlacement.DEVICE.value
+
+    def __post_init__(self) -> None:
+        # Explicit base call: dataclass slots=True rebuilds the class,
+        # which breaks zero-argument super() in methods defined here.
+        GemmShape.__post_init__(self)
+        normalized = DataPlacement.parse(self.placement).value
+        object.__setattr__(self, "placement", normalized)
+
+    @property
+    def host_resident(self) -> bool:
+        return self.placement == DataPlacement.HOST.value
+
+    def features(self) -> np.ndarray:
+        """Five features: the dense four plus a host-placement indicator.
+
+        A selector trained with this feature space can condition on
+        placement; the flip experiment compares it against
+        placement-blind selection.
+        """
+        return np.array(
+            [self.m, self.k, self.n, self.batch, float(self.host_resident)],
+            dtype=np.float64,
+        )
+
+    N_FEATURES = 5
+    FEATURE_NAMES = ("m", "k", "n", "batch", "host_placed")
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (self.m, self.k, self.n, self.batch, int(self.host_resident))
+
+    def unplaced(self) -> GemmShape:
+        """The same dimensions without the placement annotation."""
+        return GemmShape(m=self.m, k=self.k, n=self.n, batch=self.batch)
+
+    def __str__(self) -> str:
+        base = GemmShape.__str__(self)  # zero-arg super() breaks under slots
+        if self.host_resident:
+            return f"{base}@host"
+        return base
+
+
+def place_shapes(
+    shapes: Sequence[GemmShape],
+    placements: Sequence[Union[DataPlacement, str]] = (
+        DataPlacement.DEVICE,
+        DataPlacement.HOST,
+    ),
+) -> List[PlacedGemmShape]:
+    """Cross a dense shape list with operand placements.
+
+    Models mixed serving traffic where the same layer shape arrives both
+    from a device-resident pipeline and from host-staged inputs; the
+    device rows keep the on-device baseline in-distribution.
+    """
+    if not placements:
+        raise ValueError("at least one placement is required")
+    out: List[PlacedGemmShape] = []
+    for placement in placements:
+        value = DataPlacement.parse(placement).value
+        for shape in shapes:
+            out.append(
+                PlacedGemmShape(
+                    m=shape.m,
+                    k=shape.k,
+                    n=shape.n,
+                    batch=shape.batch,
+                    placement=value,
+                )
+            )
+    return sorted(set(out))

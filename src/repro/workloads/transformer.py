@@ -1,0 +1,192 @@
+"""Transformer shape families: attention and MLP projections as GEMMs.
+
+The paper's dataset is three 2020-era CNNs; transformer inference is
+the workload that has since come to dominate ML serving, and its GEMM
+population is structurally different — token counts replace pixel
+grids, attention emits *batched small* GEMMs (one per head), and
+incremental decoding degenerates the query side to single rows
+(GEMV-like shapes).  Per encoder layer at batch ``B`` and sequence
+``S`` with model width ``d``, heads ``h`` and FFN width ``f``:
+
+* **projections** — Q/K/V/output each ``[B*S x d x d]``;
+* **attention scores** ``QK^T`` — ``[S x d/h x S]`` batched ``B*h``;
+* **attention context** ``AV`` — ``[S x S x d/h]`` batched ``B*h``;
+* **MLP** — ``[B*S x d x f]`` up and ``[B*S x f x d]`` down;
+* **decode step** — the same operators with a one-token query against
+  an ``S``-token KV cache: ``m = B`` projections and ``m = 1`` batched
+  attention rows.
+
+All of it lowers to the same :class:`~repro.workloads.gemm.GemmShape`
+vocabulary, with provenance via :class:`~repro.workloads.lowering.LoweredGemm`,
+so the dataset/selection stack ingests transformers exactly like the
+CNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.lowering import LoweredGemm
+
+__all__ = ["TransformerSpec", "lower_transformer", "transformer_base"]
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """Architecture of one transformer encoder/decoder stack."""
+
+    name: str
+    d_model: int
+    n_heads: int
+    d_ff: int
+    seq_lengths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for field in ("d_model", "n_heads", "d_ff"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"TransformerSpec.{field} must be positive")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model ({self.d_model}) must be divisible by "
+                f"n_heads ({self.n_heads})"
+            )
+        if not self.seq_lengths or any(s <= 0 for s in self.seq_lengths):
+            raise ValueError(
+                f"seq_lengths must be positive, got {self.seq_lengths!r}"
+            )
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+
+def transformer_base() -> TransformerSpec:
+    """The "base" configuration of the original transformer paper."""
+    return TransformerSpec(
+        name="transformer",
+        d_model=512,
+        n_heads=8,
+        d_ff=2048,
+        seq_lengths=(64, 128, 256),
+    )
+
+
+def _gemm(
+    spec: TransformerSpec,
+    *,
+    m: int,
+    k: int,
+    n: int,
+    gemm_batch: int,
+    layer: str,
+    transform: str,
+    image_batch: int,
+) -> LoweredGemm:
+    return LoweredGemm(
+        shape=GemmShape(m=m, k=k, n=n, batch=gemm_batch),
+        network=spec.name,
+        layer=layer,
+        transform=transform,
+        image_batch=image_batch,
+    )
+
+
+def lower_transformer(
+    spec: TransformerSpec, *, batches: Sequence[int] = (1,)
+) -> List[LoweredGemm]:
+    """Lower one transformer layer's GEMMs for each batch and sequence.
+
+    Shapes repeat identically across a stack's layers, so one layer's
+    worth per (batch, sequence) pair covers the whole network after
+    deduplication — mirroring how the CNN extraction collapses repeated
+    blocks.  Both the full-sequence (prefill) and one-token (decode)
+    operator sets are emitted.
+    """
+    if not batches or any(b <= 0 for b in batches):
+        raise ValueError(f"batches must be positive, got {batches!r}")
+    d, f, h, dh = spec.d_model, spec.d_ff, spec.n_heads, spec.d_head
+    out: List[LoweredGemm] = []
+    for batch in batches:
+        for seq in spec.seq_lengths:
+            tokens = batch * seq
+            suffix = f"s{seq}"
+            for proj in ("q", "k", "v", "out"):
+                out.append(
+                    _gemm(
+                        spec,
+                        m=tokens, k=d, n=d, gemm_batch=1,
+                        layer=f"attn.{proj}_proj@{suffix}",
+                        transform="attn-proj",
+                        image_batch=batch,
+                    )
+                )
+            out.append(
+                _gemm(
+                    spec,
+                    m=seq, k=dh, n=seq, gemm_batch=batch * h,
+                    layer=f"attn.scores@{suffix}",
+                    transform="attn-qkt",
+                    image_batch=batch,
+                )
+            )
+            out.append(
+                _gemm(
+                    spec,
+                    m=seq, k=seq, n=dh, gemm_batch=batch * h,
+                    layer=f"attn.context@{suffix}",
+                    transform="attn-av",
+                    image_batch=batch,
+                )
+            )
+            out.append(
+                _gemm(
+                    spec,
+                    m=tokens, k=d, n=f, gemm_batch=1,
+                    layer=f"mlp.up@{suffix}",
+                    transform="mlp",
+                    image_batch=batch,
+                )
+            )
+            out.append(
+                _gemm(
+                    spec,
+                    m=tokens, k=f, n=d, gemm_batch=1,
+                    layer=f"mlp.down@{suffix}",
+                    transform="mlp",
+                    image_batch=batch,
+                )
+            )
+            # Incremental decoding: a one-token query against the
+            # seq-token KV cache.  At batch 1 the projections are true
+            # GEMVs (m == 1) and the attention rows are batched
+            # single-row GEMMs.
+            out.append(
+                _gemm(
+                    spec,
+                    m=batch, k=d, n=d, gemm_batch=1,
+                    layer=f"decode.proj@{suffix}",
+                    transform="attn-proj-decode",
+                    image_batch=batch,
+                )
+            )
+            out.append(
+                _gemm(
+                    spec,
+                    m=1, k=dh, n=seq, gemm_batch=batch * h,
+                    layer=f"decode.scores@{suffix}",
+                    transform="attn-qkt-decode",
+                    image_batch=batch,
+                )
+            )
+            out.append(
+                _gemm(
+                    spec,
+                    m=1, k=seq, n=dh, gemm_batch=batch * h,
+                    layer=f"decode.context@{suffix}",
+                    transform="attn-av-decode",
+                    image_batch=batch,
+                )
+            )
+    return out

@@ -1,0 +1,67 @@
+"""The placement-flip experiment (small strides for test speed)."""
+
+import json
+
+import pytest
+
+from repro.experiments.placement import (
+    PlacementFlipResult,
+    run_placement_flip,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_placement_flip(shape_stride=16)
+
+
+class TestPlacementFlip:
+    def test_flip_fraction_is_a_fraction(self, result):
+        assert 0.0 <= result.flip_fraction <= 1.0
+        assert result.n_base_shapes > 0
+
+    def test_placement_actually_flips_best_configs(self, result):
+        # The acceptance bar for the full-stride CI gate is 10%; even
+        # the subsampled test run clears it comfortably.
+        assert result.flip_fraction >= 0.1
+
+    def test_scores_are_normalized(self, result):
+        for score in (
+            result.score_placement_blind,
+            result.score_placement_aware,
+            result.ceiling_placement_blind,
+            result.ceiling_placement_aware,
+        ):
+            assert 0.0 < score <= 1.0
+
+    def test_per_placement_scores_cover_both_placements(self, result):
+        assert set(result.per_placement_scores) == {"device", "host"}
+
+    def test_render_mentions_the_headline_numbers(self, result):
+        text = result.render()
+        assert "placement-blind" in text
+        assert "placement-aware" in text
+        assert "flip fraction" in text
+        assert "margin" in text
+
+    def test_report_round_trips_through_json(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["budget"] == result.budget
+        assert payload["flip_fraction"] == pytest.approx(result.flip_fraction)
+        assert payload["margin"] == pytest.approx(result.margin)
+        assert payload["placements"] == ["device", "host"]
+
+    def test_margin_is_the_score_difference(self, result):
+        assert result.margin == pytest.approx(
+            result.score_placement_aware - result.score_placement_blind
+        )
+
+
+class TestValidation:
+    def test_device_placement_required(self):
+        with pytest.raises(ValueError, match="device"):
+            run_placement_flip(placements=("host",))
+
+    def test_two_distinct_placements_required(self):
+        with pytest.raises(ValueError, match="two distinct"):
+            run_placement_flip(placements=("device", "device"))

@@ -1,0 +1,97 @@
+"""Batched GEMM family: differential agreement with a loop of GEMMs."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.batched import BatchedMatmulKernel, batched_matmul
+from repro.kernels.matmul import matmul
+from repro.kernels.params import KernelConfig
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.workloads.gemm import GemmShape
+
+
+def cfg(acc=2, rows=2, cols=2, wg=(8, 8)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+@pytest.fixture
+def queue():
+    return Queue(Device.r9_nano())
+
+
+class TestBatchedDifferential:
+    @pytest.mark.parametrize("batch", [1, 3, 16])
+    def test_matches_loop_of_gemms_bitwise(self, queue, rng, batch):
+        """One batched launch equals per-slice GEMM launches, bit for bit."""
+        a = rng.standard_normal((batch, 13, 21)).astype(np.float32)
+        b = rng.standard_normal((batch, 21, 9)).astype(np.float32)
+        batched, _ = batched_matmul(queue, a, b, cfg())
+        for i in range(batch):
+            single, _ = matmul(queue, a[i], b[i], cfg())
+            assert np.array_equal(batched[i], single)
+
+    @pytest.mark.parametrize(
+        "config", [cfg(), cfg(acc=8, rows=4, cols=1), cfg(acc=1, rows=1, cols=1)]
+    )
+    def test_agreement_across_configs(self, queue, rng, config):
+        a = rng.standard_normal((5, 8, 33)).astype(np.float32)
+        b = rng.standard_normal((5, 33, 12)).astype(np.float32)
+        batched, _ = batched_matmul(queue, a, b, config)
+        for i in range(5):
+            single, _ = matmul(queue, a[i], b[i], config)
+            assert np.array_equal(batched[i], single)
+
+    def test_close_to_float64_oracle(self, queue, rng):
+        a = rng.standard_normal((4, 16, 32)).astype(np.float32)
+        b = rng.standard_normal((4, 32, 16)).astype(np.float32)
+        batched, _ = batched_matmul(queue, a, b, cfg())
+        oracle = np.einsum(
+            "bik,bkj->bij", a.astype(np.float64), b.astype(np.float64)
+        )
+        np.testing.assert_allclose(batched, oracle, rtol=1e-5, atol=1e-5)
+
+
+class TestBatchedLaunch:
+    def test_batch_rides_the_third_dimension(self):
+        kernel = BatchedMatmulKernel(cfg())
+        nd = kernel.nd_range_for(GemmShape(m=32, k=8, n=32, batch=7))
+        assert nd.global_range[2] == 7
+        assert nd.local_range[2] == 1
+
+    def test_estimate_matches_the_perf_model(self, queue, rng):
+        from repro.perfmodel.model import GemmPerfModel
+
+        a = rng.standard_normal((3, 16, 16)).astype(np.float32)
+        b = rng.standard_normal((3, 16, 16)).astype(np.float32)
+        _, event = batched_matmul(queue, a, b, cfg())
+        expected = GemmPerfModel(queue.device).time_seconds(
+            GemmShape(m=16, k=16, n=16, batch=3), cfg()
+        )
+        # The event clock quantises to whole nanoseconds.
+        assert event.profiling_duration_s == pytest.approx(expected, abs=1e-9)
+
+    def test_name_marks_the_family(self):
+        assert BatchedMatmulKernel(cfg()).name.startswith(
+            "tiled_batched_matmul<"
+        )
+
+
+class TestBatchedValidation:
+    def test_batch_count_mismatch_rejected(self, queue, rng):
+        a = rng.standard_normal((2, 4, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 4, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="incompatible"):
+            batched_matmul(queue, a, b, cfg())
+
+    def test_inner_dimension_mismatch_rejected(self, queue, rng):
+        a = rng.standard_normal((2, 4, 5)).astype(np.float32)
+        b = rng.standard_normal((2, 6, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="incompatible"):
+            batched_matmul(queue, a, b, cfg())
+
+    def test_two_dimensional_operands_rejected(self, queue, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="incompatible"):
+            batched_matmul(queue, a, b, cfg())

@@ -1,0 +1,95 @@
+"""Family dispatch: which kernel serves which GEMM shape."""
+
+import pytest
+
+from repro.kernels.batched import BatchedMatmulKernel
+from repro.kernels.families import (
+    FAMILIES,
+    FAMILY_BATCHED,
+    FAMILY_GEMM,
+    FAMILY_GEMV,
+    family_for_shape,
+    make_kernel,
+)
+from repro.kernels.gemv import GemvKernel
+from repro.kernels.matmul import TiledMatmulKernel
+from repro.kernels.params import KernelConfig
+from repro.kernels.registry import KernelLibrary
+from repro.workloads.gemm import GemmShape
+from repro.workloads.placement import PlacedGemmShape
+
+
+def cfg(acc=2, rows=2, cols=2, wg=(8, 8)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+class TestFamilyForShape:
+    def test_general_shape_is_gemm(self):
+        assert family_for_shape(GemmShape(m=64, k=64, n=64)) == FAMILY_GEMM
+
+    def test_unit_output_dimension_is_gemv(self):
+        assert family_for_shape(GemmShape(m=1, k=64, n=64)) == FAMILY_GEMV
+        assert family_for_shape(GemmShape(m=64, k=64, n=1)) == FAMILY_GEMV
+
+    def test_batched_stack_wins_over_gemv(self):
+        # Per-head decode attention: vector-shaped slices, but the batch
+        # is what fills the device.
+        shape = GemmShape(m=1, k=64, n=64, batch=8)
+        assert family_for_shape(shape) == FAMILY_BATCHED
+
+    def test_every_family_is_reachable(self):
+        shapes = [
+            GemmShape(m=64, k=64, n=64),
+            GemmShape(m=1, k=64, n=64),
+            GemmShape(m=16, k=16, n=16, batch=4),
+        ]
+        assert {family_for_shape(s) for s in shapes} == set(FAMILIES)
+
+    def test_placed_shapes_dispatch_like_their_base(self):
+        placed = PlacedGemmShape(m=1, k=64, n=64, placement="host")
+        assert family_for_shape(placed) == FAMILY_GEMV
+
+
+class TestMakeKernel:
+    def test_no_shape_returns_the_general_matmul(self):
+        kernel = make_kernel(cfg())
+        assert type(kernel) is TiledMatmulKernel
+
+    def test_shape_routes_to_the_family(self):
+        assert isinstance(
+            make_kernel(cfg(), GemmShape(m=1, k=8, n=8)), GemvKernel
+        )
+        assert isinstance(
+            make_kernel(cfg(), GemmShape(m=8, k=8, n=8, batch=2)),
+            BatchedMatmulKernel,
+        )
+        assert type(make_kernel(cfg(), GemmShape(m=8, k=8, n=8))) is (
+            TiledMatmulKernel
+        )
+
+
+class TestLibraryDispatch:
+    def test_library_dispenses_family_kernels(self):
+        library = KernelLibrary([cfg()])
+        assert isinstance(
+            library.kernel(cfg(), GemmShape(m=1, k=8, n=8)), GemvKernel
+        )
+        assert isinstance(
+            library.kernel(cfg(), GemmShape(m=8, k=8, n=8, batch=2)),
+            BatchedMatmulKernel,
+        )
+        assert type(library.kernel(cfg())) is TiledMatmulKernel
+
+    def test_unbundled_config_still_rejected(self):
+        library = KernelLibrary([cfg()])
+        with pytest.raises(KeyError):
+            library.kernel(cfg(acc=8), GemmShape(m=1, k=8, n=8))
+
+    def test_all_families_share_the_config_vocabulary(self):
+        config = cfg(acc=4, rows=4, cols=2)
+        for shape in (
+            None,
+            GemmShape(m=1, k=8, n=8),
+            GemmShape(m=8, k=8, n=8, batch=2),
+        ):
+            assert make_kernel(config, shape).config == config

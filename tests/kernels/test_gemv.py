@@ -1,0 +1,105 @@
+"""GEMV family: differential agreement with the GEMM path."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gemv import GemvKernel, gemv
+from repro.kernels.matmul import matmul
+from repro.kernels.params import KernelConfig
+from repro.sycl.buffer import AccessMode, Buffer
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+from repro.workloads.gemm import GemmShape
+
+
+def cfg(acc=2, rows=2, cols=2, wg=(8, 8)):
+    return KernelConfig(acc=acc, rows=rows, cols=cols, wg_rows=wg[0], wg_cols=wg[1])
+
+
+@pytest.fixture
+def queue():
+    return Queue(Device.r9_nano())
+
+
+class TestGemvDifferential:
+    @pytest.mark.parametrize("k", [1, 7, 32, 65])
+    def test_n_equals_one_matches_gemm_bitwise(self, queue, rng, k):
+        """A (m, k, 1) GEMM and the GEMV kernel agree bit for bit."""
+        a = rng.standard_normal((33, k)).astype(np.float32)
+        x = rng.standard_normal((k,)).astype(np.float32)
+        via_gemm, _ = matmul(queue, a, x[:, None], cfg())
+        via_gemv, _ = gemv(queue, a, x, cfg())
+        assert np.array_equal(via_gemm[:, 0], via_gemv)
+
+    @pytest.mark.parametrize("config", [cfg(), cfg(acc=8, rows=1, cols=4)])
+    def test_agreement_across_configs(self, queue, rng, config):
+        a = rng.standard_normal((17, 23)).astype(np.float32)
+        x = rng.standard_normal((23,)).astype(np.float32)
+        via_gemm, _ = matmul(queue, a, x[:, None], config)
+        via_gemv, _ = gemv(queue, a, x, config)
+        assert np.array_equal(via_gemm[:, 0], via_gemv)
+
+    def test_m_equals_one_row_vector(self, queue, rng):
+        """x^T @ B through the kernel matches the GEMM path bitwise."""
+        x = rng.standard_normal((1, 19)).astype(np.float32)
+        b = rng.standard_normal((19, 27)).astype(np.float32)
+        via_gemm, _ = matmul(queue, x, b, cfg())
+
+        kernel = GemvKernel(cfg())
+        shape = GemmShape(m=1, k=19, n=27)
+        buf_x = Buffer.from_array(x, name="x")
+        buf_b = Buffer.from_array(b, name="B")
+        buf_y = Buffer((1, 27), dtype=np.float32, name="y")
+        queue.submit(
+            kernel,
+            kernel.nd_range_for(shape),
+            args=(
+                buf_x.get_access(AccessMode.READ),
+                buf_b.get_access(AccessMode.READ),
+                buf_y.get_access(AccessMode.WRITE),
+            ),
+        )
+        assert np.array_equal(via_gemm, buf_y.to_host())
+
+    def test_column_and_flat_x_agree(self, queue, rng):
+        a = rng.standard_normal((9, 11)).astype(np.float32)
+        x = rng.standard_normal((11,)).astype(np.float32)
+        flat, _ = gemv(queue, a, x, cfg())
+        column, _ = gemv(queue, a, x[:, None], cfg())
+        assert np.array_equal(flat, column)
+
+
+class TestGemvValidation:
+    def test_rejects_matrix_matrix_shapes(self, queue, rng):
+        kernel = GemvKernel(cfg())
+        a = rng.standard_normal((8, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        buf_a = Buffer.from_array(a, name="A")
+        buf_b = Buffer.from_array(b, name="B")
+        buf_c = Buffer((8, 8), dtype=np.float32, name="C")
+        with pytest.raises(ValueError, match="matrix-vector"):
+            queue.submit(
+                kernel,
+                kernel.nd_range_for(GemmShape(m=8, k=8, n=8)),
+                args=(
+                    buf_a.get_access(AccessMode.READ),
+                    buf_b.get_access(AccessMode.READ),
+                    buf_c.get_access(AccessMode.WRITE),
+                ),
+            )
+
+    def test_incompatible_operands_rejected(self, queue, rng):
+        a = rng.standard_normal((4, 5)).astype(np.float32)
+        x = rng.standard_normal((6,)).astype(np.float32)
+        with pytest.raises(ValueError, match="incompatible"):
+            gemv(queue, a, x, cfg())
+
+    def test_launch_collapses_unit_dimension(self):
+        kernel = GemvKernel(cfg(rows=4, cols=4))
+        nd = kernel.nd_range_for(GemmShape(m=1, k=64, n=128))
+        assert nd.global_range[0] == 1  # single item row
+        nd = kernel.nd_range_for(GemmShape(m=128, k=64, n=1))
+        assert nd.global_range[1] == 1
+
+    def test_name_marks_the_family(self):
+        assert GemvKernel(cfg()).name.startswith("tiled_gemv<")

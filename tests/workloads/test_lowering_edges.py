@@ -1,0 +1,79 @@
+"""Lowering edge cases: Winograd applicability and grouped convolutions."""
+
+import pytest
+
+from repro.workloads.layers import Conv2d, InputSpec
+from repro.workloads.lowering import lower_conv_im2col, lower_conv_winograd
+
+
+SPEC = InputSpec(height=14, width=14, channels=64)
+
+
+class TestWinogradApplicability:
+    def test_stride_one_3x3_lowers(self):
+        conv = Conv2d(out_channels=128, kernel=3, stride=1, padding=1)
+        shape = lower_conv_winograd(conv, SPEC, tile=2)
+        assert shape is not None
+        # F(2x2, 3x3): 7x7 output tiles, (2+2)^2 transformed matrices.
+        assert shape.m == 7 * 7
+        assert shape.k == 64
+        assert shape.n == 128
+        assert shape.batch == 16
+
+    def test_tile_four_rounds_partial_tiles_up(self):
+        conv = Conv2d(out_channels=32, kernel=3, stride=1, padding=1)
+        shape = lower_conv_winograd(conv, SPEC, tile=4)
+        # 14/4 -> 4 tiles per axis (partial edge tiles count whole).
+        assert shape.m == 4 * 4
+        assert shape.batch == 36
+
+    def test_strided_convolution_not_applicable(self):
+        conv = Conv2d(out_channels=128, kernel=3, stride=2, padding=1)
+        assert lower_conv_winograd(conv, SPEC) is None
+
+    def test_grouped_convolution_not_applicable(self):
+        conv = Conv2d(out_channels=128, kernel=3, stride=1, padding=1, groups=2)
+        assert lower_conv_winograd(conv, SPEC) is None
+
+    def test_non_3x3_kernel_not_applicable(self):
+        for kernel in (1, 5, 7):
+            conv = Conv2d(out_channels=128, kernel=kernel)
+            assert lower_conv_winograd(conv, SPEC) is None
+
+    def test_unsupported_tile_rejected(self):
+        conv = Conv2d(out_channels=128, kernel=3, stride=1, padding=1)
+        with pytest.raises(ValueError, match="Winograd tiles"):
+            lower_conv_winograd(conv, SPEC, tile=3)
+
+
+class TestGroupedIm2col:
+    def test_grouped_conv_lowers_per_group(self):
+        conv = Conv2d(out_channels=128, kernel=3, stride=1, padding=1, groups=4)
+        shape = lower_conv_im2col(conv, SPEC)
+        # One GEMM per group: k and n shrink by the group count, the
+        # group count rides the GEMM batch.
+        assert shape.k == 3 * 3 * (64 // 4)
+        assert shape.n == 128 // 4
+        assert shape.batch == 4
+
+    def test_image_batch_multiplies_m(self):
+        conv = Conv2d(out_channels=32, kernel=3, stride=1, padding=1)
+        single = lower_conv_im2col(conv, SPEC, batch=1)
+        quad = lower_conv_im2col(conv, SPEC, batch=4)
+        assert quad.m == 4 * single.m
+
+    def test_stride_shrinks_the_output_grid(self):
+        conv = Conv2d(out_channels=32, kernel=3, stride=2, padding=1)
+        shape = lower_conv_im2col(conv, SPEC)
+        assert shape.m == 7 * 7  # (14 + 2*1 - 3)//2 + 1 = 7
+
+    def test_depthwise_rejected(self):
+        conv = Conv2d(out_channels=64, kernel=3, stride=1, padding=1, groups=64)
+        assert conv.is_depthwise(SPEC)
+        with pytest.raises(ValueError, match="depthwise"):
+            lower_conv_im2col(conv, SPEC)
+
+    def test_indivisible_groups_rejected(self):
+        conv = Conv2d(out_channels=30, kernel=3, stride=1, padding=1, groups=7)
+        with pytest.raises(ValueError, match="divisible"):
+            lower_conv_im2col(conv, SPEC)

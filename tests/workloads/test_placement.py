@@ -1,0 +1,92 @@
+"""Placed GEMM shapes and the placement axis."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.placement import DataPlacement, PlacedGemmShape, place_shapes
+
+
+class TestDataPlacement:
+    def test_parse_accepts_enum_and_strings(self):
+        assert DataPlacement.parse(DataPlacement.HOST) is DataPlacement.HOST
+        assert DataPlacement.parse("host") is DataPlacement.HOST
+        assert DataPlacement.parse("DEVICE") is DataPlacement.DEVICE
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown data placement"):
+            DataPlacement.parse("pinned")
+
+
+class TestPlacedGemmShape:
+    def test_is_a_gemm_shape_defaulting_to_device(self):
+        shape = PlacedGemmShape(m=8, k=8, n=8)
+        assert isinstance(shape, GemmShape)
+        assert shape.placement == "device"
+        assert not shape.host_resident
+
+    def test_placement_is_normalized(self):
+        shape = PlacedGemmShape(m=8, k=8, n=8, placement="HOST")
+        assert shape.placement == "host"
+        assert shape.host_resident
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown data placement"):
+            PlacedGemmShape(m=8, k=8, n=8, placement="nowhere")
+
+    def test_features_include_host_indicator(self):
+        host = PlacedGemmShape(m=1, k=2, n=3, batch=4, placement="host")
+        np.testing.assert_allclose(host.features(), [1.0, 2.0, 3.0, 4.0, 1.0])
+        device = PlacedGemmShape(m=1, k=2, n=3, batch=4)
+        np.testing.assert_allclose(device.features(), [1.0, 2.0, 3.0, 4.0, 0.0])
+        assert PlacedGemmShape.N_FEATURES == 5
+        assert PlacedGemmShape.FEATURE_NAMES[-1] == "host_placed"
+
+    def test_identity_tuple_distinguishes_placements(self):
+        a = PlacedGemmShape(m=8, k=8, n=8, placement="device")
+        b = PlacedGemmShape(m=8, k=8, n=8, placement="host")
+        assert a.as_tuple() != b.as_tuple()
+        assert a != b
+
+    def test_unplaced_strips_the_annotation(self):
+        shape = PlacedGemmShape(m=8, k=16, n=4, batch=2, placement="host")
+        assert shape.unplaced() == GemmShape(m=8, k=16, n=4, batch=2)
+        assert type(shape.unplaced()) is GemmShape
+
+    def test_str_marks_host_rows(self):
+        host = PlacedGemmShape(m=8, k=8, n=8, placement="host")
+        device = PlacedGemmShape(m=8, k=8, n=8)
+        assert str(host).endswith("@host")
+        assert not str(device).endswith("@host")
+
+    def test_flops_unchanged_by_placement(self):
+        plain = GemmShape(m=8, k=16, n=4)
+        placed = PlacedGemmShape(m=8, k=16, n=4, placement="host")
+        assert placed.flops == plain.flops
+
+
+class TestPlaceShapes:
+    def test_crosses_shapes_with_placements(self):
+        shapes = [GemmShape(m=8, k=8, n=8), GemmShape(m=16, k=8, n=8)]
+        placed = place_shapes(shapes)
+        assert len(placed) == 4
+        assert {p.placement for p in placed} == {"device", "host"}
+
+    def test_deduplicates_and_sorts(self):
+        shapes = [GemmShape(m=8, k=8, n=8), GemmShape(m=8, k=8, n=8)]
+        placed = place_shapes(shapes, ("device", "host"))
+        assert len(placed) == 2
+        assert placed == sorted(placed)
+
+    def test_single_placement(self):
+        placed = place_shapes([GemmShape(m=8, k=8, n=8)], ("host",))
+        assert len(placed) == 1
+        assert placed[0].host_resident
+
+    def test_empty_placements_rejected(self):
+        with pytest.raises(ValueError, match="at least one placement"):
+            place_shapes([GemmShape(m=8, k=8, n=8)], ())
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown data placement"):
+            place_shapes([GemmShape(m=8, k=8, n=8)], ("managed",))

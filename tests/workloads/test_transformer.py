@@ -1,0 +1,132 @@
+"""Transformer shape family lowering."""
+
+import pytest
+
+from repro.workloads.extract import (
+    DEFAULT_BATCHES,
+    KNOWN_NETWORKS,
+    extract_dataset_shapes,
+    extract_network_shapes,
+)
+from repro.workloads.transformer import (
+    TransformerSpec,
+    lower_transformer,
+    transformer_base,
+)
+
+#: Operators emitted per (batch, sequence): 4 projections, QK^T, AV,
+#: MLP up/down, decode projection, decode scores, decode context.
+OPS_PER_CONFIG = 11
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny", d_model=64, n_heads=4, d_ff=128, seq_lengths=(16,)
+    )
+    defaults.update(overrides)
+    return TransformerSpec(**defaults)
+
+
+class TestTransformerSpec:
+    def test_d_head(self):
+        assert tiny_spec().d_head == 16
+
+    def test_d_model_must_divide_by_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            tiny_spec(d_model=65)
+
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(ValueError, match="d_ff"):
+            tiny_spec(d_ff=0)
+
+    def test_seq_lengths_must_be_positive_and_non_empty(self):
+        with pytest.raises(ValueError, match="seq_lengths"):
+            tiny_spec(seq_lengths=())
+        with pytest.raises(ValueError, match="seq_lengths"):
+            tiny_spec(seq_lengths=(16, -1))
+
+    def test_base_preset_is_the_original_paper_config(self):
+        spec = transformer_base()
+        assert (spec.d_model, spec.n_heads, spec.d_ff) == (512, 8, 2048)
+
+
+class TestLowerTransformer:
+    def test_operator_count(self):
+        spec = tiny_spec(seq_lengths=(16, 32))
+        lowered = lower_transformer(spec, batches=(1, 2))
+        assert len(lowered) == 2 * 2 * OPS_PER_CONFIG
+
+    def test_projection_shape(self):
+        spec = tiny_spec()
+        lowered = lower_transformer(spec, batches=(2,))
+        projs = [lg for lg in lowered if lg.transform == "attn-proj"]
+        assert len(projs) == 4
+        for lg in projs:
+            assert (lg.shape.m, lg.shape.k, lg.shape.n, lg.shape.batch) == (
+                2 * 16, 64, 64, 1
+            )
+
+    def test_attention_is_batched_per_head(self):
+        spec = tiny_spec()
+        lowered = lower_transformer(spec, batches=(2,))
+        (qkt,) = [lg for lg in lowered if lg.transform == "attn-qkt"]
+        assert (qkt.shape.m, qkt.shape.k, qkt.shape.n) == (16, 16, 16)
+        assert qkt.shape.batch == 2 * 4
+        (av,) = [lg for lg in lowered if lg.transform == "attn-av"]
+        assert (av.shape.m, av.shape.k, av.shape.n) == (16, 16, 16)
+        assert av.shape.batch == 2 * 4
+
+    def test_mlp_shapes(self):
+        spec = tiny_spec()
+        lowered = lower_transformer(spec, batches=(1,))
+        up, down = [lg.shape for lg in lowered if lg.transform == "mlp"]
+        assert (up.m, up.k, up.n) == (16, 64, 128)
+        assert (down.m, down.k, down.n) == (16, 128, 64)
+
+    def test_decode_degenerates_to_single_rows(self):
+        spec = tiny_spec()
+        lowered = lower_transformer(spec, batches=(1,))
+        (proj,) = [
+            lg.shape for lg in lowered if lg.transform == "attn-proj-decode"
+        ]
+        assert proj.m == 1  # a true GEMV at batch 1
+        (scores,) = [
+            lg.shape for lg in lowered if lg.transform == "attn-qkt-decode"
+        ]
+        assert (scores.m, scores.k, scores.n) == (1, 16, 16)
+        assert scores.batch == 4
+
+    def test_provenance_names_the_network(self):
+        lowered = lower_transformer(tiny_spec(), batches=(1,))
+        assert all(lg.network == "tiny" for lg in lowered)
+
+    def test_bad_batches_rejected(self):
+        with pytest.raises(ValueError, match="batches"):
+            lower_transformer(tiny_spec(), batches=())
+        with pytest.raises(ValueError, match="batches"):
+            lower_transformer(tiny_spec(), batches=(0,))
+
+
+class TestExtraction:
+    def test_transformer_is_a_known_network(self):
+        assert "transformer" in KNOWN_NETWORKS
+        assert "transformer" in DEFAULT_BATCHES
+
+    def test_extract_network_shapes_deduplicates(self):
+        shape_set = extract_network_shapes("transformer")
+        assert shape_set.network == "transformer"
+        assert len(shape_set.shapes) == len(set(shape_set.shapes))
+        assert len(shape_set.shapes) > 0
+        # Provenance queries work for transformer-lowered shapes too.
+        assert shape_set.provenance(shape_set.shapes[0])
+
+    def test_dataset_union_with_cnns(self):
+        shapes, per_network = extract_dataset_shapes(
+            networks=("mobilenet_v2", "transformer")
+        )
+        assert "transformer" in per_network
+        assert set(per_network["transformer"].shapes) <= set(shapes)
+
+    def test_unknown_network_error_names_known_set(self):
+        with pytest.raises(ValueError, match="transformer"):
+            extract_network_shapes("alexnet")
